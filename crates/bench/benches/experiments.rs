@@ -1,0 +1,51 @@
+//! Criterion benches for the end-to-end experiment harness: simulated
+//! seconds per wall-clock second for each 3D system, and the cost of one
+//! full figure cell at reduced duration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use therm3d::{SimConfig, Simulator};
+use therm3d_bench::{run_cell, FigureConfig};
+use therm3d_floorplan::Experiment;
+use therm3d_policies::PolicyKind;
+use therm3d_workload::{generate_mix, Benchmark};
+
+fn bench_simulated_second(c: &mut Criterion) {
+    // One simulated second (10 ticks) of the coupled loop per experiment,
+    // paper-default 8×8 grid, Adapt3D under a server mix.
+    let mut group = c.benchmark_group("simulate_one_second");
+    group.sample_size(20);
+    for exp in Experiment::ALL {
+        let stack = exp.stack();
+        let trace = generate_mix(&Benchmark::ALL, exp.num_cores(), 1.0, 2009);
+        group.bench_with_input(BenchmarkId::from_parameter(exp), &exp, |b, _| {
+            b.iter_batched(
+                || {
+                    Simulator::new(
+                        SimConfig::paper_default(exp),
+                        PolicyKind::Adapt3d.build(&stack, 0xACE1),
+                    )
+                },
+                |mut sim| sim.run(&trace, 1.0),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure_cell(c: &mut Criterion) {
+    // One full (experiment, policy) figure cell at the quick duration —
+    // the unit of work behind every bar of Figures 3–6.
+    let mut group = c.benchmark_group("figure_cell_quick");
+    group.sample_size(10);
+    let cfg = FigureConfig::quick();
+    for kind in [PolicyKind::Default, PolicyKind::Adapt3d, PolicyKind::Adapt3dDvfsTt] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| run_cell(&cfg, Experiment::Exp2, k, false));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_second, bench_figure_cell);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benches for the per-tick cost of every DTM policy — the
+//! quantitative backing for the paper's claim that the adaptive
+//! allocators are "extremely light-weight" (Section V-A): one control
+//! decision plus one job placement on a 16-core system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use therm3d_floorplan::Experiment;
+use therm3d_policies::{Observation, Policy, PolicyKind, QueueHint};
+use therm3d_workload::{Benchmark, Job};
+
+fn observation<'a>(
+    temps: &'a [f64],
+    util: &'a [f64],
+    qlen: &'a [usize],
+    qwork: &'a [f64],
+    idle: &'a [f64],
+) -> Observation<'a> {
+    Observation {
+        now_s: 100.0,
+        tick_s: 0.1,
+        core_temps_c: temps,
+        utilization: util,
+        queue_len: qlen,
+        queued_work_s: qwork,
+        idle_time_s: idle,
+    }
+}
+
+fn bench_control_tick(c: &mut Criterion) {
+    let stack = Experiment::Exp3.stack();
+    let n = stack.num_cores();
+    let temps: Vec<f64> = (0..n).map(|i| 70.0 + (i % 7) as f64 * 2.5).collect();
+    let util: Vec<f64> = (0..n).map(|i| 0.3 + (i % 5) as f64 * 0.15).collect();
+    let qlen = vec![1usize; n];
+    let qwork: Vec<f64> = (0..n).map(|i| 0.2 * (i % 3) as f64).collect();
+    let idle = vec![0.0f64; n];
+
+    let mut group = c.benchmark_group("control_tick_16_cores");
+    for kind in PolicyKind::ALL {
+        let mut policy = kind.build(&stack, 0xACE1);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+            b.iter(|| {
+                let obs = observation(&temps, &util, &qlen, &qwork, &idle);
+                policy.control(&obs)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_place_job(c: &mut Criterion) {
+    let stack = Experiment::Exp3.stack();
+    let n = stack.num_cores();
+    let temps: Vec<f64> = (0..n).map(|i| 70.0 + (i % 7) as f64 * 2.5).collect();
+    let util = vec![0.5f64; n];
+    let qlen = vec![1usize; n];
+    let qwork: Vec<f64> = (0..n).map(|i| 0.2 * (i % 3) as f64).collect();
+    let idle = vec![0.0f64; n];
+    let job = Job::new(1, 100.0, 0.5, 0.4, Benchmark::WebMed);
+
+    let mut group = c.benchmark_group("place_job_16_cores");
+    for kind in [
+        PolicyKind::Default,
+        PolicyKind::Migr,
+        PolicyKind::AdaptRand,
+        PolicyKind::Adapt3d,
+        PolicyKind::Adapt3dDvfsTt,
+    ] {
+        let mut policy = kind.build(&stack, 0xACE1);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+            b.iter(|| {
+                let obs = observation(&temps, &util, &qlen, &qwork, &idle);
+                let hint = QueueHint { queued_work_s: &qwork, queue_len: &qlen };
+                policy.place_job(&job, &obs, &hint)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_control_tick, bench_place_job);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the RC thermal solver: steady-state conjugate
+//! gradients and transient RK4 stepping across the four experiment
+//! stacks and across grid resolutions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use therm3d_floorplan::Experiment;
+use therm3d_thermal::{ThermalConfig, ThermalModel};
+
+fn block_powers(exp: Experiment) -> Vec<f64> {
+    let stack = exp.stack();
+    stack
+        .sites()
+        .iter()
+        .map(|s| match s.kind {
+            therm3d_floorplan::UnitKind::Core => 3.0,
+            therm3d_floorplan::UnitKind::L2Cache => 1.28,
+            therm3d_floorplan::UnitKind::Crossbar => 1.0,
+            therm3d_floorplan::UnitKind::Other => 3.0,
+        })
+        .collect()
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state");
+    for exp in Experiment::ALL {
+        let stack = exp.stack();
+        let powers = block_powers(exp);
+        group.bench_with_input(BenchmarkId::from_parameter(exp), &exp, |b, _| {
+            b.iter_batched(
+                || ThermalModel::new(&stack, ThermalConfig::paper_default()),
+                |mut model| model.initialize_steady_state(&powers),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_100ms_step");
+    for exp in Experiment::ALL {
+        let stack = exp.stack();
+        let powers = block_powers(exp);
+        let mut model = ThermalModel::new(&stack, ThermalConfig::paper_default());
+        model.set_block_powers(&powers);
+        group.bench_with_input(BenchmarkId::from_parameter(exp), &exp, |b, _| {
+            b.iter(|| model.step(0.1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_step_grid");
+    let exp = Experiment::Exp3;
+    let stack = exp.stack();
+    let powers = block_powers(exp);
+    for grid in [4usize, 8, 16] {
+        let mut model =
+            ThermalModel::new(&stack, ThermalConfig::paper_default().with_grid(grid, grid));
+        model.set_block_powers(&powers);
+        group.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, _| {
+            b.iter(|| model.step(0.1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steady_state, bench_transient_step, bench_grid_scaling);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates Figure 2: joint resistivity of the interface material as a
+//! function of TSV area overhead (via ⌀10 µm, 10 µm spacing, 115 mm²
+//! layer).
+
+use therm3d_thermal::tsv::{joint_resistivity_for_overhead, TsvSpec};
+
+fn main() {
+    println!("FIGURE 2. EFFECT OF VIAS ON THE RESISTIVITY OF THE INTERFACE MATERIAL");
+    println!("{:>10} {:>10} {:>16}", "d_TSV %", "#vias", "rho m·K/W");
+    for i in 0..=20 {
+        let d = i as f64 * 0.001; // 0 .. 2.0 %
+        let spec = TsvSpec::paper_default().with_overhead(d);
+        println!(
+            "{:>10.2} {:>10} {:>16.4}",
+            d * 100.0,
+            spec.count,
+            joint_resistivity_for_overhead(d)
+        );
+    }
+    let paper = TsvSpec::paper_default();
+    println!(
+        "\npaper operating point: {} vias, overhead {:.2} %, joint resistivity {:.3} m·K/W",
+        paper.count,
+        paper.area_overhead_fraction() * 100.0,
+        paper.joint_resistivity()
+    );
+}

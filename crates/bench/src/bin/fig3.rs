@@ -1,0 +1,27 @@
+//! Regenerates Figure 3: thermal hot spots (% of time above 85 °C)
+//! WITHOUT dynamic power management, for all 11 policies on EXP-1..4,
+//! plus the performance line (normalized to Default).
+
+use therm3d_bench::{format_figure, run_experiment, FigureConfig};
+use therm3d_floorplan::Experiment;
+
+fn main() {
+    let cfg = FigureConfig::paper_default();
+    let results: Vec<_> = Experiment::ALL
+        .iter()
+        .map(|&exp| {
+            eprintln!("running {exp} ({} policies)…", therm3d_policies::PolicyKind::ALL.len());
+            (exp, run_experiment(&cfg, exp, false))
+        })
+        .collect();
+    print!(
+        "{}",
+        format_figure(
+            "FIGURE 3. THERMAL HOT SPOTS (WITHOUT DPM) AND PERFORMANCE",
+            "% of core-time above 85 °C; perf columns: throughput normalized to Default",
+            |r| r.hotspot_pct,
+            &results,
+            true,
+        )
+    );
+}

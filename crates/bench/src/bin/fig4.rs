@@ -1,0 +1,27 @@
+//! Regenerates Figure 4: thermal hot spots (% of time above 85 °C) WITH
+//! dynamic power management (fixed-timeout sleep), all 11 policies on
+//! EXP-1..4.
+
+use therm3d_bench::{format_figure, run_experiment, FigureConfig};
+use therm3d_floorplan::Experiment;
+
+fn main() {
+    let cfg = FigureConfig::paper_default();
+    let results: Vec<_> = Experiment::ALL
+        .iter()
+        .map(|&exp| {
+            eprintln!("running {exp} with DPM…");
+            (exp, run_experiment(&cfg, exp, true))
+        })
+        .collect();
+    print!(
+        "{}",
+        format_figure(
+            "FIGURE 4. THERMAL HOT SPOTS - WITH DPM",
+            "% of core-time above 85 °C",
+            |r| r.hotspot_pct,
+            &results,
+            false,
+        )
+    );
+}

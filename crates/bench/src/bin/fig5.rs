@@ -1,0 +1,26 @@
+//! Regenerates Figure 5: spatial gradients (% of time the worst per-layer
+//! gradient exceeds 15 °C) with DPM, all 11 policies on EXP-1..4.
+
+use therm3d_bench::{format_figure, run_experiment, FigureConfig};
+use therm3d_floorplan::Experiment;
+
+fn main() {
+    let cfg = FigureConfig::paper_default();
+    let results: Vec<_> = Experiment::ALL
+        .iter()
+        .map(|&exp| {
+            eprintln!("running {exp} with DPM…");
+            (exp, run_experiment(&cfg, exp, true))
+        })
+        .collect();
+    print!(
+        "{}",
+        format_figure(
+            "FIGURE 5. SPATIAL GRADIENTS - WITH DPM",
+            "% of intervals with max per-layer gradient above 15 °C",
+            |r| r.gradient_pct,
+            &results,
+            false,
+        )
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerates Figure 6: thermal cycles (% of sliding-window ΔT samples
+//! above 20 °C) with DPM, all 11 policies on EXP-1 and EXP-3 (the two
+//! systems the paper's Figure 6 shows).
+
+use therm3d_bench::{format_figure, run_experiment, FigureConfig};
+use therm3d_floorplan::Experiment;
+
+fn main() {
+    let cfg = FigureConfig::paper_default();
+    let results: Vec<_> = [Experiment::Exp1, Experiment::Exp3]
+        .iter()
+        .map(|&exp| {
+            eprintln!("running {exp} with DPM…");
+            (exp, run_experiment(&cfg, exp, true))
+        })
+        .collect();
+    print!(
+        "{}",
+        format_figure(
+            "FIGURE 6. THERMAL CYCLES - WITH DPM",
+            "% of sliding-window ΔT samples above 20 °C",
+            |r| r.cycle_pct,
+            &results,
+            false,
+        )
+    );
+}

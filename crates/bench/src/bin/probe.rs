@@ -1,0 +1,26 @@
+//! Quick thermal-regime probe (not a paper figure): prints hot-spot and
+//! peak statistics for Default/Adapt3D on EXP-1 and EXP-3.
+
+use therm3d_bench::{run_cell, FigureConfig};
+use therm3d_floorplan::Experiment;
+use therm3d_policies::PolicyKind;
+
+fn main() {
+    let mut cfg = FigureConfig::paper_default();
+    cfg.sim_seconds = std::env::var("THERM3D_SIM_SECONDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120.0);
+    for exp in [Experiment::Exp1, Experiment::Exp3] {
+        for kind in [PolicyKind::Default, PolicyKind::Adapt3d, PolicyKind::DvfsTt] {
+            let t0 = std::time::Instant::now();
+            let r = run_cell(&cfg, exp, kind, false);
+            println!(
+                "{exp} {kind:18} hot%={:6.2} peak={:5.1}C grad%={:5.2} cyc%={:5.2} turn={:.3}s power={:.1}W migr={} unfin={} [{:.1}s wall]",
+                r.hotspot_pct, r.peak_temp_c, r.gradient_pct, r.cycle_pct,
+                r.perf.mean_turnaround_s, r.mean_power_w, r.migrations, r.unfinished,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Diagnostic (not a paper figure): does the adaptive allocation actually
+//! steer work between layers? Prints per-core mean utilization and mean
+//! temperature for Default vs Adapt3D on EXP-2.
+
+use therm3d::{SimConfig, Simulator};
+use therm3d_floorplan::Experiment;
+use therm3d_policies::PolicyKind;
+use therm3d_workload::{generate_mix, Benchmark};
+
+fn main() {
+    let exp = Experiment::Exp2;
+    let sim_seconds = 60.0;
+    let stack = exp.stack();
+    let n = stack.num_cores();
+    println!("alphas: {:?}", stack.default_thermal_indices());
+    for kind in [PolicyKind::Default, PolicyKind::Adapt3d] {
+        let mut cfg = SimConfig::paper_default(exp);
+        cfg.thermal.ambient_c = 60.0;
+        cfg.power.other_w = 3.0;
+        let policy = kind.build(&stack, 0xACE1);
+        let trace = generate_mix(
+            &[Benchmark::WebMed, Benchmark::WebDb],
+            n,
+            sim_seconds,
+            2009,
+        );
+        let mut util_sum = vec![0.0; n];
+        let mut temp_sum = vec![0.0; n];
+        let mut ticks = 0usize;
+        let mut sim = Simulator::new(cfg, policy);
+        let r = sim.run_with_observer(&trace, sim_seconds, |s| {
+            for c in 0..n {
+                util_sum[c] += s.utilization[c];
+                temp_sum[c] += s.core_temps_c[c];
+            }
+            ticks += 1;
+        });
+        println!("\n{} hot%={:.1} peak={:.1}", kind.label(), r.hotspot_pct, r.peak_temp_c);
+        for c in 0..n {
+            println!(
+                "  core {c} (layer {}): util {:.2}  temp {:.1}",
+                stack.core_layer(therm3d_floorplan::CoreId(c)),
+                util_sum[c] / ticks as f64,
+                temp_sum[c] / ticks as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates Table II: thermal model and floorplan parameters as
+//! configured in this reproduction.
+
+use therm3d_floorplan::niagara;
+use therm3d_thermal::ThermalConfig;
+
+fn main() {
+    let cfg = ThermalConfig::paper_default();
+    println!("TABLE II. THERMAL MODEL AND FLOORPLAN PARAMETERS");
+    let rows: Vec<(&str, String)> = vec![
+        ("Die Thickness (one stack)", format!("{:.2} mm", cfg.die_thickness_m * 1e3)),
+        ("Area per Core", format!("{:.0} mm²", niagara::CORE_AREA_MM2)),
+        ("Area per L2 Cache", format!("{:.0} mm²", niagara::L2_AREA_MM2)),
+        (
+            "Total Area of Each Layer",
+            format!("{:.0} mm²", niagara::LAYER_WIDTH_MM * niagara::LAYER_HEIGHT_MM),
+        ),
+        ("Convection Capacitance", format!("{:.0} J/K", cfg.convection_capacitance_jk)),
+        ("Convection Resistance", format!("{:.1} K/W", cfg.convection_resistance_kw)),
+        (
+            "Interlayer Material Thickness (3D)",
+            format!("{:.2} mm", cfg.interlayer_thickness_m * 1e3),
+        ),
+        (
+            "Interlayer Material Resistivity (joint, 1024 TSVs)",
+            format!("{:.3} m·K/W", cfg.interlayer.resistivity()),
+        ),
+        ("Thermal grid", format!("{}x{} per layer", cfg.grid_rows, cfg.grid_cols)),
+        ("Ambient", format!("{:.0} °C", cfg.ambient_c)),
+    ];
+    for (name, value) in rows {
+        println!("{name:<50} {value}");
+    }
+}

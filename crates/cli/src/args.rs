@@ -1,0 +1,271 @@
+//! Hand-rolled argument parsing for the `therm3d` binary.
+
+use std::fmt;
+
+use therm3d_floorplan::Experiment;
+use therm3d_policies::PolicyKind;
+use therm3d_workload::Benchmark;
+
+/// Options shared by the simulation-driving subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// 3D configuration (default EXP-3, the thermally stressed system).
+    pub exp: Experiment,
+    /// Simulated seconds (default 60).
+    pub seconds: f64,
+    /// A single Table I benchmark, or `None` for the 8-benchmark rotation.
+    pub benchmark: Option<Benchmark>,
+    /// Wrap the policy in fixed-timeout DPM.
+    pub dpm: bool,
+    /// Workload seed.
+    pub seed: u64,
+    /// Thermal grid resolution per layer (N×N).
+    pub grid: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            exp: Experiment::Exp3,
+            seconds: 60.0,
+            benchmark: None,
+            dpm: false,
+            seed: 2009,
+            grid: 8,
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Simulate one (experiment, policy, workload) cell.
+    Run { sim: SimOptions, policy: PolicyKind, csv: bool },
+    /// Run all eleven policies on one experiment and tabulate.
+    Sweep { sim: SimOptions },
+    /// Print the all-cores-busy steady-state profile.
+    Steady { exp: Experiment, grid: usize },
+    /// Generate and dump a workload trace.
+    Trace { benchmark: Benchmark, cores: usize, seconds: f64, seed: u64, csv: bool },
+    /// Run one cell and print per-core reliability reports.
+    Reliability { sim: SimOptions, policy: PolicyKind },
+    /// Print usage.
+    Help,
+}
+
+/// Error produced when the command line cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCliError(pub String);
+
+impl fmt::Display for ParseCliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCliError {}
+
+/// The usage text printed by `therm3d help`.
+pub const USAGE: &str = "\
+therm3d — 3D multicore dynamic thermal management simulator (DATE 2009 reproduction)
+
+USAGE:
+  therm3d run         [--exp E] [--policy P] [--benchmark B] [-t SECS] [--dpm] [--seed N] [--grid N] [--csv]
+  therm3d sweep       [--exp E] [-t SECS] [--dpm] [--seed N] [--grid N]
+  therm3d steady      [--exp E] [--grid N]
+  therm3d trace       [--benchmark B] [--cores N] [-t SECS] [--seed N] [--csv]
+  therm3d reliability [--exp E] [--policy P] [-t SECS] [--dpm] [--seed N] [--grid N]
+  therm3d help
+
+  E = exp1..exp4   P = figure label (Default, CGate, DVFS_TT, Adapt3D, ...)
+  B = Table I name (web-med, web-high, database, web-db, gcc, gzip, mplayer, mplayer-web)";
+
+struct Tokens {
+    items: Vec<String>,
+    pos: usize,
+}
+
+impl Tokens {
+    fn next_value(&mut self, key: &str) -> Result<String, ParseCliError> {
+        self.pos += 1;
+        self.items
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| ParseCliError(format!("missing value for `{key}`")))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, raw: &str) -> Result<T, ParseCliError>
+where
+    T::Err: fmt::Display,
+{
+    raw.parse().map_err(|e| ParseCliError(format!("invalid `{key}` value `{raw}`: {e}")))
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseCliError`] on an unknown subcommand, unknown flag,
+/// missing value or unparsable value.
+pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCliError> {
+    // Normalize --key=value into --key value.
+    let mut items = Vec::new();
+    for a in argv {
+        if let Some((k, v)) = a.split_once('=') {
+            if k.starts_with("--") {
+                items.push(k.to_owned());
+                items.push(v.to_owned());
+                continue;
+            }
+        }
+        items.push(a);
+    }
+    let Some(sub) = items.first().cloned() else {
+        return Ok(Command::Help);
+    };
+    let mut t = Tokens { items, pos: 0 };
+
+    let mut sim = SimOptions::default();
+    let mut policy = PolicyKind::Adapt3d;
+    let mut csv = false;
+    let mut cores = 8usize;
+    let mut benchmark = Benchmark::Gcc;
+
+    while t.pos + 1 < t.items.len() {
+        t.pos += 1;
+        let key = t.items[t.pos].clone();
+        match key.as_str() {
+            "--exp" => sim.exp = parse_num("--exp", &t.next_value("--exp")?)?,
+            "--policy" => policy = parse_num("--policy", &t.next_value("--policy")?)?,
+            "--benchmark" => {
+                let b: Benchmark = parse_num("--benchmark", &t.next_value("--benchmark")?)?;
+                sim.benchmark = Some(b);
+                benchmark = b;
+            }
+            "-t" | "--seconds" => sim.seconds = parse_num(&key, &t.next_value(&key)?)?,
+            "--seed" => sim.seed = parse_num("--seed", &t.next_value("--seed")?)?,
+            "--grid" => sim.grid = parse_num("--grid", &t.next_value("--grid")?)?,
+            "--cores" => cores = parse_num("--cores", &t.next_value("--cores")?)?,
+            "--dpm" => sim.dpm = true,
+            "--csv" => csv = true,
+            other => return Err(ParseCliError(format!("unknown flag `{other}`"))),
+        }
+    }
+    if sim.seconds <= 0.0 {
+        return Err(ParseCliError("`--seconds` must be positive".into()));
+    }
+    if sim.grid == 0 {
+        return Err(ParseCliError("`--grid` must be at least 1".into()));
+    }
+
+    match sub.as_str() {
+        "run" => Ok(Command::Run { sim, policy, csv }),
+        "sweep" => Ok(Command::Sweep { sim }),
+        "steady" => Ok(Command::Steady { exp: sim.exp, grid: sim.grid }),
+        "trace" => Ok(Command::Trace {
+            benchmark,
+            cores,
+            seconds: sim.seconds,
+            seed: sim.seed,
+            csv,
+        }),
+        "reliability" => Ok(Command::Reliability { sim, policy }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseCliError(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert_eq!(parse(argv("")), Ok(Command::Help));
+        assert_eq!(parse(argv("help")), Ok(Command::Help));
+        assert_eq!(parse(argv("--help")), Ok(Command::Help));
+    }
+
+    #[test]
+    fn run_with_defaults() {
+        let cmd = parse(argv("run")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run { sim: SimOptions::default(), policy: PolicyKind::Adapt3d, csv: false }
+        );
+    }
+
+    #[test]
+    fn run_with_everything() {
+        let cmd = parse(argv(
+            "run --exp exp4 --policy DVFS_TT --benchmark web-high -t 30 --dpm --seed 7 --grid 4 --csv",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run { sim, policy, csv } => {
+                assert_eq!(sim.exp, Experiment::Exp4);
+                assert_eq!(policy, PolicyKind::DvfsTt);
+                assert_eq!(sim.benchmark, Some(Benchmark::WebHigh));
+                assert_eq!(sim.seconds, 30.0);
+                assert!(sim.dpm);
+                assert_eq!(sim.seed, 7);
+                assert_eq!(sim.grid, 4);
+                assert!(csv);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn key_equals_value_form() {
+        let cmd = parse(argv("sweep --exp=exp2 --seconds=15")).unwrap();
+        match cmd {
+            Command::Sweep { sim } => {
+                assert_eq!(sim.exp, Experiment::Exp2);
+                assert_eq!(sim.seconds, 15.0);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_options() {
+        let cmd = parse(argv("trace --benchmark gzip --cores 16 -t 10 --csv")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                benchmark: Benchmark::Gzip,
+                cores: 16,
+                seconds: 10.0,
+                seed: 2009,
+                csv: true
+            }
+        );
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(argv("frobnicate")).unwrap_err().0.contains("unknown subcommand"));
+        assert!(parse(argv("run --policy nope")).unwrap_err().0.contains("--policy"));
+        assert!(parse(argv("run --exp")).unwrap_err().0.contains("missing value"));
+        assert!(parse(argv("run --wat 3")).unwrap_err().0.contains("unknown flag"));
+        assert!(parse(argv("run -t 0")).unwrap_err().0.contains("positive"));
+        assert!(parse(argv("run --grid 0")).unwrap_err().0.contains("at least 1"));
+    }
+
+    #[test]
+    fn policy_labels_parse_like_figures() {
+        for kind in PolicyKind::ALL {
+            let cmd = parse(vec!["run".into(), "--policy".into(), kind.label().into()]).unwrap();
+            match cmd {
+                Command::Run { policy, .. } => assert_eq!(policy, kind),
+                other => panic!("wrong command: {other:?}"),
+            }
+        }
+    }
+}

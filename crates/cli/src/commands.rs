@@ -1,0 +1,260 @@
+//! Command execution for the `therm3d` binary: each subcommand renders
+//! its report to a `String` so tests can assert on output without
+//! spawning processes.
+
+use std::fmt::Write as _;
+
+use therm3d::{RunResult, SimConfig, Simulator};
+use therm3d_floorplan::Experiment;
+use therm3d_policies::PolicyKind;
+use therm3d_power::{CorePowerInput, PowerModel, PowerParams, VfTable};
+use therm3d_reliability::ReliabilityReport;
+use therm3d_thermal::{ThermalConfig, ThermalModel};
+use therm3d_workload::{generate_mix, Benchmark, JobTrace, TraceConfig};
+
+use crate::args::{Command, SimOptions, USAGE};
+
+impl SimOptions {
+    fn config(&self) -> SimConfig {
+        let mut cfg = SimConfig::paper_default(self.exp);
+        cfg.thermal = cfg.thermal.with_grid(self.grid, self.grid);
+        cfg
+    }
+
+    fn trace(&self) -> JobTrace {
+        match self.benchmark {
+            Some(b) => TraceConfig::new(b, self.exp.num_cores(), self.seconds)
+                .with_seed(self.seed)
+                .generate(),
+            None => generate_mix(&Benchmark::ALL, self.exp.num_cores(), self.seconds, self.seed),
+        }
+    }
+
+    fn run(&self, kind: PolicyKind) -> RunResult {
+        let stack = self.exp.stack();
+        let policy = kind.build_with_dpm(&stack, 0xACE1, self.dpm);
+        let mut sim = Simulator::new(self.config(), policy);
+        sim.run(&self.trace(), self.seconds)
+    }
+}
+
+/// CSV header matching [`csv_row`].
+#[must_use]
+pub fn csv_header() -> &'static str {
+    "policy,experiment,dpm,hot_pct,grad_pct,cycle_pct,peak_c,vertical_peak_c,mean_turnaround_s,energy_j,migrations,unfinished"
+}
+
+/// One CSV row for a run result.
+#[must_use]
+pub fn csv_row(r: &RunResult, dpm: bool) -> String {
+    format!(
+        "{},{},{},{:.4},{:.4},{:.4},{:.2},{:.2},{:.4},{:.1},{},{}",
+        r.policy,
+        r.experiment,
+        dpm,
+        r.hotspot_pct,
+        r.gradient_pct,
+        r.cycle_pct,
+        r.peak_temp_c,
+        r.vertical_peak_c,
+        r.perf.mean_turnaround_s,
+        r.energy_j,
+        r.migrations,
+        r.unfinished
+    )
+}
+
+fn steady_report(exp: Experiment, grid: usize) -> String {
+    let stack = exp.stack();
+    let mut model =
+        ThermalModel::new(&stack, ThermalConfig::paper_default().with_grid(grid, grid));
+    let power = PowerModel::new(&stack, PowerParams::paper_default(), VfTable::paper_default());
+    let busy = vec![CorePowerInput::busy(); stack.num_cores()];
+    let mut temps = vec![45.0; stack.num_blocks()];
+    for _ in 0..4 {
+        let p = power.block_powers(&busy, &temps);
+        temps = model.initialize_steady_state(&p);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{exp}: all-cores-busy steady state ({grid}x{grid} grid)");
+    for layer in 0..stack.layer_count() {
+        let blocks: Vec<(usize, &therm3d_floorplan::BlockSite)> = stack
+            .sites()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.layer == layer)
+            .collect();
+        let peak = blocks.iter().map(|(i, _)| temps[*i]).fold(f64::NEG_INFINITY, f64::max);
+        let _ = writeln!(out, "  layer {layer} ({}): peak {peak:.1} °C", stack.layer_name(layer));
+        for (i, site) in blocks {
+            let _ = writeln!(
+                out,
+                "    {:<14} {:<9} {:6.1} °C",
+                site.global_name,
+                site.kind.to_string(),
+                temps[i]
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  spreader {:.1} °C, sink {:.1} °C",
+        model.spreader_temperature_c(),
+        model.sink_temperature_c()
+    );
+    out
+}
+
+/// Executes a parsed command and returns its report.
+#[must_use]
+pub fn execute(cmd: &Command) -> String {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(USAGE),
+        Command::Run { sim, policy, csv } => {
+            let r = sim.run(*policy);
+            if *csv {
+                let _ = writeln!(out, "{}", csv_header());
+                let _ = writeln!(out, "{}", csv_row(&r, sim.dpm));
+            } else {
+                let _ = writeln!(out, "{r}");
+                let _ = writeln!(out, "{}", RunResult::table_header());
+                let _ = writeln!(out, "{}", r.table_row());
+            }
+        }
+        Command::Sweep { sim } => {
+            let _ = writeln!(
+                out,
+                "policy sweep on {}{}, {:.0} s, grid {}x{}",
+                sim.exp,
+                if sim.dpm { " +DPM" } else { "" },
+                sim.seconds,
+                sim.grid,
+                sim.grid
+            );
+            let _ = writeln!(out, "{}", RunResult::table_header());
+            let mut baseline: Option<RunResult> = None;
+            for kind in PolicyKind::ALL {
+                let r = sim.run(kind);
+                let norm =
+                    baseline.as_ref().map_or(1.0, |b| r.normalized_performance_vs(b));
+                let _ = writeln!(out, "{}  perf={norm:.3}", r.table_row());
+                if baseline.is_none() {
+                    baseline = Some(r);
+                }
+            }
+        }
+        Command::Steady { exp, grid } => out.push_str(&steady_report(*exp, *grid)),
+        Command::Trace { benchmark, cores, seconds, seed, csv } => {
+            let trace =
+                TraceConfig::new(*benchmark, *cores, *seconds).with_seed(*seed).generate();
+            if *csv {
+                let _ = writeln!(out, "id,arrival_s,work_s,memory_intensity,thread");
+                for j in trace.jobs() {
+                    let _ = writeln!(
+                        out,
+                        "{},{:.3},{:.4},{:.3},{}",
+                        j.id, j.arrival_s, j.work_s, j.memory_intensity, j.thread_id
+                    );
+                }
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{benchmark}: {} jobs over {seconds:.0} s, {:.1} CPU-seconds, offered {:.1} % of {cores} cores",
+                    trace.len(),
+                    trace.total_work_s(),
+                    100.0 * trace.offered_utilization(*cores, *seconds)
+                );
+            }
+        }
+        Command::Reliability { sim, policy } => {
+            let stack = sim.exp.stack();
+            let p = policy.build_with_dpm(&stack, 0xACE1, sim.dpm);
+            let mut simulator = Simulator::new(sim.config(), p);
+            let n = stack.num_cores();
+            let mut series: Vec<Vec<f64>> = vec![Vec::new(); n];
+            let trace = sim.trace();
+            simulator.run_with_observer(&trace, sim.seconds, |s| {
+                for (acc, &t) in series.iter_mut().zip(s.core_temps_c) {
+                    acc.push(t);
+                }
+            });
+            let _ = writeln!(
+                out,
+                "per-core reliability, {} on {}{} ({:.0} s):",
+                policy.label(),
+                sim.exp,
+                if sim.dpm { " +DPM" } else { "" },
+                sim.seconds
+            );
+            let _ = writeln!(out, "{}", ReliabilityReport::table_header());
+            for (core, s) in series.iter().enumerate() {
+                let r = ReliabilityReport::from_series(s, 0.1);
+                let _ = writeln!(out, "{}", r.table_row(&format!("core {core}")));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = execute(&Command::Help);
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("therm3d run"));
+    }
+
+    #[test]
+    fn run_csv_has_header_and_row() {
+        let cmd = parse(argv("run --exp exp1 --benchmark gzip -t 5 --grid 4 --csv")).unwrap();
+        let out = execute(&cmd);
+        let mut lines = out.lines();
+        assert_eq!(lines.next(), Some(csv_header()));
+        let row = lines.next().expect("one data row");
+        assert!(row.starts_with("Adapt3D,EXP-1,false,"), "{row}");
+        assert_eq!(row.split(',').count(), csv_header().split(',').count());
+    }
+
+    #[test]
+    fn steady_lists_every_layer() {
+        let cmd = parse(argv("steady --exp exp4 --grid 4")).unwrap();
+        let out = execute(&cmd);
+        for layer in 0..4 {
+            assert!(out.contains(&format!("layer {layer}")), "{out}");
+        }
+        assert!(out.contains("sink"));
+    }
+
+    #[test]
+    fn trace_csv_row_count_matches_summary() {
+        let csv = execute(&parse(argv("trace --benchmark gcc --cores 4 -t 8 --csv")).unwrap());
+        let plain = execute(&parse(argv("trace --benchmark gcc --cores 4 -t 8")).unwrap());
+        let rows = csv.lines().count() - 1; // minus header
+        let reported: usize = plain
+            .split(':')
+            .nth(1)
+            .and_then(|s| s.trim().split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .expect("summary starts with the job count");
+        assert_eq!(rows, reported);
+    }
+
+    #[test]
+    fn reliability_reports_every_core() {
+        let cmd =
+            parse(argv("reliability --exp exp1 --benchmark gzip -t 5 --grid 4")).unwrap();
+        let out = execute(&cmd);
+        for core in 0..8 {
+            assert!(out.contains(&format!("core {core}")), "{out}");
+        }
+    }
+}

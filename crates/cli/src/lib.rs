@@ -1,0 +1,13 @@
+//! Library half of the `therm3d` command-line driver: argument parsing
+//! and command execution, separated from `main` so the test suite can
+//! exercise them without spawning processes.
+//!
+//! The parser is hand-rolled (the offline dependency set has no argument
+//! parsing crate); it supports `--flag`, `--key value`, `--key=value`
+//! and short `-t`.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseCliError, SimOptions};
+pub use commands::execute;

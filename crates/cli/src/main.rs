@@ -1,0 +1,19 @@
+//! `therm3d` — command-line driver for the DATE 2009 3D-DTM
+//! reproduction. See `therm3d help` or [`therm3d_cli::args::USAGE`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match therm3d_cli::parse(argv) {
+        Ok(cmd) => {
+            print!("{}", therm3d_cli::execute(&cmd));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `therm3d help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end simulation configuration.
+
+use therm3d_floorplan::{Experiment, StackOrder};
+use therm3d_power::{PowerParams, VfTable};
+use therm3d_thermal::ThermalConfig;
+
+use crate::sensor::SensorModel;
+
+/// Everything that defines one simulation run except the policy and the
+/// workload trace.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d::SimConfig;
+/// use therm3d_floorplan::{Experiment, StackOrder};
+///
+/// let cfg = SimConfig::paper_default(Experiment::Exp1);
+/// assert_eq!(cfg.tick_s, 0.1);
+/// assert_eq!(cfg.hotspot_threshold_c, 85.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Which 3D system to simulate.
+    pub experiment: Experiment,
+    /// Vertical orientation of the split configurations (which die bonds
+    /// to the spreader); the default matches [`Experiment::stack`].
+    pub stack_order: StackOrder,
+    /// Thermal sampling / scheduling interval, seconds (paper: 100 ms).
+    pub tick_s: f64,
+    /// Thermal model parameters (Table II).
+    pub thermal: ThermalConfig,
+    /// Power model parameters (Section IV-B).
+    pub power: PowerParams,
+    /// DVFS table (three levels in the paper).
+    pub vf: VfTable,
+    /// Thermal-sensor imperfections applied to policy inputs (the paper
+    /// assumes ideal sensors; see `sensor_noise_study`).
+    pub sensor: SensorModel,
+    /// Hot-spot threshold, °C (Figures 3–4: 85 °C).
+    pub hotspot_threshold_c: f64,
+    /// Spatial-gradient threshold, °C (Figure 5: 15 °C).
+    pub gradient_threshold_c: f64,
+    /// Thermal-cycle ΔT threshold, °C (Figure 6: 20 °C).
+    pub cycle_threshold_c: f64,
+    /// Vertical (inter-layer) gradient threshold, °C — the TSV-stress
+    /// level Section V-C checks against. The paper observes vertical
+    /// gradients stay "limited to a few degrees"; 10 °C marks the level
+    /// where TSV thermo-mechanical stress would become a concern.
+    pub vertical_threshold_c: f64,
+    /// Sliding-window length for cycle detection, in ticks (100 ticks =
+    /// 10 s at the default sampling interval — long enough to span DPM
+    /// sleep/wake episodes and the die-level time constants where
+    /// policy-controllable cycling lives, short enough not to be
+    /// dominated by benchmark-segment macro swings no scheduler can
+    /// remove).
+    pub cycle_window: usize,
+    /// Cap on post-trace drain time, seconds: the run ends when the trace
+    /// is exhausted and the queues are empty, or after this much extra
+    /// simulated time.
+    pub drain_max_s: f64,
+}
+
+impl SimConfig {
+    /// The paper's configuration for `experiment`: 100 ms sampling,
+    /// Table II thermal parameters with an 8×8 grid, Section IV-B power
+    /// parameters, 85/15/20 °C thresholds.
+    #[must_use]
+    pub fn paper_default(experiment: Experiment) -> Self {
+        Self {
+            experiment,
+            stack_order: StackOrder::default(),
+            tick_s: 0.1,
+            thermal: ThermalConfig::paper_default(),
+            power: PowerParams::paper_default(),
+            vf: VfTable::paper_default(),
+            sensor: SensorModel::ideal(),
+            hotspot_threshold_c: 85.0,
+            gradient_threshold_c: 15.0,
+            cycle_threshold_c: 20.0,
+            vertical_threshold_c: 10.0,
+            cycle_window: 100,
+            drain_max_s: 30.0,
+        }
+    }
+
+    /// A reduced-resolution configuration (4×4 thermal grid) for fast
+    /// tests; thresholds and physics are unchanged.
+    #[must_use]
+    pub fn fast(experiment: Experiment) -> Self {
+        let mut cfg = Self::paper_default(experiment);
+        cfg.thermal = cfg.thermal.with_grid(4, 4);
+        cfg
+    }
+
+    /// Validates cross-field consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent parameters (non-positive tick, zero cycle
+    /// window, gradient/cycle thresholds that are not positive).
+    pub fn validate(&self) {
+        assert!(self.tick_s > 0.0 && self.tick_s.is_finite(), "tick must be positive");
+        assert!(self.cycle_window > 0, "cycle window must be non-empty");
+        assert!(self.hotspot_threshold_c > 0.0, "hot-spot threshold must be positive");
+        assert!(self.gradient_threshold_c > 0.0, "gradient threshold must be positive");
+        assert!(self.cycle_threshold_c > 0.0, "cycle threshold must be positive");
+        assert!(self.vertical_threshold_c > 0.0, "vertical threshold must be positive");
+        assert!(self.drain_max_s >= 0.0, "drain cap must be non-negative");
+        self.thermal.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        for exp in Experiment::ALL {
+            SimConfig::paper_default(exp).validate();
+            SimConfig::fast(exp).validate();
+        }
+    }
+
+    #[test]
+    fn fast_uses_smaller_grid() {
+        let cfg = SimConfig::fast(Experiment::Exp1);
+        assert_eq!((cfg.thermal.grid_rows, cfg.thermal.grid_cols), (4, 4));
+        assert_eq!(cfg.hotspot_threshold_c, 85.0, "thresholds unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be positive")]
+    fn bad_tick_rejected() {
+        let mut cfg = SimConfig::paper_default(Experiment::Exp1);
+        cfg.tick_s = 0.0;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,141 @@
+//! Aggregated results of one simulation run.
+
+use std::fmt;
+
+use therm3d_floorplan::Experiment;
+use therm3d_metrics::PerformanceStats;
+
+/// Everything a figure needs from one (experiment, policy, workload) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Policy name (figure label).
+    pub policy: String,
+    /// The simulated 3D system.
+    pub experiment: Experiment,
+    /// Simulated wall time, seconds.
+    pub duration_s: f64,
+    /// % of core-time above the hot-spot threshold (Figures 3–4).
+    pub hotspot_pct: f64,
+    /// % of intervals with a per-layer gradient above threshold (Fig. 5).
+    pub gradient_pct: f64,
+    /// % of sliding-window ΔT samples above threshold (Figure 6).
+    pub cycle_pct: f64,
+    /// Worst vertical (inter-layer) gradient seen, °C (Section V-C's
+    /// TSV-stress check; the paper reports "a few degrees only").
+    pub vertical_peak_c: f64,
+    /// Mean vertical gradient, °C.
+    pub vertical_mean_c: f64,
+    /// Hottest core temperature seen, °C.
+    pub peak_temp_c: f64,
+    /// Job completion statistics.
+    pub perf: PerformanceStats,
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// Mean chip power, W.
+    pub mean_power_w: f64,
+    /// Total job migrations performed.
+    pub migrations: u64,
+    /// Jobs left unfinished when the run ended (should be 0 unless the
+    /// drain cap was hit).
+    pub unfinished: usize,
+}
+
+impl RunResult {
+    /// Throughput-normalized performance against a baseline run
+    /// (1.0 = same speed; Figure 3's right axis).
+    #[must_use]
+    pub fn normalized_performance_vs(&self, baseline: &RunResult) -> f64 {
+        self.perf.normalized_vs(&baseline.perf)
+    }
+
+    /// A fixed-width table row (used by the figure binaries).
+    #[must_use]
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<18} {:>8.2} {:>8.2} {:>8.2} {:>8.1} {:>9.3} {:>10.0} {:>7}",
+            self.policy,
+            self.hotspot_pct,
+            self.gradient_pct,
+            self.cycle_pct,
+            self.peak_temp_c,
+            self.perf.mean_turnaround_s,
+            self.energy_j,
+            self.migrations,
+        )
+    }
+
+    /// The header matching [`table_row`](Self::table_row).
+    #[must_use]
+    pub fn table_header() -> String {
+        format!(
+            "{:<18} {:>8} {:>8} {:>8} {:>8} {:>9} {:>10} {:>7}",
+            "policy", "hot%", "grad%", "cycle%", "peakC", "turn_s", "energy_J", "migr"
+        )
+    }
+}
+
+impl fmt::Display for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: hot {:.2}%, grad {:.2}%, cycles {:.2}%, peak {:.1} °C, \
+             {} jobs done (mean {:.3} s), {:.0} J",
+            self.policy,
+            self.experiment,
+            self.hotspot_pct,
+            self.gradient_pct,
+            self.cycle_pct,
+            self.peak_temp_c,
+            self.perf.completed,
+            self.perf.mean_turnaround_s,
+            self.energy_j
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(policy: &str, mean_turn: f64) -> RunResult {
+        RunResult {
+            policy: policy.to_owned(),
+            experiment: Experiment::Exp1,
+            duration_s: 60.0,
+            hotspot_pct: 10.0,
+            gradient_pct: 5.0,
+            cycle_pct: 2.0,
+            vertical_peak_c: 4.0,
+            vertical_mean_c: 2.0,
+            peak_temp_c: 92.0,
+            perf: PerformanceStats::from_turnarounds(&[mean_turn]),
+            energy_j: 3600.0,
+            mean_power_w: 60.0,
+            migrations: 4,
+            unfinished: 0,
+        }
+    }
+
+    #[test]
+    fn normalized_performance() {
+        let base = result("Default", 1.0);
+        let slow = result("CGate", 1.25);
+        assert!((slow.normalized_performance_vs(&base) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_row_alignment() {
+        let r = result("Adapt3D", 0.5);
+        assert_eq!(
+            RunResult::table_header().split_whitespace().count(),
+            r.table_row().split_whitespace().count()
+        );
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let r = result("Migr", 0.5);
+        let s = r.to_string();
+        assert!(s.contains("Migr") && s.contains("EXP-1"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Thermal-sensor model: the paper assumes each core has a temperature
+//! sensor read every 100 ms (Section IV-D). Real on-die sensors are
+//! noisy, offset and quantized; this module models those imperfections
+//! so the policies' robustness can be studied (the `sensor_noise_study`
+//! ablation). Metrics always use the true temperatures — only the
+//! policies see sensor readings.
+
+/// Per-core temperature sensor imperfections applied to policy inputs.
+///
+/// Readings are deterministic for a given seed: the same run reproduces
+/// bit-identically.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d::SensorModel;
+///
+/// let mut ideal = SensorModel::ideal();
+/// assert_eq!(ideal.read(&[70.0, 80.0]), vec![70.0, 80.0]);
+///
+/// let mut coarse = SensorModel::ideal().with_quantization(1.0);
+/// assert_eq!(coarse.read(&[70.4, 79.6]), vec![70.0, 80.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorModel {
+    /// Gaussian noise standard deviation, °C (0 = noiseless).
+    pub noise_sigma_c: f64,
+    /// Quantization step, °C (0 = continuous). Typical 2009-era thermal
+    /// diodes quantize at 0.5–1 °C.
+    pub quantization_c: f64,
+    /// Constant calibration offset, °C.
+    pub offset_c: f64,
+    /// Noise generator state.
+    state: u64,
+}
+
+impl SensorModel {
+    /// A perfect sensor (the paper's implicit assumption).
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self { noise_sigma_c: 0.0, quantization_c: 0.0, offset_c: 0.0, state: 0x9E3779B9 }
+    }
+
+    /// Adds Gaussian noise with the given standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_c` is negative.
+    #[must_use]
+    pub fn with_noise(mut self, sigma_c: f64, seed: u64) -> Self {
+        assert!(sigma_c >= 0.0, "noise sigma must be non-negative");
+        self.noise_sigma_c = sigma_c;
+        self.state = seed | 1;
+        self
+    }
+
+    /// Quantizes readings to multiples of `step_c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_c` is negative.
+    #[must_use]
+    pub fn with_quantization(mut self, step_c: f64) -> Self {
+        assert!(step_c >= 0.0, "quantization step must be non-negative");
+        self.quantization_c = step_c;
+        self
+    }
+
+    /// Adds a constant calibration offset.
+    #[must_use]
+    pub fn with_offset(mut self, offset_c: f64) -> Self {
+        self.offset_c = offset_c;
+        self
+    }
+
+    /// `true` when the sensor is a pure pass-through.
+    #[must_use]
+    pub fn is_ideal(&self) -> bool {
+        self.noise_sigma_c == 0.0 && self.quantization_c == 0.0 && self.offset_c == 0.0
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*: small, fast, deterministic.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// One approximately-Gaussian sample (Irwin–Hall sum of 12 uniforms).
+    fn next_gaussian(&mut self) -> f64 {
+        let mut acc = 0.0;
+        for _ in 0..12 {
+            acc += self.next_unit();
+        }
+        acc - 6.0
+    }
+
+    /// Converts true temperatures into sensor readings, consuming noise
+    /// state.
+    #[must_use]
+    pub fn read(&mut self, true_temps_c: &[f64]) -> Vec<f64> {
+        true_temps_c
+            .iter()
+            .map(|&t| {
+                let mut r = t + self.offset_c;
+                if self.noise_sigma_c > 0.0 {
+                    r += self.noise_sigma_c * self.next_gaussian();
+                }
+                if self.quantization_c > 0.0 {
+                    r = (r / self.quantization_c).round() * self.quantization_c;
+                }
+                r
+            })
+            .collect()
+    }
+}
+
+impl Default for SensorModel {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_passthrough() {
+        let mut s = SensorModel::ideal();
+        assert!(s.is_ideal());
+        let temps = [55.5, 91.25, 45.0];
+        assert_eq!(s.read(&temps), temps.to_vec());
+    }
+
+    #[test]
+    fn quantization_rounds_to_steps() {
+        let mut s = SensorModel::ideal().with_quantization(0.5);
+        assert_eq!(s.read(&[70.3, 70.6]), vec![70.5, 70.5]);
+        assert!(!s.is_ideal());
+    }
+
+    #[test]
+    fn offset_shifts_all_readings() {
+        let mut s = SensorModel::ideal().with_offset(-2.0);
+        assert_eq!(s.read(&[80.0]), vec![78.0]);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = SensorModel::ideal().with_noise(1.0, seed);
+            s.read(&[70.0; 32])
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn noise_statistics_are_plausible() {
+        let mut s = SensorModel::ideal().with_noise(2.0, 42);
+        let n = 20_000;
+        let readings = s.read(&vec![70.0; n]);
+        let mean: f64 = readings.iter().sum::<f64>() / n as f64;
+        let var: f64 =
+            readings.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 70.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "noise sigma")]
+    fn negative_sigma_rejected() {
+        let _ = SensorModel::ideal().with_noise(-1.0, 1);
+    }
+}

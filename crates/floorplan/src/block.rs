@@ -1,0 +1,141 @@
+//! Floorplan blocks: named functional units with a footprint.
+
+use std::fmt;
+
+use crate::geom::Rect;
+
+/// The functional role of a floorplan block.
+///
+/// The role determines how the power model drives the block (cores consume
+/// state-dependent dynamic power, caches a constant access-scaled power,
+/// the crossbar traffic-scaled power) and which blocks the scheduler can
+/// target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnitKind {
+    /// A SPARC processing core — schedulable, DVFS-capable.
+    Core,
+    /// An L2 data cache bank (`scdata` in the UltraSPARC T1 floorplan).
+    L2Cache,
+    /// The cores↔caches crossbar interconnect.
+    Crossbar,
+    /// Everything else: I/O pads, FPU, DRAM controllers, unused silicon.
+    Other,
+}
+
+impl UnitKind {
+    /// Returns `true` for blocks the scheduler can assign threads to.
+    #[must_use]
+    pub fn is_schedulable(self) -> bool {
+        matches!(self, UnitKind::Core)
+    }
+}
+
+impl fmt::Display for UnitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnitKind::Core => "core",
+            UnitKind::L2Cache => "l2",
+            UnitKind::Crossbar => "crossbar",
+            UnitKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named functional unit occupying a rectangle of a die layer.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_floorplan::{Block, UnitKind, geom::Rect};
+///
+/// let b = Block::new("core0", UnitKind::Core, Rect::new(0.0, 0.0, 2.5, 4.0));
+/// assert_eq!(b.name(), "core0");
+/// assert!((b.area() - 10.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    name: String,
+    kind: UnitKind,
+    rect: Rect,
+}
+
+impl Block {
+    /// Creates a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty; block names key power traces and results
+    /// tables, so they must be non-empty and should be unique per layer
+    /// (uniqueness is enforced by [`crate::Floorplan`]).
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: UnitKind, rect: Rect) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "block name must not be empty");
+        Self { name, kind, rect }
+    }
+
+    /// The block's name, unique within its floorplan.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The functional role of the block.
+    #[must_use]
+    pub fn kind(&self) -> UnitKind {
+        self.kind
+    }
+
+    /// The block footprint.
+    #[must_use]
+    pub fn rect(&self) -> &Rect {
+        &self.rect
+    }
+
+    /// Footprint area in mm².
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.rect.area()
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}) {}", self.name, self.kind, self.rect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_accessors() {
+        let b = Block::new("xbar", UnitKind::Crossbar, Rect::new(0.0, 0.0, 5.0, 2.0));
+        assert_eq!(b.name(), "xbar");
+        assert_eq!(b.kind(), UnitKind::Crossbar);
+        assert!((b.area() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "name must not be empty")]
+    fn empty_name_rejected() {
+        let _ = Block::new("", UnitKind::Core, Rect::new(0.0, 0.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn only_cores_schedulable() {
+        assert!(UnitKind::Core.is_schedulable());
+        assert!(!UnitKind::L2Cache.is_schedulable());
+        assert!(!UnitKind::Crossbar.is_schedulable());
+        assert!(!UnitKind::Other.is_schedulable());
+    }
+
+    #[test]
+    fn display_formats() {
+        let b = Block::new("core0", UnitKind::Core, Rect::new(0.0, 0.0, 1.0, 1.0));
+        let s = format!("{b}");
+        assert!(s.contains("core0") && s.contains("core"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Planar geometry primitives used by floorplans.
+//!
+//! All lengths are in **millimetres** and all areas in **mm²**; the thermal
+//! crate converts to SI units when building the RC network. Millimetres are
+//! used here because every dimension in the paper (Table II) is quoted in
+//! millimetres, which keeps the floorplan definitions literally comparable
+//! with the publication.
+
+use std::fmt;
+
+/// An axis-aligned rectangle, the footprint of a floorplan block.
+///
+/// The rectangle is anchored at its lower-left corner `(x, y)` and extends
+/// `width` to the right and `height` upwards.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_floorplan::geom::Rect;
+///
+/// let core = Rect::new(0.0, 0.0, 2.875, 3.478_260_869_565_217_3);
+/// assert!((core.area() - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// X coordinate of the lower-left corner, in mm.
+    pub x: f64,
+    /// Y coordinate of the lower-left corner, in mm.
+    pub y: f64,
+    /// Horizontal extent, in mm. Always positive for a valid rectangle.
+    pub width: f64,
+    /// Vertical extent, in mm. Always positive for a valid rectangle.
+    pub height: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left corner and extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is not strictly positive or not finite,
+    /// or if `x`/`y` are not finite. Floorplan geometry is static input data,
+    /// so malformed values are programming errors rather than recoverable
+    /// conditions.
+    #[must_use]
+    pub fn new(x: f64, y: f64, width: f64, height: f64) -> Self {
+        assert!(x.is_finite() && y.is_finite(), "rect origin must be finite");
+        assert!(
+            width.is_finite() && width > 0.0,
+            "rect width must be positive and finite, got {width}"
+        );
+        assert!(
+            height.is_finite() && height > 0.0,
+            "rect height must be positive and finite, got {height}"
+        );
+        Self { x, y, width, height }
+    }
+
+    /// The area of the rectangle in mm².
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// X coordinate of the right edge.
+    #[must_use]
+    pub fn right(&self) -> f64 {
+        self.x + self.width
+    }
+
+    /// Y coordinate of the top edge.
+    #[must_use]
+    pub fn top(&self) -> f64 {
+        self.y + self.height
+    }
+
+    /// Coordinates of the geometric centre `(cx, cy)`.
+    #[must_use]
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.width / 2.0, self.y + self.height / 2.0)
+    }
+
+    /// Returns `true` if `self` and `other` overlap with positive area.
+    ///
+    /// Rectangles that merely share an edge or a corner do **not** overlap.
+    /// A small tolerance absorbs floating-point noise from floorplan
+    /// construction arithmetic.
+    #[must_use]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-9;
+        self.x + EPS < other.right()
+            && other.x + EPS < self.right()
+            && self.y + EPS < other.top()
+            && other.y + EPS < self.top()
+    }
+
+    /// Area of the intersection of `self` and `other`, in mm² (zero if
+    /// disjoint).
+    #[must_use]
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        let w = self.right().min(other.right()) - self.x.max(other.x);
+        let h = self.top().min(other.top()) - self.y.max(other.y);
+        if w > 0.0 && h > 0.0 {
+            w * h
+        } else {
+            0.0
+        }
+    }
+
+    /// Returns `true` if `self` lies entirely within `outer` (edges may
+    /// touch).
+    #[must_use]
+    pub fn contained_in(&self, outer: &Rect) -> bool {
+        const EPS: f64 = 1e-9;
+        self.x >= outer.x - EPS
+            && self.y >= outer.y - EPS
+            && self.right() <= outer.right() + EPS
+            && self.top() <= outer.top() + EPS
+    }
+
+    /// Returns `true` if the point `(px, py)` lies inside the rectangle.
+    ///
+    /// Points on the lower/left edges are inside, points on the upper/right
+    /// edges are outside; this half-open convention lets a set of tiling
+    /// rectangles partition the plane without double counting.
+    #[must_use]
+    pub fn contains_point(&self, px: f64, py: f64) -> bool {
+        px >= self.x && px < self.right() && py >= self.y && py < self.top()
+    }
+
+    /// Length of the shared boundary between two non-overlapping rectangles,
+    /// in mm. Zero if they are not edge-adjacent.
+    ///
+    /// This is the contact length used for lateral thermal conductance
+    /// between neighbouring blocks.
+    #[must_use]
+    pub fn shared_edge_length(&self, other: &Rect) -> f64 {
+        const EPS: f64 = 1e-9;
+        // Vertical contact: right edge of one touches left edge of the other.
+        if (self.right() - other.x).abs() < EPS || (other.right() - self.x).abs() < EPS {
+            let lo = self.y.max(other.y);
+            let hi = self.top().min(other.top());
+            return (hi - lo).max(0.0);
+        }
+        // Horizontal contact: top edge of one touches bottom edge of the other.
+        if (self.top() - other.y).abs() < EPS || (other.top() - self.y).abs() < EPS {
+            let lo = self.x.max(other.x);
+            let hi = self.right().min(other.right());
+            return (hi - lo).max(0.0);
+        }
+        0.0
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.3},{:.3} {:.3}x{:.3} mm]",
+            self.x, self.y, self.width, self.height
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_edges() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert!((r.area() - 12.0).abs() < 1e-12);
+        assert!((r.right() - 4.0).abs() < 1e-12);
+        assert!((r.top() - 6.0).abs() < 1e-12);
+        assert_eq!(r.center(), (2.5, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let _ = Rect::new(0.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "height must be positive")]
+    fn negative_height_rejected() {
+        let _ = Rect::new(0.0, 0.0, 1.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "origin must be finite")]
+    fn nan_origin_rejected() {
+        let _ = Rect::new(f64::NAN, 0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let c = Rect::new(2.0, 0.0, 2.0, 2.0); // shares an edge with a
+        let d = Rect::new(5.0, 5.0, 1.0, 1.0);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "edge contact is not overlap");
+        assert!(!a.overlaps(&d));
+    }
+
+    #[test]
+    fn intersection_area_values() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert!((a.intersection_area(&b) - 1.0).abs() < 1e-12);
+        let c = Rect::new(3.0, 3.0, 1.0, 1.0);
+        assert_eq!(a.intersection_area(&c), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(inner.contained_in(&outer));
+        let out = Rect::new(5.0, 5.0, 6.0, 1.0);
+        assert!(!out.contained_in(&outer));
+    }
+
+    #[test]
+    fn half_open_point_membership() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert!(r.contains_point(0.0, 0.0));
+        assert!(!r.contains_point(1.0, 0.5));
+        assert!(!r.contains_point(0.5, 1.0));
+        assert!(r.contains_point(0.999_999, 0.999_999));
+    }
+
+    #[test]
+    fn shared_edges() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(2.0, 1.0, 2.0, 2.0); // vertical contact y in [1,2]
+        assert!((a.shared_edge_length(&b) - 1.0).abs() < 1e-12);
+        let c = Rect::new(0.5, 2.0, 1.0, 1.0); // horizontal contact x in [0.5,1.5]
+        assert!((a.shared_edge_length(&c) - 1.0).abs() < 1e-12);
+        let d = Rect::new(10.0, 10.0, 1.0, 1.0);
+        assert_eq!(a.shared_edge_length(&d), 0.0);
+    }
+}

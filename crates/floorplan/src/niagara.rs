@@ -1,0 +1,227 @@
+//! UltraSPARC T1 (Niagara-1) derived layer floorplans.
+//!
+//! The paper's 3D systems are built from three layer templates, all with the
+//! Table II areas: 10 mm² per SPARC core, 19 mm² per L2 data bank
+//! (`scdata`), 115 mm² per layer:
+//!
+//! - **core layer** — 8 cores in two rows of four, with the crossbar and
+//!   miscellaneous logic in the middle band (used by EXP-1/EXP-3),
+//! - **cache layer** — 4 `scdata` banks plus miscellaneous logic (EXP-1/3),
+//! - **mixed layer** — 4 cores, their 2 shared L2 banks and miscellaneous
+//!   logic (EXP-2/EXP-4).
+//!
+//! Block naming: cores are `core{N}`, caches `scdata{N}` with `N` local to
+//! the layer; the 3D stack prefixes layer indices to keep names unique.
+
+use crate::block::{Block, UnitKind};
+use crate::floorplan::Floorplan;
+use crate::geom::Rect;
+
+/// Die outline width in mm. `LAYER_WIDTH_MM * LAYER_HEIGHT_MM` = 115 mm²,
+/// the Table II per-layer area.
+pub const LAYER_WIDTH_MM: f64 = 11.5;
+/// Die outline height in mm.
+pub const LAYER_HEIGHT_MM: f64 = 10.0;
+/// Area of one SPARC core in mm² (Table II).
+pub const CORE_AREA_MM2: f64 = 10.0;
+/// Area of one L2 data bank in mm² (Table II).
+pub const L2_AREA_MM2: f64 = 19.0;
+/// Number of cores on a full core layer (UltraSPARC T1 has 8).
+pub const CORES_PER_CORE_LAYER: usize = 8;
+/// Number of L2 banks on a cache layer (one per two cores).
+pub const L2_PER_CACHE_LAYER: usize = 4;
+
+const CORE_W: f64 = LAYER_WIDTH_MM / 4.0; // 2.875 mm
+const CORE_H: f64 = CORE_AREA_MM2 / CORE_W; // 3.47826… mm, area exactly 10
+
+/// The die outline shared by all layer templates.
+#[must_use]
+pub fn layer_outline() -> Rect {
+    Rect::new(0.0, 0.0, LAYER_WIDTH_MM, LAYER_HEIGHT_MM)
+}
+
+/// Builds the 8-core logic layer of the UltraSPARC T1.
+///
+/// Layout: cores `core0..core3` along the bottom edge, `core4..core7` along
+/// the top edge, and a middle band holding the crossbar (centre) flanked by
+/// two `other` blocks. The layout mirrors the published T1 die photo at the
+/// granularity the thermal grid needs: two core rows separated by the
+/// crossbar, total area 115 mm².
+///
+/// # Examples
+///
+/// ```
+/// let fp = therm3d_floorplan::niagara::core_layer();
+/// assert_eq!(fp.cores().count(), 8);
+/// assert!((fp.coverage() - 1.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn core_layer() -> Floorplan {
+    let mut blocks = Vec::with_capacity(11);
+    for i in 0..4 {
+        blocks.push(Block::new(
+            format!("core{i}"),
+            UnitKind::Core,
+            Rect::new(i as f64 * CORE_W, 0.0, CORE_W, CORE_H),
+        ));
+    }
+    let band_y = CORE_H;
+    let band_h = LAYER_HEIGHT_MM - 2.0 * CORE_H;
+    blocks.push(Block::new(
+        "other_l",
+        UnitKind::Other,
+        Rect::new(0.0, band_y, CORE_W, band_h),
+    ));
+    blocks.push(Block::new(
+        "xbar",
+        UnitKind::Crossbar,
+        Rect::new(CORE_W, band_y, 2.0 * CORE_W, band_h),
+    ));
+    blocks.push(Block::new(
+        "other_r",
+        UnitKind::Other,
+        Rect::new(3.0 * CORE_W, band_y, CORE_W, band_h),
+    ));
+    for i in 0..4 {
+        blocks.push(Block::new(
+            format!("core{}", i + 4),
+            UnitKind::Core,
+            Rect::new(i as f64 * CORE_W, LAYER_HEIGHT_MM - CORE_H, CORE_W, CORE_H),
+        ));
+    }
+    Floorplan::new(layer_outline(), blocks).expect("core layer template is valid by construction")
+}
+
+/// Builds the memory-only layer: four 19 mm² `scdata` L2 banks across the
+/// top and an `other` strip (tag arrays, buffers, I/O) along the bottom.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_floorplan::UnitKind;
+/// let fp = therm3d_floorplan::niagara::cache_layer();
+/// let l2 = fp.blocks().iter().filter(|b| b.kind() == UnitKind::L2Cache).count();
+/// assert_eq!(l2, 4);
+/// ```
+#[must_use]
+pub fn cache_layer() -> Floorplan {
+    let l2_w = LAYER_WIDTH_MM / 4.0;
+    let l2_h = L2_AREA_MM2 / l2_w; // 6.6087 mm, area exactly 19
+    let mut blocks = Vec::with_capacity(5);
+    for i in 0..L2_PER_CACHE_LAYER {
+        blocks.push(Block::new(
+            format!("scdata{i}"),
+            UnitKind::L2Cache,
+            Rect::new(i as f64 * l2_w, LAYER_HEIGHT_MM - l2_h, l2_w, l2_h),
+        ));
+    }
+    blocks.push(Block::new(
+        "other",
+        UnitKind::Other,
+        Rect::new(0.0, 0.0, LAYER_WIDTH_MM, LAYER_HEIGHT_MM - l2_h),
+    ));
+    Floorplan::new(layer_outline(), blocks).expect("cache layer template is valid by construction")
+}
+
+/// Builds the mixed layer used by EXP-2/EXP-4: four cores along the top,
+/// their two shared L2 banks in the middle, and an `other` strip at the
+/// bottom.
+///
+/// # Examples
+///
+/// ```
+/// let fp = therm3d_floorplan::niagara::mixed_layer();
+/// assert_eq!(fp.cores().count(), 4);
+/// assert!((fp.coverage() - 1.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn mixed_layer() -> Floorplan {
+    let l2_h = 2.0 * L2_AREA_MM2 / LAYER_WIDTH_MM; // 3.3043 mm, 19 mm² each half
+    let other_h = LAYER_HEIGHT_MM - CORE_H - l2_h;
+    let mut blocks = Vec::with_capacity(7);
+    for i in 0..4 {
+        blocks.push(Block::new(
+            format!("core{i}"),
+            UnitKind::Core,
+            Rect::new(i as f64 * CORE_W, LAYER_HEIGHT_MM - CORE_H, CORE_W, CORE_H),
+        ));
+    }
+    for i in 0..2 {
+        blocks.push(Block::new(
+            format!("scdata{i}"),
+            UnitKind::L2Cache,
+            Rect::new(
+                i as f64 * (LAYER_WIDTH_MM / 2.0),
+                other_h,
+                LAYER_WIDTH_MM / 2.0,
+                l2_h,
+            ),
+        ));
+    }
+    blocks.push(Block::new(
+        "other",
+        UnitKind::Other,
+        Rect::new(0.0, 0.0, LAYER_WIDTH_MM, other_h),
+    ));
+    Floorplan::new(layer_outline(), blocks).expect("mixed layer template is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_layer_areas_match_table_ii() {
+        let fp = core_layer();
+        for (_, core) in fp.cores() {
+            assert!(
+                (core.area() - CORE_AREA_MM2).abs() < 1e-9,
+                "core area {} != 10 mm²",
+                core.area()
+            );
+        }
+        assert!((fp.outline().area() - 115.0).abs() < 1e-9);
+        assert!((fp.covered_area() - 115.0).abs() < 1e-9, "core layer tiles the die");
+    }
+
+    #[test]
+    fn cache_layer_areas_match_table_ii() {
+        let fp = cache_layer();
+        let l2s: Vec<_> =
+            fp.blocks().iter().filter(|b| b.kind() == UnitKind::L2Cache).collect();
+        assert_eq!(l2s.len(), 4);
+        for b in l2s {
+            assert!((b.area() - L2_AREA_MM2).abs() < 1e-9);
+        }
+        assert!((fp.covered_area() - 115.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_layer_composition() {
+        let fp = mixed_layer();
+        assert_eq!(fp.cores().count(), 4);
+        let l2_area: f64 = fp
+            .blocks()
+            .iter()
+            .filter(|b| b.kind() == UnitKind::L2Cache)
+            .map(Block::area)
+            .sum();
+        assert!((l2_area - 2.0 * L2_AREA_MM2).abs() < 1e-9);
+        assert!((fp.covered_area() - 115.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_names_are_sequential() {
+        let fp = core_layer();
+        for i in 0..8 {
+            assert!(fp.block(&format!("core{i}")).is_some(), "missing core{i}");
+        }
+    }
+
+    #[test]
+    fn crossbar_present_only_on_core_layer() {
+        assert!(core_layer().blocks().iter().any(|b| b.kind() == UnitKind::Crossbar));
+        assert!(!cache_layer().blocks().iter().any(|b| b.kind() == UnitKind::Crossbar));
+        assert!(!mixed_layer().blocks().iter().any(|b| b.kind() == UnitKind::Crossbar));
+    }
+}

@@ -1,0 +1,151 @@
+//! Thermal hot-spot frequency: the percentage of time cores spend above
+//! the critical threshold (85 °C in the paper; Figures 3 and 4).
+
+/// Streaming tracker for hot-spot occurrence.
+///
+/// Each sample is one thermal-sensor reading interval; the metric is the
+/// fraction of core-time (core-samples) spent above the threshold,
+/// exactly the "% time above 85 °C" quantity of Figures 3–4.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_metrics::HotSpotTracker;
+///
+/// let mut hs = HotSpotTracker::new(85.0);
+/// hs.record(&[80.0, 90.0]); // one of two cores hot
+/// hs.record(&[80.0, 80.0]); // none hot
+/// assert!((hs.fraction() - 0.25).abs() < 1e-12);
+/// assert!((hs.percent() - 25.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotSpotTracker {
+    threshold_c: f64,
+    hot_core_samples: u64,
+    total_core_samples: u64,
+    any_hot_samples: u64,
+    total_samples: u64,
+    peak_c: f64,
+}
+
+impl HotSpotTracker {
+    /// Creates a tracker with the given threshold in °C.
+    #[must_use]
+    pub fn new(threshold_c: f64) -> Self {
+        Self {
+            threshold_c,
+            hot_core_samples: 0,
+            total_core_samples: 0,
+            any_hot_samples: 0,
+            total_samples: 0,
+            peak_c: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The threshold in °C.
+    #[must_use]
+    pub fn threshold_c(&self) -> f64 {
+        self.threshold_c
+    }
+
+    /// Records one interval's per-core temperatures.
+    pub fn record(&mut self, core_temps_c: &[f64]) {
+        let mut any = false;
+        for &t in core_temps_c {
+            self.total_core_samples += 1;
+            if t > self.threshold_c {
+                self.hot_core_samples += 1;
+                any = true;
+            }
+            if t > self.peak_c {
+                self.peak_c = t;
+            }
+        }
+        self.total_samples += 1;
+        if any {
+            self.any_hot_samples += 1;
+        }
+    }
+
+    /// Fraction of core-samples above the threshold, `[0, 1]` (0 before
+    /// any sample).
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.total_core_samples == 0 {
+            0.0
+        } else {
+            self.hot_core_samples as f64 / self.total_core_samples as f64
+        }
+    }
+
+    /// [`fraction`](Self::fraction) as a percentage — the figures' y-axis.
+    #[must_use]
+    pub fn percent(&self) -> f64 {
+        self.fraction() * 100.0
+    }
+
+    /// Fraction of intervals in which *any* core was above the threshold.
+    #[must_use]
+    pub fn any_hot_fraction(&self) -> f64 {
+        if self.total_samples == 0 {
+            0.0
+        } else {
+            self.any_hot_samples as f64 / self.total_samples as f64
+        }
+    }
+
+    /// Hottest temperature observed, °C (NaN before any sample).
+    #[must_use]
+    pub fn peak_c(&self) -> f64 {
+        if self.total_samples == 0 {
+            f64::NAN
+        } else {
+            self.peak_c
+        }
+    }
+
+    /// Number of intervals recorded.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.total_samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_reports_zero() {
+        let hs = HotSpotTracker::new(85.0);
+        assert_eq!(hs.fraction(), 0.0);
+        assert_eq!(hs.any_hot_fraction(), 0.0);
+        assert!(hs.peak_c().is_nan());
+    }
+
+    #[test]
+    fn counts_core_time_not_chip_time() {
+        let mut hs = HotSpotTracker::new(85.0);
+        hs.record(&[90.0, 90.0, 80.0, 80.0]);
+        assert!((hs.fraction() - 0.5).abs() < 1e-12);
+        assert!((hs.any_hot_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_is_exclusive() {
+        let mut hs = HotSpotTracker::new(85.0);
+        hs.record(&[85.0]);
+        assert_eq!(hs.fraction(), 0.0, "exactly at threshold is not a hot spot");
+        hs.record(&[85.000001]);
+        assert!(hs.fraction() > 0.0);
+    }
+
+    #[test]
+    fn tracks_peak() {
+        let mut hs = HotSpotTracker::new(85.0);
+        hs.record(&[70.0, 93.5]);
+        hs.record(&[80.0, 60.0]);
+        assert!((hs.peak_c() - 93.5).abs() < 1e-12);
+        assert_eq!(hs.samples(), 2);
+    }
+}

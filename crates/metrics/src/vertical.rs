@@ -1,0 +1,153 @@
+//! Vertical (inter-layer) temperature gradients.
+//!
+//! Section V-C of the paper: "we investigated vertical gradients as
+//! well, considering that the temperature difference of blocks on top of
+//! each other may affect the performance and reliability of the TSVs.
+//! However, we observed that the vertical gradients between adjacent
+//! layers are limited to a few degrees only, due to the fact that the
+//! interlayer material is thin and has sufficient conductivity." This
+//! module provides the measurement that backs the claim.
+
+/// Largest absolute temperature difference across any vertically
+/// adjacent block pair.
+///
+/// `pairs` lists index pairs into `temps_c` for blocks that overlap in
+/// plan view on adjacent layers (see
+/// `therm3d_floorplan::Stack3d::vertical_adjacency`).
+///
+/// Returns 0 when `pairs` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_metrics::max_vertical_gradient;
+///
+/// let temps = [80.0, 76.5, 90.0];
+/// let pairs = [(0usize, 1usize), (1, 2)];
+/// assert!((max_vertical_gradient(&temps, &pairs) - 13.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn max_vertical_gradient(temps_c: &[f64], pairs: &[(usize, usize)]) -> f64 {
+    pairs
+        .iter()
+        .map(|&(a, b)| (temps_c[a] - temps_c[b]).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Streaming statistics of the vertical gradient across a run: peak,
+/// mean, and the fraction of intervals above a TSV-stress threshold.
+#[derive(Debug, Clone)]
+pub struct VerticalGradientTracker {
+    threshold_c: f64,
+    samples: u64,
+    exceed: u64,
+    sum: f64,
+    peak: f64,
+}
+
+impl VerticalGradientTracker {
+    /// A tracker counting intervals whose worst vertical gradient
+    /// exceeds `threshold_c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_c` is not positive.
+    #[must_use]
+    pub fn new(threshold_c: f64) -> Self {
+        assert!(threshold_c > 0.0, "threshold must be positive");
+        Self { threshold_c, samples: 0, exceed: 0, sum: 0.0, peak: 0.0 }
+    }
+
+    /// The configured threshold, °C.
+    #[must_use]
+    pub fn threshold_c(&self) -> f64 {
+        self.threshold_c
+    }
+
+    /// Records one interval's worst vertical gradient.
+    pub fn record(&mut self, gradient_c: f64) {
+        self.samples += 1;
+        self.sum += gradient_c;
+        self.peak = self.peak.max(gradient_c);
+        if gradient_c > self.threshold_c {
+            self.exceed += 1;
+        }
+    }
+
+    /// Fraction of intervals above the threshold (0 when empty).
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.exceed as f64 / self.samples as f64
+        }
+    }
+
+    /// [`fraction`](Self::fraction) as a percentage.
+    #[must_use]
+    pub fn percent(&self) -> f64 {
+        100.0 * self.fraction()
+    }
+
+    /// Mean vertical gradient, °C (0 when empty).
+    #[must_use]
+    pub fn mean_c(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum / self.samples as f64
+        }
+    }
+
+    /// Largest vertical gradient seen, °C.
+    #[must_use]
+    pub fn peak_c(&self) -> f64 {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_pairs_give_zero() {
+        assert_eq!(max_vertical_gradient(&[50.0, 60.0], &[]), 0.0);
+    }
+
+    #[test]
+    fn gradient_is_symmetric_in_pair_order() {
+        let temps = [70.0, 90.0];
+        assert_eq!(
+            max_vertical_gradient(&temps, &[(0, 1)]),
+            max_vertical_gradient(&temps, &[(1, 0)])
+        );
+    }
+
+    #[test]
+    fn tracker_statistics() {
+        let mut t = VerticalGradientTracker::new(5.0);
+        t.record(2.0);
+        t.record(8.0);
+        t.record(4.0);
+        assert!((t.fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((t.mean_c() - 14.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.peak_c(), 8.0);
+        assert!((t.percent() - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_tracker_is_zero() {
+        let t = VerticalGradientTracker::new(5.0);
+        assert_eq!(t.fraction(), 0.0);
+        assert_eq!(t.mean_c(), 0.0);
+        assert_eq!(t.peak_c(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let _ = VerticalGradientTracker::new(0.0);
+    }
+}

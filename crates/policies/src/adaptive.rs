@@ -1,0 +1,579 @@
+//! The adaptive probabilistic allocators: `Adaptive-Random` (Coskun et
+//! al., DATE'07) and the paper's contribution `Adapt3D` (Section III-B).
+//!
+//! Both maintain a probability `P_t` per core for receiving new workload
+//! and update it every scheduling interval from the temperature history:
+//!
+//! ```text
+//! P_t    = P_{t−1} + W
+//! W_diff = T_pref − T_avg
+//! W      = β_inc · W_diff · (1/α_i)   if T_pref ≥ T_avg
+//!        = β_dec · W_diff · α_i       otherwise
+//! ```
+//!
+//! with `T_avg` the mean over a sliding history window (10 samples = 1 s at
+//! the paper's 100 ms sampling), `T_pref = 80 °C`, `β_inc = 0.01`,
+//! `β_dec = 0.1`. Probabilities are re-normalized to sum to 1 each step,
+//! and a core that exceeded the 85 °C threshold in the last interval has
+//! its probability forced to zero. Adapt3D distinguishes core locations via
+//! the thermal index `α_i ∈ (0, 1]` (higher = more hot-spot prone: layers
+//! far from the sink, central positions); Adaptive-Random is the special
+//! case `α_i = 1` with a single β.
+
+use std::collections::VecDeque;
+
+use therm3d_floorplan::CoreId;
+use therm3d_workload::Job;
+
+use crate::lfsr::Lfsr16;
+use crate::policy::{ControlDecision, Observation, Policy, QueueHint};
+
+/// Tunable constants of the adaptive allocators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// β when increasing probabilities (paper: 0.01).
+    pub beta_inc: f64,
+    /// β when decreasing probabilities (paper: 0.1).
+    pub beta_dec: f64,
+    /// Sliding history window length in samples (paper: 10).
+    pub history_window: usize,
+    /// Preferred operating temperature, °C (paper: 80).
+    pub t_pref_c: f64,
+    /// Thermal-emergency threshold, °C (paper: 85).
+    pub threshold_c: f64,
+    /// Scheduler-side guard on queue imbalance: a core whose queued work
+    /// exceeds the emptiest queue by more than this many seconds is
+    /// excluded from the probability draw. Bounds the queueing delay the
+    /// thermal preference can introduce (the knob behind the paper's
+    /// "negligible performance overhead" claim); `f64::INFINITY` disables
+    /// the guard for pure Eq. 1–3 sampling.
+    pub backlog_cutoff_s: f64,
+}
+
+impl AdaptiveConfig {
+    /// The paper's parameterization.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            beta_inc: 0.01,
+            beta_dec: 0.1,
+            history_window: 10,
+            t_pref_c: 80.0,
+            threshold_c: 85.0,
+            backlog_cutoff_s: 2.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.beta_inc > 0.0, "beta_inc must be positive");
+        assert!(self.beta_dec > 0.0, "beta_dec must be positive");
+        assert!(self.history_window > 0, "history window must be non-empty");
+        assert!(
+            self.t_pref_c < self.threshold_c,
+            "preferred temperature must sit below the emergency threshold"
+        );
+        assert!(self.backlog_cutoff_s > 0.0, "backlog cutoff must be positive");
+    }
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Temperature-history-driven probabilistic job allocation: both
+/// `AdaptRand` and `Adapt3D`, selected by constructor.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_policies::{AdaptivePolicy, Policy};
+///
+/// // Adapt3D for a 2-layer system: layer-1 cores carry larger indices.
+/// let alphas = vec![0.3, 0.3, 0.7, 0.7];
+/// let p = AdaptivePolicy::adapt3d(alphas, 0xC0DE);
+/// assert_eq!(p.name(), "Adapt3D");
+/// assert_eq!(p.probabilities().len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    name: &'static str,
+    cfg: AdaptiveConfig,
+    /// Thermal index per core, `(0, 1]`.
+    alphas: Vec<f64>,
+    /// Allocation probability per core (non-negative, sums to 1 unless all
+    /// cores are in emergency).
+    probs: Vec<f64>,
+    history: Vec<VecDeque<f64>>,
+    rng: Lfsr16,
+    /// Runtime α calibration state (None = static offline indices).
+    runtime_alpha: Option<RuntimeAlpha>,
+}
+
+/// Runtime thermal-index calibration (Section III-B: the indices "can be
+/// set/updated at runtime by looking at the temperature history. To
+/// determine the thermal index values at runtime, a larger history
+/// window (e.g. several minutes) needs to be observed").
+#[derive(Debug, Clone)]
+struct RuntimeAlpha {
+    /// Samples between α recomputations.
+    update_every: usize,
+    /// Long-run accumulated temperature per core.
+    sums: Vec<f64>,
+    /// Samples accumulated so far.
+    count: usize,
+}
+
+impl RuntimeAlpha {
+    /// Recomputes thermal indices from the long-run mean temperatures:
+    /// the same mean-0.5 normalization as
+    /// `Stack3d::default_thermal_indices`, driven by measured data
+    /// instead of geometry. Returns `None` until the window has filled
+    /// or if the chip shows no spatial contrast yet.
+    fn recalibrated(&self) -> Option<Vec<f64>> {
+        if self.count < self.update_every {
+            return None;
+        }
+        let means: Vec<f64> = self.sums.iter().map(|s| s / self.count as f64).collect();
+        let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if hi - lo < 0.5 {
+            return None; // no contrast to learn from yet
+        }
+        // Scores in [0.2, 0.8] by min-max, then normalized to mean 0.5.
+        let scores: Vec<f64> =
+            means.iter().map(|&m| 0.2 + 0.6 * (m - lo) / (hi - lo)).collect();
+        let mean_score: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+        Some(scores.iter().map(|s| (0.5 * s / mean_score).clamp(0.05, 0.95)).collect())
+    }
+}
+
+impl AdaptivePolicy {
+    /// The Adaptive-Random policy of DATE'07: no layer awareness
+    /// (`α_i = 1`), symmetric β of 0.05.
+    #[must_use]
+    pub fn adapt_rand(n_cores: usize, seed: u16) -> Self {
+        let cfg = AdaptiveConfig { beta_inc: 0.05, beta_dec: 0.05, ..AdaptiveConfig::paper_default() };
+        Self::build("AdaptRand", vec![1.0; n_cores], cfg, seed)
+    }
+
+    /// The paper's Adapt3D with its default constants and the given
+    /// per-core thermal indices (see
+    /// [`therm3d_floorplan::Stack3d::default_thermal_indices`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphas` is empty or any index is outside `(0, 1]`.
+    #[must_use]
+    pub fn adapt3d(alphas: Vec<f64>, seed: u16) -> Self {
+        Self::build("Adapt3D", alphas, AdaptiveConfig::paper_default(), seed)
+    }
+
+    /// Adapt3D with custom constants (for the ablation benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphas` is empty, any index is outside `(0, 1]`, or the
+    /// config is inconsistent.
+    #[must_use]
+    pub fn adapt3d_with_config(alphas: Vec<f64>, cfg: AdaptiveConfig, seed: u16) -> Self {
+        Self::build("Adapt3D", alphas, cfg, seed)
+    }
+
+    /// Adapt3D with **runtime** thermal-index calibration: α starts
+    /// uniform at 0.5 and is recomputed every `update_every` samples from
+    /// the accumulated long-run mean temperature of each core (the
+    /// paper's dynamic alternative to offline indices; it reports "the
+    /// results were very similar for both options", which the
+    /// `alpha_study` ablation binary verifies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` or `update_every` is zero.
+    #[must_use]
+    pub fn adapt3d_runtime_alpha(n_cores: usize, update_every: usize, seed: u16) -> Self {
+        assert!(n_cores > 0, "need at least one core");
+        assert!(update_every > 0, "update interval must be non-empty");
+        let mut p = Self::build(
+            "Adapt3D",
+            vec![0.5; n_cores],
+            AdaptiveConfig::paper_default(),
+            seed,
+        );
+        p.runtime_alpha = Some(RuntimeAlpha {
+            update_every,
+            sums: vec![0.0; n_cores],
+            count: 0,
+        });
+        p
+    }
+
+    fn build(name: &'static str, alphas: Vec<f64>, cfg: AdaptiveConfig, seed: u16) -> Self {
+        assert!(!alphas.is_empty(), "need at least one core");
+        for (i, &a) in alphas.iter().enumerate() {
+            assert!(a > 0.0 && a <= 1.0, "thermal index α[{i}] = {a} must be in (0, 1]");
+        }
+        cfg.validate();
+        // Initial probabilities encode the offline thermal indices: a
+        // hot-spot-prone core starts with a proportionally lower chance of
+        // receiving work, so the very first bursts already land on the
+        // well-cooled cores instead of waiting for the temperature
+        // feedback to discover the asymmetry. For Adaptive-Random
+        // (α_i = 1) this reduces to the uniform distribution.
+        let mut probs: Vec<f64> = alphas.iter().map(|&a| 1.0 - 0.8 * a).collect();
+        let total: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= total;
+        }
+        let n = alphas.len();
+        Self {
+            name,
+            cfg,
+            alphas,
+            probs,
+            history: vec![VecDeque::with_capacity(cfg.history_window); n],
+            rng: Lfsr16::new(seed),
+            runtime_alpha: None,
+        }
+    }
+
+    /// Current allocation probabilities (sum to 1 unless every core is in
+    /// thermal emergency).
+    #[must_use]
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// The thermal indices in use.
+    #[must_use]
+    pub fn thermal_indices(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    /// One probability update from fresh sensor readings (Equations 1–3).
+    fn update_probabilities(&mut self, temps_c: &[f64]) {
+        assert_eq!(temps_c.len(), self.probs.len(), "core count changed mid-run");
+        // Runtime α: accumulate the long-run history and periodically
+        // refresh the indices from it.
+        if let Some(ra) = &mut self.runtime_alpha {
+            for (s, &t) in ra.sums.iter_mut().zip(temps_c) {
+                *s += t;
+            }
+            ra.count += 1;
+            if ra.count % ra.update_every == 0 {
+                if let Some(alphas) = ra.recalibrated() {
+                    self.alphas = alphas;
+                }
+            }
+        }
+        for (i, &t) in temps_c.iter().enumerate() {
+            let h = &mut self.history[i];
+            if h.len() == self.cfg.history_window {
+                h.pop_front();
+            }
+            h.push_back(t);
+        }
+        // Cores below the emergency threshold keep a small probability
+        // floor. Without it, a chip running hotter than T_pref everywhere
+        // (sustained saturation on the 4-layer stacks) drives every P to
+        // the zero floor and renormalization concentrates all arrivals on
+        // whichever core decayed last — serializing the workload. The
+        // floor makes the degenerate regime rotate work across the
+        // non-emergency cores instead, preserving the paper's
+        // "negligible performance overhead" property.
+        let floor = 0.1 / self.probs.len() as f64;
+        for i in 0..self.probs.len() {
+            let h = &self.history[i];
+            let t_avg: f64 = h.iter().sum::<f64>() / h.len() as f64;
+            let w_diff = self.cfg.t_pref_c - t_avg;
+            let w = if w_diff >= 0.0 {
+                self.cfg.beta_inc * w_diff / self.alphas[i]
+            } else {
+                self.cfg.beta_dec * w_diff * self.alphas[i]
+            };
+            self.probs[i] = (self.probs[i] + w).max(floor);
+            // Emergency: a core above the threshold in the last interval
+            // must not receive new work.
+            if temps_c[i] > self.cfg.threshold_c {
+                self.probs[i] = 0.0;
+            }
+        }
+        let total: f64 = self.probs.iter().sum();
+        if total > 0.0 {
+            for p in &mut self.probs {
+                *p /= total;
+            }
+        } else {
+            // Every probability decayed to zero (the whole chip is warm).
+            // Redistribute mass over the cores below the emergency
+            // threshold, favouring the coolest, so the policy keeps
+            // steering rather than degenerating permanently.
+            let t_max = temps_c.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for (p, &t) in self.probs.iter_mut().zip(temps_c) {
+                *p = if t > self.cfg.threshold_c { 0.0 } else { t_max - t + 0.5 };
+                sum += *p;
+            }
+            if sum > 0.0 {
+                for p in &mut self.probs {
+                    *p /= sum;
+                }
+            }
+        }
+    }
+}
+
+impl Policy for AdaptivePolicy {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn place_job(
+        &mut self,
+        _job: &Job,
+        obs: &Observation<'_>,
+        queue_hint: &QueueHint<'_>,
+    ) -> CoreId {
+        // Eq. 1–3 sampling: allocation follows the probability values. The
+        // temperature feedback self-limits overload — a core that
+        // accumulates work warms past T_pref, its probability decays, and
+        // arrivals shift elsewhere. One scheduler-side guard keeps the
+        // paper's "negligible performance overhead" property: a core whose
+        // backlog exceeds the emptiest queue by more than the configured
+        // cutoff is excluded from this draw, bounding the queueing delay
+        // the thermal preference can introduce.
+        let cutoff = self.cfg.backlog_cutoff_s;
+        let min_work =
+            queue_hint.queued_work_s.iter().copied().fold(f64::INFINITY, f64::min);
+        let weighted: Vec<f64> = self
+            .probs
+            .iter()
+            .zip(queue_hint.queued_work_s)
+            .map(|(&p, &w)| if w - min_work > cutoff { 0.0 } else { p })
+            .collect();
+        if let Some(i) = self.rng.sample_weighted(&weighted) {
+            return CoreId(i);
+        }
+        // Every candidate is zero (chip-wide emergency with saturated
+        // queues): the dispatcher load-balances as the OS default would.
+        let _ = obs;
+        queue_hint.least_loaded()
+    }
+
+    fn control(&mut self, obs: &Observation<'_>) -> ControlDecision {
+        self.update_probabilities(obs.core_temps_c);
+        ControlDecision::run_all(obs.n_cores())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs<'a>(temps: &'a [f64]) -> Observation<'a> {
+        Observation {
+            now_s: 0.0,
+            tick_s: 0.1,
+            core_temps_c: temps,
+            utilization: &[0.0; 8][..temps.len()],
+            queue_len: &[0; 8][..temps.len()],
+            queued_work_s: &[0.0; 8][..temps.len()],
+            idle_time_s: &[0.0; 8][..temps.len()],
+        }
+    }
+
+    #[test]
+    fn probabilities_stay_normalized() {
+        let mut p = AdaptivePolicy::adapt3d(vec![0.3, 0.5, 0.7, 0.9], 1);
+        for step in 0..50 {
+            let temps = [70.0 + step as f64 * 0.2, 75.0, 82.0, 88.0];
+            p.control(&obs(&temps));
+            let sum: f64 = p.probabilities().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "step {step}: sum {sum}");
+            assert!(p.probabilities().iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn emergency_core_gets_zero_probability() {
+        let mut p = AdaptivePolicy::adapt3d(vec![0.5, 0.5], 1);
+        p.control(&obs(&[90.0, 60.0]));
+        assert_eq!(p.probabilities()[0], 0.0);
+        assert!((p.probabilities()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cooler_cores_gain_probability() {
+        let mut p = AdaptivePolicy::adapt3d(vec![0.5, 0.5], 1);
+        // Core 0 well above T_pref, core 1 well below.
+        for _ in 0..20 {
+            p.control(&obs(&[84.0, 60.0]));
+        }
+        assert!(
+            p.probabilities()[1] > 0.8,
+            "cool core should dominate: {:?}",
+            p.probabilities()
+        );
+    }
+
+    #[test]
+    fn higher_alpha_decreases_faster_when_hot() {
+        // Same temperatures, different α: the more susceptible core's
+        // probability must fall faster (W = β_dec·W_diff·α).
+        let mut p = AdaptivePolicy::adapt3d(vec![0.2, 0.8, 0.5], 1);
+        for _ in 0..2 {
+            p.control(&obs(&[84.0, 84.0, 40.0]));
+        }
+        let probs = p.probabilities();
+        assert!(
+            probs[0] > probs[1],
+            "low-α core keeps more probability: {probs:?}"
+        );
+    }
+
+    #[test]
+    fn higher_alpha_increases_slower_when_cool() {
+        // Both cool: W = β_inc·W_diff/α, so the low-α core gains faster.
+        let mut p = AdaptivePolicy::adapt3d(vec![0.2, 0.8], 1);
+        for _ in 0..5 {
+            p.control(&obs(&[60.0, 60.0]));
+        }
+        let probs = p.probabilities();
+        assert!(probs[0] > probs[1], "{probs:?}");
+    }
+
+    #[test]
+    fn adapt_rand_ignores_location() {
+        // Equal temperatures keep probabilities equal regardless of
+        // anything else.
+        let mut p = AdaptivePolicy::adapt_rand(4, 1);
+        for _ in 0..10 {
+            p.control(&obs(&[70.0; 4]));
+        }
+        for &x in p.probabilities() {
+            assert!((x - 0.25).abs() < 1e-9, "{:?}", p.probabilities());
+        }
+    }
+
+    #[test]
+    fn placement_avoids_zero_probability_cores() {
+        let mut p = AdaptivePolicy::adapt3d(vec![0.5, 0.5], 7);
+        p.control(&obs(&[90.0, 60.0])); // core 0 in emergency
+        let job = therm3d_workload::Job::new(0, 0.0, 1.0, 0.5, therm3d_workload::Benchmark::Gcc);
+        let temps = [90.0, 60.0];
+        let o = obs(&temps);
+        let hint = QueueHint { queued_work_s: &[0.0, 0.0], queue_len: &[0, 0] };
+        for _ in 0..50 {
+            assert_eq!(p.place_job(&job, &o, &hint), CoreId(1));
+        }
+    }
+
+    #[test]
+    fn all_emergency_falls_back_to_coolest() {
+        let mut p = AdaptivePolicy::adapt3d(vec![0.5, 0.5], 7);
+        p.control(&obs(&[90.0, 92.0]));
+        let job = therm3d_workload::Job::new(0, 0.0, 1.0, 0.5, therm3d_workload::Benchmark::Gcc);
+        let temps = [90.0, 92.0];
+        let o = obs(&temps);
+        let hint = QueueHint { queued_work_s: &[0.0, 0.0], queue_len: &[0, 0] };
+        assert_eq!(p.place_job(&job, &o, &hint), CoreId(0), "coolest of the hot");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = |seed| {
+            let mut p = AdaptivePolicy::adapt3d(vec![0.4, 0.6], seed);
+            let job =
+                therm3d_workload::Job::new(0, 0.0, 1.0, 0.5, therm3d_workload::Benchmark::Gcc);
+            let temps = [70.0, 72.0];
+            let o = obs(&temps);
+            let hint = QueueHint { queued_work_s: &[0.0, 0.0], queue_len: &[0, 0] };
+            let mut picks = Vec::new();
+            for _ in 0..20 {
+                p.control(&o);
+                picks.push(p.place_job(&job, &o, &hint).0);
+            }
+            picks
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "thermal index")]
+    fn alpha_out_of_range_rejected() {
+        let _ = AdaptivePolicy::adapt3d(vec![0.5, 1.5], 1);
+    }
+
+    #[test]
+    fn history_window_smooths_updates() {
+        // A single hot sample inside a long cool history barely moves
+        // T_avg, so the probability drop is small.
+        let mut p = AdaptivePolicy::adapt3d(vec![0.5, 0.5], 1);
+        for _ in 0..9 {
+            p.control(&obs(&[70.0, 70.0]));
+        }
+        let before = p.probabilities()[0];
+        p.control(&obs(&[84.0, 70.0])); // one hot sample, below threshold
+        let after = p.probabilities()[0];
+        assert!((before - after).abs() < 0.1, "window damps single spikes");
+    }
+}
+
+#[cfg(test)]
+mod runtime_alpha_tests {
+    use super::*;
+
+    fn obs<'a>(temps: &'a [f64]) -> Observation<'a> {
+        Observation {
+            now_s: 0.0,
+            tick_s: 0.1,
+            core_temps_c: temps,
+            utilization: &[0.0; 8][..temps.len()],
+            queue_len: &[0; 8][..temps.len()],
+            queued_work_s: &[0.0; 8][..temps.len()],
+            idle_time_s: &[0.0; 8][..temps.len()],
+        }
+    }
+
+    #[test]
+    fn starts_uniform_and_learns_the_hot_core() {
+        let mut p = AdaptivePolicy::adapt3d_runtime_alpha(3, 50, 1);
+        assert_eq!(p.thermal_indices(), &[0.5, 0.5, 0.5]);
+        // Core 2 consistently runs 15 °C hotter.
+        for _ in 0..50 {
+            p.control(&obs(&[65.0, 67.0, 80.0]));
+        }
+        let a = p.thermal_indices().to_vec();
+        assert!(a[2] > a[0] && a[2] > a[1], "hot core must earn the top index: {a:?}");
+        assert!(a.iter().all(|&x| (0.05..=0.95).contains(&x)));
+        let mean: f64 = a.iter().sum::<f64>() / 3.0;
+        assert!((mean - 0.5).abs() < 0.05, "normalization keeps the mean near 0.5");
+    }
+
+    #[test]
+    fn no_contrast_keeps_uniform_indices() {
+        let mut p = AdaptivePolicy::adapt3d_runtime_alpha(4, 20, 1);
+        for _ in 0..60 {
+            p.control(&obs(&[70.0, 70.0, 70.0, 70.0]));
+        }
+        assert_eq!(p.thermal_indices(), &[0.5, 0.5, 0.5, 0.5], "isothermal chip learns nothing");
+    }
+
+    #[test]
+    fn update_happens_only_at_the_interval() {
+        let mut p = AdaptivePolicy::adapt3d_runtime_alpha(2, 30, 1);
+        for _ in 0..29 {
+            p.control(&obs(&[60.0, 90.0]));
+        }
+        assert_eq!(p.thermal_indices(), &[0.5, 0.5], "window not full yet");
+        p.control(&obs(&[60.0, 90.0]));
+        assert!(p.thermal_indices()[1] > p.thermal_indices()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "update interval")]
+    fn zero_interval_rejected() {
+        let _ = AdaptivePolicy::adapt3d_runtime_alpha(4, 0, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! The baseline: dynamic load balancing with thread affinity, the default
+//! policy of modern OSes (Solaris on the Niagara-1 in the paper's
+//! Section V).
+
+use std::collections::HashMap;
+
+use therm3d_floorplan::CoreId;
+use therm3d_workload::Job;
+
+use crate::policy::{ControlDecision, Observation, Policy, QueueHint};
+
+/// Default queue-imbalance tolerance before affinity is overridden,
+/// seconds of queued work.
+pub const DEFAULT_IMBALANCE_S: f64 = 0.5;
+
+/// The Solaris-style dispatcher: an arriving thread goes back to the core
+/// it last ran on (cache locality); threads not seen recently go to the
+/// least-loaded queue; and when honouring affinity would create a
+/// significant queue imbalance, the thread is re-balanced instead.
+///
+/// All of the paper's non-adaptive policies (CGate, the DVFS family,
+/// Migration) keep this placement and only add thermal control on top.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_policies::baseline::AffinityPlacer;
+/// use therm3d_policies::QueueHint;
+/// use therm3d_workload::{Benchmark, Job};
+///
+/// let mut placer = AffinityPlacer::new();
+/// let hint = QueueHint { queued_work_s: &[0.0, 0.2], queue_len: &[0, 1] };
+/// let job = Job::new(0, 0.0, 0.3, 0.5, Benchmark::WebMed).with_thread(42);
+/// let first = placer.place(&job, &hint);
+/// // The same thread returns to the same core while queues stay balanced.
+/// assert_eq!(placer.place(&job, &hint), first);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AffinityPlacer {
+    last_core: HashMap<u64, CoreId>,
+    imbalance_s: f64,
+}
+
+impl AffinityPlacer {
+    /// Creates a placer with the default imbalance tolerance.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_imbalance(DEFAULT_IMBALANCE_S)
+    }
+
+    /// Creates a placer with a custom imbalance tolerance (seconds of
+    /// queued work above the least-loaded queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imbalance_s` is negative.
+    #[must_use]
+    pub fn with_imbalance(imbalance_s: f64) -> Self {
+        assert!(imbalance_s >= 0.0, "imbalance tolerance must be non-negative");
+        Self { last_core: HashMap::new(), imbalance_s }
+    }
+
+    /// Chooses a core for `job` and records the thread→core binding.
+    #[must_use]
+    pub fn place(&mut self, job: &Job, hint: &QueueHint<'_>) -> CoreId {
+        let least = hint.least_loaded();
+        let target = match self.last_core.get(&job.thread_id) {
+            Some(&home) if home.0 < hint.queued_work_s.len() => {
+                let home_work = hint.queued_work_s[home.0];
+                let min_work = hint.queued_work_s[least.0];
+                if home_work <= min_work + self.imbalance_s {
+                    home
+                } else {
+                    least
+                }
+            }
+            _ => least,
+        };
+        self.last_core.insert(job.thread_id, target);
+        target
+    }
+
+    /// Number of distinct threads tracked.
+    #[must_use]
+    pub fn tracked_threads(&self) -> usize {
+        self.last_core.len()
+    }
+}
+
+impl Default for AffinityPlacer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Dynamic Load Balancing (`Default` in the paper's figures): affinity
+/// placement, no thermal actuation of any kind. Every other policy is
+/// measured against this one.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_policies::{DefaultPolicy, Policy};
+///
+/// let p = DefaultPolicy::new();
+/// assert_eq!(p.name(), "Default");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DefaultPolicy {
+    placer: AffinityPlacer,
+}
+
+impl DefaultPolicy {
+    /// Creates the baseline policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { placer: AffinityPlacer::new() }
+    }
+}
+
+impl Policy for DefaultPolicy {
+    fn name(&self) -> &str {
+        "Default"
+    }
+
+    fn place_job(
+        &mut self,
+        job: &Job,
+        _obs: &Observation<'_>,
+        queue_hint: &QueueHint<'_>,
+    ) -> CoreId {
+        self.placer.place(job, queue_hint)
+    }
+
+    fn control(&mut self, obs: &Observation<'_>) -> ControlDecision {
+        ControlDecision::run_all(obs.n_cores())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use therm3d_workload::Benchmark;
+
+    fn obs<'a>(temps: &'a [f64], idle: &'a [f64]) -> Observation<'a> {
+        Observation {
+            now_s: 0.0,
+            tick_s: 0.1,
+            core_temps_c: temps,
+            utilization: &[0.0; 4][..temps.len()],
+            queue_len: &[0; 4][..temps.len()],
+            queued_work_s: &[0.0; 4][..temps.len()],
+            idle_time_s: idle,
+        }
+    }
+
+    fn job(thread: u64) -> Job {
+        Job::new(thread, 0.0, 0.3, 0.5, Benchmark::WebMed).with_thread(thread)
+    }
+
+    #[test]
+    fn new_threads_go_to_least_loaded() {
+        let mut p = AffinityPlacer::new();
+        let hint = QueueHint { queued_work_s: &[0.9, 0.1], queue_len: &[3, 1] };
+        assert_eq!(p.place(&job(1), &hint), CoreId(1));
+    }
+
+    #[test]
+    fn recurring_threads_keep_their_core() {
+        let mut p = AffinityPlacer::new();
+        let hint0 = QueueHint { queued_work_s: &[0.0, 0.4], queue_len: &[0, 2] };
+        assert_eq!(p.place(&job(7), &hint0), CoreId(0));
+        // Core 0 now somewhat busier, but within the tolerance: affinity
+        // wins.
+        let hint1 = QueueHint { queued_work_s: &[0.3, 0.0], queue_len: &[1, 0] };
+        assert_eq!(p.place(&job(7), &hint1), CoreId(0));
+        assert_eq!(p.tracked_threads(), 1);
+    }
+
+    #[test]
+    fn large_imbalance_overrides_affinity() {
+        let mut p = AffinityPlacer::new();
+        let hint0 = QueueHint { queued_work_s: &[0.0, 0.0], queue_len: &[0, 0] };
+        assert_eq!(p.place(&job(7), &hint0), CoreId(0));
+        let hint1 = QueueHint { queued_work_s: &[2.0, 0.0], queue_len: &[6, 0] };
+        assert_eq!(p.place(&job(7), &hint1), CoreId(1), "rebalanced");
+        // The binding is updated: the thread now lives on core 1.
+        let hint2 = QueueHint { queued_work_s: &[0.0, 0.2], queue_len: &[0, 1] };
+        assert_eq!(p.place(&job(7), &hint2), CoreId(1));
+    }
+
+    #[test]
+    fn affinity_creates_load_concentration() {
+        // The effect the DTM policies fight: a hot thread keeps hitting
+        // the same core as long as queues stay tolerably balanced.
+        let mut p = AffinityPlacer::new();
+        let hint = QueueHint { queued_work_s: &[0.2, 0.0], queue_len: &[1, 0] };
+        let first = p.place(&job(3), &QueueHint { queued_work_s: &[0.0, 0.0], queue_len: &[0, 0] });
+        for _ in 0..5 {
+            assert_eq!(p.place(&job(3), &hint), first);
+        }
+    }
+
+    #[test]
+    fn control_never_throttles() {
+        let mut p = DefaultPolicy::new();
+        let temps = [120.0, 120.0, 120.0, 120.0];
+        let idle = [0.0; 4];
+        let d = p.control(&obs(&temps, &idle));
+        assert_eq!(d.commands.len(), 4);
+        for c in d.commands {
+            assert_eq!(c.vf_index, 0);
+            assert!(!c.gated && !c.asleep);
+        }
+        assert!(d.migrations.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "imbalance tolerance")]
+    fn negative_tolerance_rejected() {
+        let _ = AffinityPlacer::with_imbalance(-1.0);
+    }
+}

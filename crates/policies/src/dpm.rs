@@ -1,0 +1,154 @@
+//! Dynamic power management (Section IV-B): a fixed-timeout sleep policy
+//! layered over any DTM policy.
+//!
+//! DPM does not target temperature directly, but the paper shows it
+//! changes the thermal picture substantially: sleeping cores cool far
+//! below the active range (reducing hot spots) while creating the large
+//! temperature swings that drive thermal cycling (Figure 6).
+
+use therm3d_floorplan::CoreId;
+use therm3d_workload::Job;
+
+use crate::policy::{ControlDecision, Observation, Policy, QueueHint};
+
+/// Default sleep timeout in seconds.
+pub const DEFAULT_TIMEOUT_S: f64 = 0.5;
+
+/// A fixed-timeout DPM wrapper: any core idle for longer than the timeout
+/// is put into the 0.02 W sleep state; it wakes as soon as work is queued
+/// for it.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_policies::{DefaultPolicy, DpmWrapper, Policy};
+///
+/// let p = DpmWrapper::new(DefaultPolicy::new());
+/// assert_eq!(p.name(), "Default+DPM");
+/// ```
+#[derive(Debug)]
+pub struct DpmWrapper<P> {
+    inner: P,
+    timeout_s: f64,
+    name: String,
+}
+
+impl<P: Policy> DpmWrapper<P> {
+    /// Wraps `inner` with the default 0.5 s timeout.
+    #[must_use]
+    pub fn new(inner: P) -> Self {
+        Self::with_timeout(inner, DEFAULT_TIMEOUT_S)
+    }
+
+    /// Wraps `inner` with a custom timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout_s` is not strictly positive.
+    #[must_use]
+    pub fn with_timeout(inner: P, timeout_s: f64) -> Self {
+        assert!(timeout_s > 0.0, "timeout must be positive");
+        let name = format!("{}+DPM", inner.name());
+        Self { inner, timeout_s, name }
+    }
+
+    /// The wrapped policy.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The sleep timeout in seconds.
+    #[must_use]
+    pub fn timeout_s(&self) -> f64 {
+        self.timeout_s
+    }
+}
+
+impl<P: Policy> Policy for DpmWrapper<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn place_job(
+        &mut self,
+        job: &Job,
+        obs: &Observation<'_>,
+        queue_hint: &QueueHint<'_>,
+    ) -> CoreId {
+        self.inner.place_job(job, obs, queue_hint)
+    }
+
+    fn control(&mut self, obs: &Observation<'_>) -> ControlDecision {
+        let mut decision = self.inner.control(obs);
+        if decision.commands.is_empty() {
+            decision.commands = ControlDecision::run_all(obs.n_cores()).commands;
+        }
+        for (i, cmd) in decision.commands.iter_mut().enumerate() {
+            // Sleep only truly idle cores past the timeout; a queued job
+            // always wins over sleep.
+            if obs.queue_len[i] == 0 && obs.idle_time_s[i] >= self.timeout_s {
+                cmd.asleep = true;
+            }
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::DefaultPolicy;
+    use crate::dvfs::DvfsTt;
+
+    fn obs<'a>(temps: &'a [f64], qlen: &'a [usize], idle: &'a [f64]) -> Observation<'a> {
+        Observation {
+            now_s: 0.0,
+            tick_s: 0.1,
+            core_temps_c: temps,
+            utilization: &[0.0; 4][..temps.len()],
+            queue_len: qlen,
+            queued_work_s: &[0.0; 4][..temps.len()],
+            idle_time_s: idle,
+        }
+    }
+
+    #[test]
+    fn sleeps_idle_cores_past_timeout() {
+        let mut p = DpmWrapper::with_timeout(DefaultPolicy::new(), 0.5);
+        let temps = [60.0, 60.0, 60.0];
+        let qlen = [0usize, 0, 1];
+        let idle = [0.6, 0.2, 0.0];
+        let d = p.control(&obs(&temps, &qlen, &idle));
+        assert!(d.commands[0].asleep, "idle past timeout");
+        assert!(!d.commands[1].asleep, "idle but below timeout");
+        assert!(!d.commands[2].asleep, "busy core never sleeps");
+    }
+
+    #[test]
+    fn queued_work_prevents_sleep() {
+        let mut p = DpmWrapper::new(DefaultPolicy::new());
+        let temps = [60.0];
+        let qlen = [2usize];
+        let idle = [10.0]; // stale idle clock, but work is queued
+        let d = p.control(&obs(&temps, &qlen, &idle));
+        assert!(!d.commands[0].asleep);
+    }
+
+    #[test]
+    fn inner_policy_decisions_preserved() {
+        let mut p = DpmWrapper::new(DvfsTt::new(2));
+        let temps = [90.0, 60.0];
+        let qlen = [1usize, 0];
+        let idle = [0.0, 1.0];
+        let d = p.control(&obs(&temps, &qlen, &idle));
+        assert_eq!(d.commands[0].vf_index, 1, "DVFS_TT still throttles");
+        assert!(d.commands[1].asleep, "DPM still sleeps the idle core");
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout must be positive")]
+    fn zero_timeout_rejected() {
+        let _ = DpmWrapper::with_timeout(DefaultPolicy::new(), 0.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! DVFS- and clock-gating-based thermal policies (Section III-A):
+//! `CGate`, `DVFS_TT`, `DVFS_Util` and `DVFS_FLP`.
+
+use therm3d_floorplan::CoreId;
+use therm3d_power::VfTable;
+use therm3d_workload::Job;
+
+use crate::baseline::AffinityPlacer;
+use crate::policy::{ControlDecision, CoreCommand, Observation, Policy, QueueHint};
+
+/// The default thermal-emergency threshold, °C (Section III-B: 85 °C).
+pub const DEFAULT_THRESHOLD_C: f64 = 85.0;
+
+/// Clock gating (`CGate`): run at the default V/f until a core crosses the
+/// thermal threshold, then stall it (clock gated, dynamic power off) until
+/// it cools below the threshold again. Modeled as in Donald & Martonosi
+/// (ISCA'06), per the paper.
+#[derive(Debug, Clone)]
+pub struct CGate {
+    threshold_c: f64,
+    placer: AffinityPlacer,
+}
+
+impl CGate {
+    /// Creates the policy with the paper's 85 °C threshold.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_threshold(DEFAULT_THRESHOLD_C)
+    }
+
+    /// Creates the policy with a custom threshold.
+    #[must_use]
+    pub fn with_threshold(threshold_c: f64) -> Self {
+        Self { threshold_c, placer: AffinityPlacer::new() }
+    }
+}
+
+impl Default for CGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for CGate {
+    fn name(&self) -> &str {
+        "CGate"
+    }
+
+    fn place_job(
+        &mut self,
+        job: &Job,
+        _obs: &Observation<'_>,
+        queue_hint: &QueueHint<'_>,
+    ) -> CoreId {
+        self.placer.place(job, queue_hint)
+    }
+
+    fn control(&mut self, obs: &Observation<'_>) -> ControlDecision {
+        let commands = obs
+            .core_temps_c
+            .iter()
+            .map(|&t| CoreCommand { vf_index: 0, gated: t > self.threshold_c, asleep: false })
+            .collect();
+        ControlDecision { commands, migrations: Vec::new() }
+    }
+}
+
+/// DVFS with temperature trigger (`DVFS_TT`): step V/f one level down
+/// while a core is above the threshold, one level up per interval once it
+/// is below.
+#[derive(Debug, Clone)]
+pub struct DvfsTt {
+    threshold_c: f64,
+    vf: VfTable,
+    levels: Vec<usize>,
+    placer: AffinityPlacer,
+}
+
+impl DvfsTt {
+    /// Creates the policy for `n_cores` with the paper's threshold and V/f
+    /// table.
+    #[must_use]
+    pub fn new(n_cores: usize) -> Self {
+        Self::with_config(n_cores, DEFAULT_THRESHOLD_C, VfTable::paper_default())
+    }
+
+    /// Creates the policy with explicit threshold and table.
+    #[must_use]
+    pub fn with_config(n_cores: usize, threshold_c: f64, vf: VfTable) -> Self {
+        Self { threshold_c, vf, levels: vec![0; n_cores], placer: AffinityPlacer::new() }
+    }
+
+    /// Current per-core V/f level indices (for inspection in tests and
+    /// reports).
+    #[must_use]
+    pub fn levels(&self) -> &[usize] {
+        &self.levels
+    }
+}
+
+impl Policy for DvfsTt {
+    fn name(&self) -> &str {
+        "DVFS_TT"
+    }
+
+    fn place_job(
+        &mut self,
+        job: &Job,
+        _obs: &Observation<'_>,
+        queue_hint: &QueueHint<'_>,
+    ) -> CoreId {
+        self.placer.place(job, queue_hint)
+    }
+
+    fn control(&mut self, obs: &Observation<'_>) -> ControlDecision {
+        assert_eq!(obs.n_cores(), self.levels.len(), "core count changed mid-run");
+        for (i, &t) in obs.core_temps_c.iter().enumerate() {
+            self.levels[i] = if t > self.threshold_c {
+                self.vf.step_down(self.levels[i])
+            } else {
+                self.vf.step_up(self.levels[i])
+            };
+        }
+        ControlDecision {
+            commands: self.levels.iter().map(|&l| CoreCommand::at_level(l)).collect(),
+            migrations: Vec::new(),
+        }
+    }
+}
+
+/// Utilization-driven DVFS (`DVFS_Util`): each interval, set the slowest
+/// V/f level whose frequency still covers the core's observed utilization
+/// (a performance-oriented policy, analogous to the global power/thermal
+/// budgeting of Zhu et al. but driven by utilization instead of IPC).
+#[derive(Debug, Clone)]
+pub struct DvfsUtil {
+    vf: VfTable,
+    placer: AffinityPlacer,
+}
+
+impl DvfsUtil {
+    /// Creates the policy with the paper's V/f table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_table(VfTable::paper_default())
+    }
+
+    /// Creates the policy with a custom table.
+    #[must_use]
+    pub fn with_table(vf: VfTable) -> Self {
+        Self { vf, placer: AffinityPlacer::new() }
+    }
+}
+
+impl Default for DvfsUtil {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for DvfsUtil {
+    fn name(&self) -> &str {
+        "DVFS_Util"
+    }
+
+    fn place_job(
+        &mut self,
+        job: &Job,
+        _obs: &Observation<'_>,
+        queue_hint: &QueueHint<'_>,
+    ) -> CoreId {
+        self.placer.place(job, queue_hint)
+    }
+
+    fn control(&mut self, obs: &Observation<'_>) -> ControlDecision {
+        let commands = obs
+            .utilization
+            .iter()
+            .zip(obs.queue_len)
+            .map(|(&u, &qlen)| {
+                // A backlogged queue needs full speed regardless of what
+                // the core managed to burn last interval.
+                let demand = if qlen > 1 { 1.0 } else { u };
+                CoreCommand::at_level(self.vf.slowest_meeting(demand))
+            })
+            .collect();
+        ControlDecision { commands, migrations: Vec::new() }
+    }
+}
+
+/// Floorplan-aware DVFS (`DVFS_FLP`): statically assigns lower V/f to
+/// cores more susceptible to hot spots — central dies in 2D, and layers
+/// further from the heat sink in 3D. Susceptibility is summarized by the
+/// same per-core thermal indices Adapt3D uses.
+#[derive(Debug, Clone)]
+pub struct DvfsFlp {
+    assignments: Vec<usize>,
+    placer: AffinityPlacer,
+}
+
+impl DvfsFlp {
+    /// Assigns levels from per-core thermal indices `α` (higher = more
+    /// hot-spot prone): the most susceptible third runs at the slowest
+    /// level, the middle third one step down, the rest at the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphas` is empty.
+    #[must_use]
+    pub fn from_thermal_indices(alphas: &[f64], vf: &VfTable) -> Self {
+        assert!(!alphas.is_empty(), "need at least one core");
+        let n = alphas.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| alphas[b].total_cmp(&alphas[a])); // hottest first
+        let mut assignments = vec![0usize; n];
+        for (rank, &core) in order.iter().enumerate() {
+            let tercile = rank * 3 / n.max(1);
+            assignments[core] = match tercile {
+                0 => vf.lowest(),
+                1 => vf.lowest().saturating_sub(1).max(vf.highest()),
+                _ => vf.highest(),
+            };
+        }
+        Self { assignments, placer: AffinityPlacer::new() }
+    }
+
+    /// The static per-core level assignment.
+    #[must_use]
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+}
+
+impl Policy for DvfsFlp {
+    fn name(&self) -> &str {
+        "DVFS_FLP"
+    }
+
+    fn place_job(
+        &mut self,
+        job: &Job,
+        _obs: &Observation<'_>,
+        queue_hint: &QueueHint<'_>,
+    ) -> CoreId {
+        self.placer.place(job, queue_hint)
+    }
+
+    fn control(&mut self, obs: &Observation<'_>) -> ControlDecision {
+        assert_eq!(obs.n_cores(), self.assignments.len(), "core count changed mid-run");
+        ControlDecision {
+            commands: self.assignments.iter().map(|&l| CoreCommand::at_level(l)).collect(),
+            migrations: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs<'a>(
+        temps: &'a [f64],
+        util: &'a [f64],
+        qlen: &'a [usize],
+        work: &'a [f64],
+        idle: &'a [f64],
+    ) -> Observation<'a> {
+        Observation {
+            now_s: 0.0,
+            tick_s: 0.1,
+            core_temps_c: temps,
+            utilization: util,
+            queue_len: qlen,
+            queued_work_s: work,
+            idle_time_s: idle,
+        }
+    }
+
+    #[test]
+    fn cgate_gates_above_threshold_only() {
+        let mut p = CGate::new();
+        let temps = [86.0, 80.0];
+        let d = p.control(&obs(&temps, &[1.0, 1.0], &[1, 1], &[0.1, 0.1], &[0.0, 0.0]));
+        assert!(d.commands[0].gated);
+        assert!(!d.commands[1].gated);
+    }
+
+    #[test]
+    fn dvfs_tt_steps_down_then_recovers() {
+        let mut p = DvfsTt::new(1);
+        let hot = [90.0];
+        let cool = [70.0];
+        let u = [1.0];
+        let q = [1usize];
+        let w = [0.1];
+        let idle = [0.0];
+        p.control(&obs(&hot, &u, &q, &w, &idle));
+        assert_eq!(p.levels(), &[1]);
+        p.control(&obs(&hot, &u, &q, &w, &idle));
+        assert_eq!(p.levels(), &[2], "keeps stepping down while hot");
+        p.control(&obs(&hot, &u, &q, &w, &idle));
+        assert_eq!(p.levels(), &[2], "saturates at the slowest level");
+        p.control(&obs(&cool, &u, &q, &w, &idle));
+        assert_eq!(p.levels(), &[1], "one step up per interval when cool");
+        p.control(&obs(&cool, &u, &q, &w, &idle));
+        assert_eq!(p.levels(), &[0]);
+    }
+
+    #[test]
+    fn dvfs_util_matches_load() {
+        let mut p = DvfsUtil::new();
+        let temps = [70.0; 3];
+        let util = [0.1, 0.9, 1.0];
+        let qlen = [1usize, 1, 1];
+        let work = [0.0; 3];
+        let idle = [0.0; 3];
+        let d = p.control(&obs(&temps, &util, &qlen, &work, &idle));
+        assert_eq!(d.commands[0].vf_index, 2, "light load → slowest");
+        assert_eq!(d.commands[1].vf_index, 1);
+        assert_eq!(d.commands[2].vf_index, 0);
+    }
+
+    #[test]
+    fn dvfs_util_full_speed_for_backlog() {
+        let mut p = DvfsUtil::new();
+        let temps = [70.0];
+        let util = [0.2]; // looks light…
+        let qlen = [5usize]; // …but the queue is backed up
+        let work = [2.0];
+        let idle = [0.0];
+        let d = p.control(&obs(&temps, &util, &qlen, &work, &idle));
+        assert_eq!(d.commands[0].vf_index, 0);
+    }
+
+    #[test]
+    fn dvfs_flp_slows_susceptible_cores() {
+        let vf = VfTable::paper_default();
+        // Cores 4,5 on an upper layer (high α), 0..3 near the sink.
+        let alphas = [0.2, 0.25, 0.3, 0.35, 0.8, 0.85];
+        let p = DvfsFlp::from_thermal_indices(&alphas, &vf);
+        assert_eq!(p.assignments()[5], 2, "most susceptible at slowest level");
+        assert_eq!(p.assignments()[4], 2);
+        assert_eq!(p.assignments()[0], 0, "least susceptible at default");
+        assert_eq!(p.assignments()[1], 0);
+    }
+
+    #[test]
+    fn placement_is_load_balancing_for_all() {
+        let job = therm3d_workload::Job::new(0, 0.0, 1.0, 0.5, therm3d_workload::Benchmark::Gcc);
+        let temps = [50.0, 90.0];
+        let o = obs(&temps, &[0.0, 0.0], &[0, 0], &[0.0, 0.5], &[0.0, 0.0]);
+        let hint = QueueHint { queued_work_s: &[0.4, 0.0], queue_len: &[1, 0] };
+        assert_eq!(CGate::new().place_job(&job, &o, &hint), CoreId(1));
+        assert_eq!(DvfsTt::new(2).place_job(&job, &o, &hint), CoreId(1));
+        assert_eq!(DvfsUtil::new().place_job(&job, &o, &hint), CoreId(1));
+        let mut flp = DvfsFlp::from_thermal_indices(&[0.3, 0.7], &VfTable::paper_default());
+        assert_eq!(flp.place_job(&job, &o, &hint), CoreId(1));
+    }
+}

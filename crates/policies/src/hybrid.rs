@@ -1,0 +1,136 @@
+//! Hybrid policies (Section III-C): an adaptive job allocator combined
+//! with a DVFS controller — the paper's best performers on 4-layer
+//! systems.
+
+use therm3d_floorplan::CoreId;
+use therm3d_workload::Job;
+
+use crate::policy::{ControlDecision, Observation, Policy, QueueHint};
+
+/// Composition of a placement policy (who gets new jobs) with a control
+/// policy (V/f, gating). Placement decisions come from `allocator`;
+/// per-core commands from `controller`; migrations from both (allocator
+/// first).
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_policies::{AdaptivePolicy, DvfsTt, HybridPolicy, Policy};
+///
+/// let alloc = AdaptivePolicy::adapt3d(vec![0.3, 0.7], 1);
+/// let hybrid = HybridPolicy::new(alloc, DvfsTt::new(2));
+/// assert_eq!(hybrid.name(), "Adapt3D&DVFS_TT");
+/// ```
+#[derive(Debug)]
+pub struct HybridPolicy<A, C> {
+    allocator: A,
+    controller: C,
+    name: String,
+}
+
+impl<A: Policy, C: Policy> HybridPolicy<A, C> {
+    /// Combines `allocator` (placement) with `controller` (DVFS/gating).
+    #[must_use]
+    pub fn new(allocator: A, controller: C) -> Self {
+        let name = format!("{}&{}", allocator.name(), controller.name());
+        Self { allocator, controller, name }
+    }
+
+    /// The placement half.
+    #[must_use]
+    pub fn allocator(&self) -> &A {
+        &self.allocator
+    }
+
+    /// The control half.
+    #[must_use]
+    pub fn controller(&self) -> &C {
+        &self.controller
+    }
+}
+
+impl<A: Policy, C: Policy> Policy for HybridPolicy<A, C> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn place_job(
+        &mut self,
+        job: &Job,
+        obs: &Observation<'_>,
+        queue_hint: &QueueHint<'_>,
+    ) -> CoreId {
+        self.allocator.place_job(job, obs, queue_hint)
+    }
+
+    fn control(&mut self, obs: &Observation<'_>) -> ControlDecision {
+        // Let the allocator update its internal state (probabilities) and
+        // contribute migrations; take the actuation commands from the
+        // controller.
+        let alloc_decision = self.allocator.control(obs);
+        let ctrl_decision = self.controller.control(obs);
+        let mut migrations = alloc_decision.migrations;
+        migrations.extend(ctrl_decision.migrations);
+        ControlDecision { commands: ctrl_decision.commands, migrations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptivePolicy;
+    use crate::dvfs::{DvfsTt, DvfsUtil};
+
+    fn obs<'a>(temps: &'a [f64], util: &'a [f64], qlen: &'a [usize]) -> Observation<'a> {
+        Observation {
+            now_s: 0.0,
+            tick_s: 0.1,
+            core_temps_c: temps,
+            utilization: util,
+            queue_len: qlen,
+            queued_work_s: &[0.0; 8][..temps.len()],
+            idle_time_s: &[0.0; 8][..temps.len()],
+        }
+    }
+
+    #[test]
+    fn commands_come_from_controller() {
+        let mut h = HybridPolicy::new(AdaptivePolicy::adapt3d(vec![0.4, 0.6], 1), DvfsTt::new(2));
+        let d = h.control(&obs(&[90.0, 60.0], &[1.0, 0.2], &[1, 1]));
+        assert_eq!(d.commands[0].vf_index, 1, "TT stepped the hot core down");
+        assert_eq!(d.commands[1].vf_index, 0);
+    }
+
+    #[test]
+    fn placement_comes_from_allocator() {
+        let mut h =
+            HybridPolicy::new(AdaptivePolicy::adapt3d(vec![0.5, 0.5], 3), DvfsUtil::new());
+        // Drive core 0 into emergency so the allocator zeroes it.
+        h.control(&obs(&[90.0, 60.0], &[1.0, 0.2], &[1, 1]));
+        let job = therm3d_workload::Job::new(0, 0.0, 1.0, 0.5, therm3d_workload::Benchmark::Gcc);
+        let temps = [90.0, 60.0];
+        let o = obs(&temps, &[1.0, 0.2], &[1, 1]);
+        let hint = QueueHint { queued_work_s: &[0.0, 0.0], queue_len: &[0, 0] };
+        for _ in 0..20 {
+            assert_eq!(h.place_job(&job, &o, &hint), CoreId(1));
+        }
+    }
+
+    #[test]
+    fn allocator_state_still_updates() {
+        let mut h = HybridPolicy::new(AdaptivePolicy::adapt3d(vec![0.5, 0.5], 3), DvfsTt::new(2));
+        for _ in 0..10 {
+            h.control(&obs(&[84.0, 60.0], &[1.0, 0.2], &[1, 1]));
+        }
+        assert!(
+            h.allocator().probabilities()[1] > 0.7,
+            "adaptive probabilities keep evolving inside the hybrid"
+        );
+    }
+
+    #[test]
+    fn name_matches_paper_labels() {
+        let h = HybridPolicy::new(AdaptivePolicy::adapt3d(vec![0.5], 1), DvfsUtil::new());
+        assert_eq!(h.name(), "Adapt3D&DVFS_Util");
+    }
+}

@@ -1,0 +1,163 @@
+//! A Fibonacci linear-feedback shift register.
+//!
+//! The paper notes that the random number generator its adaptive policies
+//! need "can be implemented through a linear-feedback shift register
+//! (LFSR), which often exists on the chip for test purposes" — so the
+//! adaptive allocators here draw from exactly that: a 16-bit maximal-length
+//! Fibonacci LFSR (taps 16, 15, 13, 4; period 65535).
+
+/// 16-bit maximal-length Fibonacci LFSR.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_policies::lfsr::Lfsr16;
+///
+/// let mut rng = Lfsr16::new(0xACE1);
+/// let x = rng.next_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lfsr16 {
+    state: u16,
+}
+
+impl Lfsr16 {
+    /// Creates an LFSR from a seed; a zero seed (the lock-up state) is
+    /// remapped to the conventional `0xACE1`.
+    #[must_use]
+    pub fn new(seed: u16) -> Self {
+        Self { state: if seed == 0 { 0xACE1 } else { seed } }
+    }
+
+    /// Advances one bit and returns it.
+    pub fn next_bit(&mut self) -> u16 {
+        // Taps: 16, 15, 13, 4 (1-based) → bits 0, 1, 3, 12 of the
+        // right-shifting register.
+        let bit = (self.state ^ (self.state >> 1) ^ (self.state >> 3) ^ (self.state >> 12)) & 1;
+        self.state = (self.state >> 1) | (bit << 15);
+        bit
+    }
+
+    /// Returns the next 16 pseudo-random bits.
+    pub fn next_u16(&mut self) -> u16 {
+        let mut v = 0u16;
+        for _ in 0..16 {
+            v = (v << 1) | self.next_bit();
+        }
+        v
+    }
+
+    /// A pseudo-random `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        f64::from(self.next_u16()) / f64::from(u16::MAX) * (1.0 - f64::EPSILON)
+    }
+
+    /// Samples an index from a (not necessarily normalized) non-negative
+    /// weight vector; returns `None` if all weights are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or not finite.
+    pub fn sample_weighted(&mut self, weights: &[f64]) -> Option<usize> {
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w.is_finite() && w >= 0.0, "weight {i} is {w}");
+            total += w;
+        }
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return Some(i);
+            }
+        }
+        Some(weights.len() - 1)
+    }
+}
+
+impl Default for Lfsr16 {
+    fn default() -> Self {
+        Self::new(0xACE1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_period() {
+        let mut l = Lfsr16::new(1);
+        let start = l;
+        let mut count = 0u32;
+        loop {
+            l.next_bit();
+            count += 1;
+            if l == start || count > 70_000 {
+                break;
+            }
+        }
+        assert_eq!(count, 65_535, "maximal-length 16-bit LFSR period");
+    }
+
+    #[test]
+    fn zero_seed_remapped() {
+        let a = Lfsr16::new(0);
+        let b = Lfsr16::new(0xACE1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut l = Lfsr16::default();
+        for _ in 0..1000 {
+            let x = l.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut l = Lfsr16::new(0xBEEF);
+        let mut buckets = [0usize; 4];
+        let n = 4000;
+        for _ in 0..n {
+            buckets[(l.next_f64() * 4.0) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            let frac = b as f64 / n as f64;
+            assert!((frac - 0.25).abs() < 0.05, "bucket {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut l = Lfsr16::new(0x1234);
+        let weights = [0.0, 0.8, 0.2, 0.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..2000 {
+            counts[l.sample_weighted(&weights).expect("non-zero weights")] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[3], 0);
+        assert!(counts[1] > 3 * counts[2], "{counts:?}");
+    }
+
+    #[test]
+    fn all_zero_weights_yield_none() {
+        let mut l = Lfsr16::default();
+        assert_eq!(l.sample_weighted(&[0.0, 0.0]), None);
+        assert_eq!(l.sample_weighted(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn negative_weight_rejected() {
+        let mut l = Lfsr16::default();
+        let _ = l.sample_weighted(&[0.5, -0.1]);
+    }
+}

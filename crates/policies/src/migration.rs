@@ -1,0 +1,141 @@
+//! The job migration policy (`Migr`, Section III-B): move the running job
+//! off any core that crosses the thermal threshold onto the coolest core
+//! that has not yet received a migrated job this tick, swapping when the
+//! target is busy.
+
+use therm3d_floorplan::CoreId;
+use therm3d_workload::Job;
+
+use crate::baseline::AffinityPlacer;
+use crate::dvfs::DEFAULT_THRESHOLD_C;
+use crate::policy::{ControlDecision, Observation, Policy, QueueHint};
+
+/// Temperature-triggered job migration, an extension of core-hopping /
+/// activity-migration techniques (Heo et al., Heat-and-Run).
+#[derive(Debug, Clone)]
+pub struct Migration {
+    threshold_c: f64,
+    placer: AffinityPlacer,
+}
+
+impl Migration {
+    /// Creates the policy with the paper's 85 °C threshold.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_threshold(DEFAULT_THRESHOLD_C)
+    }
+
+    /// Creates the policy with a custom threshold.
+    #[must_use]
+    pub fn with_threshold(threshold_c: f64) -> Self {
+        Self { threshold_c, placer: AffinityPlacer::new() }
+    }
+}
+
+impl Default for Migration {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for Migration {
+    fn name(&self) -> &str {
+        "Migr"
+    }
+
+    fn place_job(
+        &mut self,
+        job: &Job,
+        _obs: &Observation<'_>,
+        queue_hint: &QueueHint<'_>,
+    ) -> CoreId {
+        self.placer.place(job, queue_hint)
+    }
+
+    fn control(&mut self, obs: &Observation<'_>) -> ControlDecision {
+        let n = obs.n_cores();
+        let mut decision = ControlDecision::run_all(n);
+        // Hot cores, hottest first, that actually hold a job to move.
+        let mut hot: Vec<usize> = (0..n)
+            .filter(|&i| obs.core_temps_c[i] > self.threshold_c && obs.queue_len[i] > 0)
+            .collect();
+        hot.sort_by(|&a, &b| obs.core_temps_c[b].total_cmp(&obs.core_temps_c[a]));
+
+        // A core may receive at most one migrated job per scheduling tick,
+        // and hot cores are not valid targets.
+        let mut excluded = vec![false; n];
+        for &i in &hot {
+            excluded[i] = true;
+        }
+        for &from in &hot {
+            let Some(to) = obs.coolest_core(&excluded) else { break };
+            excluded[to.0] = true;
+            decision.migrations.push((CoreId(from), to));
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs<'a>(temps: &'a [f64], qlen: &'a [usize]) -> Observation<'a> {
+        Observation {
+            now_s: 0.0,
+            tick_s: 0.1,
+            core_temps_c: temps,
+            utilization: &[0.0; 8][..temps.len()],
+            queue_len: qlen,
+            queued_work_s: &[0.0; 8][..temps.len()],
+            idle_time_s: &[0.0; 8][..temps.len()],
+        }
+    }
+
+    #[test]
+    fn migrates_hot_to_coolest() {
+        let mut p = Migration::new();
+        let temps = [90.0, 60.0, 70.0, 50.0];
+        let qlen = [1usize, 0, 0, 0];
+        let d = p.control(&obs(&temps, &qlen));
+        assert_eq!(d.migrations, vec![(CoreId(0), CoreId(3))]);
+    }
+
+    #[test]
+    fn one_migration_per_target_per_tick() {
+        let mut p = Migration::new();
+        let temps = [95.0, 91.0, 50.0, 55.0];
+        let qlen = [1usize, 1, 0, 0];
+        let d = p.control(&obs(&temps, &qlen));
+        // Hottest (core 0) gets the coolest target (core 2); core 1 the
+        // next coolest (core 3).
+        assert_eq!(d.migrations, vec![(CoreId(0), CoreId(2)), (CoreId(1), CoreId(3))]);
+    }
+
+    #[test]
+    fn idle_hot_core_not_migrated() {
+        let mut p = Migration::new();
+        let temps = [90.0, 50.0];
+        let qlen = [0usize, 0];
+        let d = p.control(&obs(&temps, &qlen));
+        assert!(d.migrations.is_empty());
+    }
+
+    #[test]
+    fn no_target_when_all_hot() {
+        let mut p = Migration::new();
+        let temps = [90.0, 91.0];
+        let qlen = [1usize, 1];
+        let d = p.control(&obs(&temps, &qlen));
+        assert!(d.migrations.is_empty(), "no cool core exists");
+    }
+
+    #[test]
+    fn below_threshold_no_action() {
+        let mut p = Migration::new();
+        let temps = [84.0, 60.0];
+        let qlen = [1usize, 0];
+        let d = p.control(&obs(&temps, &qlen));
+        assert!(d.migrations.is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! The policy abstraction: observations in, placement and control
+//! decisions out.
+
+use therm3d_floorplan::CoreId;
+use therm3d_workload::Job;
+
+/// What every policy sees at each scheduling tick (100 ms in the paper):
+/// per-core thermal sensor readings and scheduler statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Observation<'a> {
+    /// Simulation time at the start of the tick, seconds.
+    pub now_s: f64,
+    /// Tick length, seconds.
+    pub tick_s: f64,
+    /// Per-core temperature sensor readings, °C.
+    pub core_temps_c: &'a [f64],
+    /// Per-core utilization over the previous tick, `[0, 1]`.
+    pub utilization: &'a [f64],
+    /// Per-core queue length (jobs, including the running one).
+    pub queue_len: &'a [usize],
+    /// Per-core queued work, seconds of CPU demand.
+    pub queued_work_s: &'a [f64],
+    /// Per-core continuous idle time so far, seconds (for DPM timeouts).
+    pub idle_time_s: &'a [f64],
+}
+
+impl Observation<'_> {
+    /// Number of cores observed.
+    #[must_use]
+    pub fn n_cores(&self) -> usize {
+        self.core_temps_c.len()
+    }
+
+    /// Index of the coolest core, optionally excluding some cores.
+    ///
+    /// Returns `None` when every core is excluded.
+    #[must_use]
+    pub fn coolest_core(&self, exclude: &[bool]) -> Option<CoreId> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &t) in self.core_temps_c.iter().enumerate() {
+            if exclude.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((i, t));
+            }
+        }
+        best.map(|(i, _)| CoreId(i))
+    }
+}
+
+/// Per-core actuation for the next tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreCommand {
+    /// V/f level index (0 = default/fastest).
+    pub vf_index: usize,
+    /// Clock-gate the core (no progress, no dynamic power).
+    pub gated: bool,
+    /// Put the core in the sleep state (DPM).
+    pub asleep: bool,
+}
+
+impl CoreCommand {
+    /// Full speed, running.
+    #[must_use]
+    pub fn run() -> Self {
+        Self { vf_index: 0, gated: false, asleep: false }
+    }
+
+    /// Running at the given V/f level.
+    #[must_use]
+    pub fn at_level(vf_index: usize) -> Self {
+        Self { vf_index, gated: false, asleep: false }
+    }
+}
+
+impl Default for CoreCommand {
+    fn default() -> Self {
+        Self::run()
+    }
+}
+
+/// The control output of a policy for one tick.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ControlDecision {
+    /// One command per core. Empty means "leave everything at the
+    /// default".
+    pub commands: Vec<CoreCommand>,
+    /// Migrations to apply this tick, `(from, to)` pairs.
+    pub migrations: Vec<(CoreId, CoreId)>,
+}
+
+impl ControlDecision {
+    /// Run every core at the default setting, no migrations.
+    #[must_use]
+    pub fn run_all(n_cores: usize) -> Self {
+        Self { commands: vec![CoreCommand::run(); n_cores], migrations: Vec::new() }
+    }
+}
+
+/// A dynamic thermal management policy: job placement plus per-tick
+/// control.
+///
+/// Implementations are deterministic given their seed, so experiments are
+/// exactly reproducible.
+pub trait Policy: Send {
+    /// A short human-readable name (matching the paper's figure labels,
+    /// e.g. `"Adapt3D"`).
+    fn name(&self) -> &str;
+
+    /// Chooses the core for a newly arrived job.
+    fn place_job(&mut self, job: &Job, obs: &Observation<'_>, queue_hint: &QueueHint<'_>)
+        -> CoreId;
+
+    /// Produces the control decision for the next tick.
+    fn control(&mut self, obs: &Observation<'_>) -> ControlDecision;
+}
+
+/// Queue-state summary handed to placement decisions (what the Solaris
+/// dispatcher would know).
+#[derive(Debug, Clone, Copy)]
+pub struct QueueHint<'a> {
+    /// Queued CPU work per core, seconds.
+    pub queued_work_s: &'a [f64],
+    /// Queue length per core.
+    pub queue_len: &'a [usize],
+}
+
+impl QueueHint<'_> {
+    /// Core with the least queued work (the load-balancing default).
+    #[must_use]
+    pub fn least_loaded(&self) -> CoreId {
+        let mut best = 0usize;
+        let mut best_w = f64::INFINITY;
+        for (i, &w) in self.queued_work_s.iter().enumerate() {
+            if w < best_w {
+                best_w = w;
+                best = i;
+            }
+        }
+        CoreId(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coolest_core_with_exclusions() {
+        let temps = [80.0, 60.0, 70.0];
+        let obs = Observation {
+            now_s: 0.0,
+            tick_s: 0.1,
+            core_temps_c: &temps,
+            utilization: &[0.0; 3],
+            queue_len: &[0; 3],
+            queued_work_s: &[0.0; 3],
+            idle_time_s: &[0.0; 3],
+        };
+        assert_eq!(obs.coolest_core(&[false; 3]), Some(CoreId(1)));
+        assert_eq!(obs.coolest_core(&[false, true, false]), Some(CoreId(2)));
+        assert_eq!(obs.coolest_core(&[true; 3]), None);
+    }
+
+    #[test]
+    fn queue_hint_least_loaded() {
+        let h = QueueHint { queued_work_s: &[0.5, 0.1, 0.3], queue_len: &[2, 1, 1] };
+        assert_eq!(h.least_loaded(), CoreId(1));
+    }
+
+    #[test]
+    fn command_constructors() {
+        assert_eq!(CoreCommand::run(), CoreCommand { vf_index: 0, gated: false, asleep: false });
+        assert_eq!(CoreCommand::at_level(2).vf_index, 2);
+        assert_eq!(CoreCommand::default(), CoreCommand::run());
+    }
+
+    #[test]
+    fn run_all_decision() {
+        let d = ControlDecision::run_all(4);
+        assert_eq!(d.commands.len(), 4);
+        assert!(d.migrations.is_empty());
+    }
+}

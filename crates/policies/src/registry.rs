@@ -1,0 +1,226 @@
+//! A registry of every policy evaluated in the paper, keyed by the labels
+//! of Figures 3–6.
+
+use std::fmt;
+use std::str::FromStr;
+
+use therm3d_floorplan::Stack3d;
+use therm3d_power::VfTable;
+
+use crate::adaptive::AdaptivePolicy;
+use crate::baseline::DefaultPolicy;
+use crate::dpm::DpmWrapper;
+use crate::dvfs::{CGate, DvfsFlp, DvfsTt, DvfsUtil};
+use crate::hybrid::HybridPolicy;
+use crate::migration::Migration;
+use crate::policy::Policy;
+
+/// Every policy configuration evaluated in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PolicyKind {
+    /// Dynamic load balancing (the OS default; the baseline).
+    Default,
+    /// Clock gating on thermal emergency.
+    CGate,
+    /// DVFS with temperature trigger.
+    DvfsTt,
+    /// Utilization-driven DVFS.
+    DvfsUtil,
+    /// Floorplan-aware static DVFS.
+    DvfsFlp,
+    /// Temperature-triggered job migration.
+    Migr,
+    /// Adaptive-Random allocation (DATE'07).
+    AdaptRand,
+    /// The paper's 3D-aware adaptive allocation.
+    Adapt3d,
+    /// Hybrid: Adapt3D allocation + DVFS_TT control.
+    Adapt3dDvfsTt,
+    /// Hybrid: Adapt3D allocation + DVFS_Util control.
+    Adapt3dDvfsUtil,
+    /// Hybrid: Adapt3D allocation + DVFS_FLP control.
+    Adapt3dDvfsFlp,
+}
+
+impl PolicyKind {
+    /// All policies in the order the figures present them.
+    pub const ALL: [PolicyKind; 11] = [
+        PolicyKind::Default,
+        PolicyKind::CGate,
+        PolicyKind::DvfsTt,
+        PolicyKind::DvfsUtil,
+        PolicyKind::DvfsFlp,
+        PolicyKind::Migr,
+        PolicyKind::AdaptRand,
+        PolicyKind::Adapt3d,
+        PolicyKind::Adapt3dDvfsTt,
+        PolicyKind::Adapt3dDvfsUtil,
+        PolicyKind::Adapt3dDvfsFlp,
+    ];
+
+    /// The figure label used in the paper.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Default => "Default",
+            PolicyKind::CGate => "CGate",
+            PolicyKind::DvfsTt => "DVFS_TT",
+            PolicyKind::DvfsUtil => "DVFS_Util",
+            PolicyKind::DvfsFlp => "DVFS_FLP",
+            PolicyKind::Migr => "Migr",
+            PolicyKind::AdaptRand => "AdaptRand",
+            PolicyKind::Adapt3d => "Adapt3D",
+            PolicyKind::Adapt3dDvfsTt => "Adapt3D&DVFS_TT",
+            PolicyKind::Adapt3dDvfsUtil => "Adapt3D&DVFS_Util",
+            PolicyKind::Adapt3dDvfsFlp => "Adapt3D&DVFS_FLP",
+        }
+    }
+
+    /// `true` for the Adapt3D + DVFS combinations of Section III-C.
+    #[must_use]
+    pub fn is_hybrid(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Adapt3dDvfsTt | PolicyKind::Adapt3dDvfsUtil | PolicyKind::Adapt3dDvfsFlp
+        )
+    }
+
+    /// `true` if the policy scales voltage/frequency.
+    #[must_use]
+    pub fn uses_dvfs(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::DvfsTt
+                | PolicyKind::DvfsUtil
+                | PolicyKind::DvfsFlp
+                | PolicyKind::Adapt3dDvfsTt
+                | PolicyKind::Adapt3dDvfsUtil
+                | PolicyKind::Adapt3dDvfsFlp
+        )
+    }
+
+    /// Instantiates the policy for `stack`, deriving per-core thermal
+    /// indices from the stack geometry where needed.
+    ///
+    /// `seed` drives the adaptive policies' LFSR; the same seed reproduces
+    /// the same run exactly.
+    #[must_use]
+    pub fn build(self, stack: &Stack3d, seed: u16) -> Box<dyn Policy> {
+        let n = stack.num_cores();
+        let alphas = stack.default_thermal_indices();
+        let vf = VfTable::paper_default();
+        match self {
+            PolicyKind::Default => Box::new(DefaultPolicy::new()),
+            PolicyKind::CGate => Box::new(CGate::new()),
+            PolicyKind::DvfsTt => Box::new(DvfsTt::new(n)),
+            PolicyKind::DvfsUtil => Box::new(DvfsUtil::new()),
+            PolicyKind::DvfsFlp => Box::new(DvfsFlp::from_thermal_indices(&alphas, &vf)),
+            PolicyKind::Migr => Box::new(Migration::new()),
+            PolicyKind::AdaptRand => Box::new(AdaptivePolicy::adapt_rand(n, seed)),
+            PolicyKind::Adapt3d => Box::new(AdaptivePolicy::adapt3d(alphas, seed)),
+            PolicyKind::Adapt3dDvfsTt => Box::new(HybridPolicy::new(
+                AdaptivePolicy::adapt3d(alphas, seed),
+                DvfsTt::new(n),
+            )),
+            PolicyKind::Adapt3dDvfsUtil => Box::new(HybridPolicy::new(
+                AdaptivePolicy::adapt3d(alphas, seed),
+                DvfsUtil::new(),
+            )),
+            PolicyKind::Adapt3dDvfsFlp => Box::new(HybridPolicy::new(
+                AdaptivePolicy::adapt3d(alphas.clone(), seed),
+                DvfsFlp::from_thermal_indices(&alphas, &vf),
+            )),
+        }
+    }
+
+    /// Instantiates the policy, optionally wrapped in fixed-timeout DPM
+    /// (the Figures 4–6 configurations).
+    #[must_use]
+    pub fn build_with_dpm(self, stack: &Stack3d, seed: u16, dpm: bool) -> Box<dyn Policy> {
+        let inner = self.build(stack, seed);
+        if dpm {
+            Box::new(DpmWrapper::new(inner))
+        } else {
+            inner
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing a [`PolicyKind`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown policy `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for PolicyKind {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.to_ascii_lowercase().replace(['_', '-', '&', ' '], "");
+        PolicyKind::ALL
+            .iter()
+            .find(|k| k.label().to_ascii_lowercase().replace(['_', '&'], "") == norm)
+            .copied()
+            .ok_or_else(|| ParsePolicyError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use therm3d_floorplan::Experiment;
+
+    #[test]
+    fn builds_every_policy_for_every_experiment() {
+        for exp in Experiment::ALL {
+            let stack = exp.stack();
+            for kind in PolicyKind::ALL {
+                let p = kind.build(&stack, 0x1357);
+                assert_eq!(p.name(), kind.label(), "{exp}/{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn dpm_wrapper_changes_name() {
+        let stack = Experiment::Exp1.stack();
+        let p = PolicyKind::Adapt3d.build_with_dpm(&stack, 1, true);
+        assert_eq!(p.name(), "Adapt3D+DPM");
+        let p = PolicyKind::Adapt3d.build_with_dpm(&stack, 1, false);
+        assert_eq!(p.name(), "Adapt3D");
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(PolicyKind::Adapt3dDvfsTt.is_hybrid());
+        assert!(!PolicyKind::Adapt3d.is_hybrid());
+        assert!(PolicyKind::DvfsUtil.uses_dvfs());
+        assert!(!PolicyKind::Migr.uses_dvfs());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.label().parse::<PolicyKind>().unwrap(), kind);
+        }
+        assert_eq!("adapt3d".parse::<PolicyKind>().unwrap(), PolicyKind::Adapt3d);
+        assert!("frobnicate".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn all_has_eleven_entries_like_the_figures() {
+        assert_eq!(PolicyKind::ALL.len(), 11);
+    }
+}

@@ -1,0 +1,240 @@
+//! Voltage/frequency operating points and the paper's three-level DVFS
+//! table.
+
+use std::fmt;
+
+/// One voltage/frequency operating point, expressed relative to the
+/// default (highest) setting.
+///
+/// Dynamic power scales as `P ∝ f · V²` (the paper's Section IV-B), so a
+/// level's dynamic-power multiplier is
+/// [`dynamic_scale`](Self::dynamic_scale) = `f_rel · v_rel²`. Leakage
+/// scales roughly linearly with supply voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VfLevel {
+    /// Frequency relative to the default setting, in `(0, 1]`.
+    pub freq_scale: f64,
+    /// Supply voltage relative to the default setting, in `(0, 1]`.
+    pub volt_scale: f64,
+}
+
+impl VfLevel {
+    /// Creates a level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either scale is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(freq_scale: f64, volt_scale: f64) -> Self {
+        assert!(
+            freq_scale > 0.0 && freq_scale <= 1.0,
+            "frequency scale must be in (0, 1], got {freq_scale}"
+        );
+        assert!(
+            volt_scale > 0.0 && volt_scale <= 1.0,
+            "voltage scale must be in (0, 1], got {volt_scale}"
+        );
+        Self { freq_scale, volt_scale }
+    }
+
+    /// Dynamic power multiplier `f · V²` relative to the default level.
+    #[must_use]
+    pub fn dynamic_scale(&self) -> f64 {
+        self.freq_scale * self.volt_scale * self.volt_scale
+    }
+
+    /// Leakage power multiplier (≈ linear in supply voltage).
+    #[must_use]
+    pub fn leakage_scale(&self) -> f64 {
+        self.volt_scale
+    }
+}
+
+impl fmt::Display for VfLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f={:.0}% V={:.0}%", self.freq_scale * 100.0, self.volt_scale * 100.0)
+    }
+}
+
+/// An ordered table of V/f levels, index 0 being the default (highest).
+///
+/// The paper assumes three built-in settings per core: default, 95 % and
+/// 85 % of the default (Section III-A), independently settable per core.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_power::VfTable;
+///
+/// let table = VfTable::paper_default();
+/// assert_eq!(table.len(), 3);
+/// assert_eq!(table.highest(), 0);
+/// assert_eq!(table.lowest(), 2);
+/// assert!(table.level(2).dynamic_scale() < table.level(0).dynamic_scale());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VfTable {
+    levels: Vec<VfLevel>,
+}
+
+impl VfTable {
+    /// The paper's table: 100 %, 95 %, 85 % of the default V/f setting.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(vec![
+            VfLevel::new(1.0, 1.0),
+            VfLevel::new(0.95, 0.95),
+            VfLevel::new(0.85, 0.85),
+        ])
+    }
+
+    /// Creates a table from levels ordered fastest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or not strictly decreasing in
+    /// frequency.
+    #[must_use]
+    pub fn new(levels: Vec<VfLevel>) -> Self {
+        assert!(!levels.is_empty(), "V/f table must have at least one level");
+        for w in levels.windows(2) {
+            assert!(
+                w[1].freq_scale < w[0].freq_scale,
+                "levels must be ordered fastest first"
+            );
+        }
+        Self { levels }
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Always `false` (a table has at least one level); for API
+    /// completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The level at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[must_use]
+    pub fn level(&self, index: usize) -> VfLevel {
+        self.levels[index]
+    }
+
+    /// All levels, fastest first.
+    #[must_use]
+    pub fn levels(&self) -> &[VfLevel] {
+        &self.levels
+    }
+
+    /// Index of the fastest (default) level: always 0.
+    #[must_use]
+    pub fn highest(&self) -> usize {
+        0
+    }
+
+    /// Index of the slowest level.
+    #[must_use]
+    pub fn lowest(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// The next slower level index (saturating at the slowest).
+    #[must_use]
+    pub fn step_down(&self, index: usize) -> usize {
+        (index + 1).min(self.lowest())
+    }
+
+    /// The next faster level index (saturating at the default).
+    #[must_use]
+    pub fn step_up(&self, index: usize) -> usize {
+        index.saturating_sub(1)
+    }
+
+    /// The slowest level whose frequency still meets `required_throughput`
+    /// (a fraction of the default frequency's throughput, in `[0, 1]`).
+    ///
+    /// Used by the utilization-driven DVFS policy: a core that was `u`
+    /// busy at full speed can run at any level with `freq_scale ≥ u`
+    /// without (to first order) stretching execution beyond the interval.
+    #[must_use]
+    pub fn slowest_meeting(&self, required_throughput: f64) -> usize {
+        let req = required_throughput.clamp(0.0, 1.0);
+        // Levels are sorted fastest first, so scan from the slow end.
+        for idx in (0..self.levels.len()).rev() {
+            if self.levels[idx].freq_scale + 1e-12 >= req {
+                return idx;
+            }
+        }
+        self.highest()
+    }
+}
+
+impl Default for VfTable {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_scales() {
+        let t = VfTable::paper_default();
+        assert!((t.level(0).dynamic_scale() - 1.0).abs() < 1e-12);
+        assert!((t.level(1).dynamic_scale() - 0.95f64.powi(3)).abs() < 1e-12);
+        assert!((t.level(2).dynamic_scale() - 0.85f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stepping_saturates() {
+        let t = VfTable::paper_default();
+        assert_eq!(t.step_down(0), 1);
+        assert_eq!(t.step_down(2), 2);
+        assert_eq!(t.step_up(2), 1);
+        assert_eq!(t.step_up(0), 0);
+    }
+
+    #[test]
+    fn slowest_meeting_throughput() {
+        let t = VfTable::paper_default();
+        assert_eq!(t.slowest_meeting(0.1), 2, "light load → slowest level");
+        assert_eq!(t.slowest_meeting(0.9), 1, "90 % load fits the 95 % level");
+        assert_eq!(t.slowest_meeting(0.97), 0, "heavy load → default level");
+        assert_eq!(t.slowest_meeting(0.85), 2, "exactly at the 85 % boundary");
+    }
+
+    #[test]
+    #[should_panic(expected = "fastest first")]
+    fn unsorted_table_rejected() {
+        let _ = VfTable::new(vec![VfLevel::new(0.9, 0.9), VfLevel::new(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_table_rejected() {
+        let _ = VfTable::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency scale")]
+    fn bad_level_rejected() {
+        let _ = VfLevel::new(1.5, 1.0);
+    }
+
+    #[test]
+    fn leakage_scale_is_voltage() {
+        let l = VfLevel::new(0.85, 0.85);
+        assert!((l.leakage_scale() - 0.85).abs() < 1e-12);
+    }
+}

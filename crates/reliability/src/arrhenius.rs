@@ -1,0 +1,192 @@
+//! Arrhenius-type steady-temperature aging: the generic acceleration
+//! factor and Black's electromigration equation.
+
+use crate::{kelvin, BOLTZMANN_EV_PER_K};
+
+/// The generic Arrhenius acceleration model: failure rates scale as
+/// `exp(−Ea / kT)`, so running at temperature `T` instead of a reference
+/// `T_ref` accelerates aging by `exp(Ea/k · (1/T_ref − 1/T))`.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_reliability::ArrheniusModel;
+///
+/// let m = ArrheniusModel::new(0.7);
+/// let af = m.acceleration(60.0, 85.0);
+/// assert!(af > 3.0 && af < 8.0, "a 25 °C rise costs roughly 4-6× at Ea=0.7 eV");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrheniusModel {
+    /// Activation energy in eV.
+    pub activation_energy_ev: f64,
+}
+
+impl ArrheniusModel {
+    /// A model with the given activation energy (JEP122C tables:
+    /// 0.5–0.9 eV for electromigration depending on the metal system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activation_energy_ev` is not positive.
+    #[must_use]
+    pub fn new(activation_energy_ev: f64) -> Self {
+        assert!(activation_energy_ev > 0.0, "activation energy must be positive");
+        Self { activation_energy_ev }
+    }
+
+    /// Acceleration factor of running at `temp_c` relative to
+    /// `ref_temp_c` (>1 when hotter: fails sooner).
+    #[must_use]
+    pub fn acceleration(&self, ref_temp_c: f64, temp_c: f64) -> f64 {
+        let t_ref = kelvin(ref_temp_c);
+        let t = kelvin(temp_c);
+        (self.activation_energy_ev / BOLTZMANN_EV_PER_K * (1.0 / t_ref - 1.0 / t)).exp()
+    }
+
+    /// Time-averaged acceleration over a temperature series: the mean of
+    /// the instantaneous factors, which is the correct aggregation for a
+    /// rate-type failure process.
+    ///
+    /// Returns 1.0 for an empty series.
+    #[must_use]
+    pub fn mean_acceleration(&self, ref_temp_c: f64, series_c: &[f64]) -> f64 {
+        if series_c.is_empty() {
+            return 1.0;
+        }
+        series_c.iter().map(|&t| self.acceleration(ref_temp_c, t)).sum::<f64>()
+            / series_c.len() as f64
+    }
+}
+
+/// Black's electromigration equation: `MTTF ∝ J^(−n) · exp(Ea / kT)`.
+///
+/// Current density `J` tracks switching activity; at the granularity of
+/// this reproduction we expose the temperature term plus an optional
+/// activity ratio.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_reliability::BlackModel;
+///
+/// let m = BlackModel::jep122c();
+/// // MTTF at 95 °C relative to 60 °C, same current density:
+/// let ratio = m.mttf_ratio(60.0, 95.0, 1.0);
+/// assert!(ratio < 0.2, "a 35 °C rise costs over 5× lifetime: {ratio}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlackModel {
+    /// Activation energy in eV.
+    pub activation_energy_ev: f64,
+    /// Current-density exponent `n` (JEP122C: 1–2).
+    pub current_exponent: f64,
+}
+
+impl BlackModel {
+    /// JEP122C-typical aluminum/copper interconnect parameters:
+    /// Ea = 0.7 eV, n = 2.
+    #[must_use]
+    pub fn jep122c() -> Self {
+        Self { activation_energy_ev: 0.7, current_exponent: 2.0 }
+    }
+
+    /// A model with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive.
+    #[must_use]
+    pub fn new(activation_energy_ev: f64, current_exponent: f64) -> Self {
+        assert!(activation_energy_ev > 0.0, "activation energy must be positive");
+        assert!(current_exponent > 0.0, "current exponent must be positive");
+        Self { activation_energy_ev, current_exponent }
+    }
+
+    /// MTTF at `(temp_c, current_ratio)` relative to the MTTF at
+    /// `(ref_temp_c, current ratio 1)`. Below 1 means the component dies
+    /// sooner than the reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current_ratio` is not positive.
+    #[must_use]
+    pub fn mttf_ratio(&self, ref_temp_c: f64, temp_c: f64, current_ratio: f64) -> f64 {
+        assert!(current_ratio > 0.0, "current ratio must be positive");
+        let arrhenius = ArrheniusModel::new(self.activation_energy_ev);
+        current_ratio.powf(-self.current_exponent)
+            / arrhenius.acceleration(ref_temp_c, temp_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceleration_is_one_at_reference() {
+        let m = ArrheniusModel::new(0.7);
+        assert!((m.acceleration(80.0, 80.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceleration_monotone_in_temperature() {
+        let m = ArrheniusModel::new(0.7);
+        let mut last = 0.0;
+        for t in [50.0, 60.0, 70.0, 80.0, 90.0, 100.0] {
+            let a = m.acceleration(50.0, t);
+            assert!(a > last, "AF must grow with temperature");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn ten_degrees_roughly_doubles_em_rate() {
+        // The classic rule of thumb near 85 °C with Ea ≈ 0.7 eV.
+        let m = ArrheniusModel::new(0.7);
+        let a = m.acceleration(85.0, 95.0);
+        assert!(a > 1.6 && a < 2.4, "10 °C at 85 °C should be ≈2×: {a}");
+    }
+
+    #[test]
+    fn mean_acceleration_between_extremes() {
+        let m = ArrheniusModel::new(0.7);
+        let series = [60.0, 90.0];
+        let mean = m.mean_acceleration(60.0, &series);
+        assert!(mean > 1.0 && mean < m.acceleration(60.0, 90.0));
+        assert_eq!(m.mean_acceleration(60.0, &[]), 1.0);
+    }
+
+    #[test]
+    fn mean_acceleration_is_rate_weighted_not_temp_weighted() {
+        // Averaging rates ≠ rate at average temperature (Jensen): the
+        // hot samples dominate.
+        let m = ArrheniusModel::new(0.7);
+        let series = [60.0, 100.0];
+        let mean_rate = m.mean_acceleration(60.0, &series);
+        let rate_of_mean = m.acceleration(60.0, 80.0);
+        assert!(mean_rate > rate_of_mean);
+    }
+
+    #[test]
+    fn black_mttf_falls_with_temperature_and_current() {
+        let m = BlackModel::jep122c();
+        assert!((m.mttf_ratio(60.0, 60.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!(m.mttf_ratio(60.0, 90.0, 1.0) < 1.0);
+        assert!(m.mttf_ratio(60.0, 60.0, 2.0) < m.mttf_ratio(60.0, 60.0, 1.0));
+        // n = 2: doubling current density quarters MTTF.
+        assert!((m.mttf_ratio(60.0, 60.0, 2.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "activation energy")]
+    fn zero_activation_energy_rejected() {
+        let _ = ArrheniusModel::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "current ratio")]
+    fn zero_current_rejected() {
+        let _ = BlackModel::jep122c().mttf_ratio(60.0, 60.0, 0.0);
+    }
+}

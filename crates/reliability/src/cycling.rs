@@ -1,0 +1,248 @@
+//! Thermal-cycling fatigue: rainflow-style cycle extraction from a
+//! temperature series and Coffin–Manson damage accumulation.
+//!
+//! The paper quotes JEDEC JEP122C: "assuming the same frequency of
+//! thermal cycles, failures happen 16× more frequently when ΔT increases
+//! from 10 to 20 °C" — exactly the Coffin–Manson law with exponent
+//! `q = 4` (`(20/10)⁴ = 16`), which is this module's default.
+
+/// One extracted half-cycle: a monotone temperature excursion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfCycle {
+    /// Magnitude of the excursion, °C (always positive).
+    pub delta_c: f64,
+    /// Mean temperature of the excursion, °C.
+    pub mean_c: f64,
+}
+
+/// Extracts half-cycles from a temperature series with the three-point
+/// rainflow counting rule (simplified ASTM E1049): the series is reduced
+/// to its turning points, then inner ranges smaller than both neighbours
+/// are paired off as full cycles and the residue contributes half-cycles.
+///
+/// Excursions smaller than `noise_floor_c` are ignored.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_reliability::rainflow_half_cycles;
+///
+/// // One clean 30 °C cycle ridden by 1 °C noise.
+/// let series = [60.0, 61.0, 90.0, 89.0, 90.0, 60.0];
+/// let cycles = rainflow_half_cycles(&series, 2.0);
+/// assert_eq!(cycles.len(), 2, "up-swing and down-swing");
+/// assert!((cycles[0].delta_c - 30.0).abs() < 1.01);
+/// ```
+#[must_use]
+pub fn rainflow_half_cycles(series_c: &[f64], noise_floor_c: f64) -> Vec<HalfCycle> {
+    // 1. Reduce to turning points (local extrema), merging noise.
+    let mut turning: Vec<f64> = Vec::new();
+    for &t in series_c {
+        if turning.len() < 2 {
+            if turning.last().is_none_or(|&l| (l - t).abs() > 1e-12) {
+                turning.push(t);
+            }
+            continue;
+        }
+        let n = turning.len();
+        let prev = turning[n - 1];
+        let before = turning[n - 2];
+        // Extend a monotone run instead of creating a new turning point.
+        if (prev - before).signum() == (t - prev).signum() {
+            turning[n - 1] = t;
+        } else if (t - prev).abs() > 1e-12 {
+            turning.push(t);
+        }
+    }
+
+    // 2. Three-point rainflow: repeatedly remove inner ranges that are
+    // bracketed by larger neighbours (each removal = one full cycle,
+    // recorded as two half-cycles).
+    let mut cycles = Vec::new();
+    let mut stack: Vec<f64> = Vec::new();
+    let push_half = |a: f64, b: f64, out: &mut Vec<HalfCycle>| {
+        let delta = (a - b).abs();
+        if delta >= noise_floor_c {
+            out.push(HalfCycle { delta_c: delta, mean_c: f64::midpoint(a, b) });
+        }
+    };
+    for &t in &turning {
+        stack.push(t);
+        while stack.len() >= 3 {
+            let n = stack.len();
+            let x = (stack[n - 1] - stack[n - 2]).abs();
+            let y = (stack[n - 2] - stack[n - 3]).abs();
+            if y <= x {
+                // The inner range y is a full cycle: two half-cycles.
+                push_half(stack[n - 2], stack[n - 3], &mut cycles);
+                push_half(stack[n - 2], stack[n - 3], &mut cycles);
+                stack.remove(n - 2);
+                stack.remove(n - 3);
+            } else {
+                break;
+            }
+        }
+    }
+    // 3. Residue: each adjacent pair is a half-cycle.
+    for w in stack.windows(2) {
+        push_half(w[0], w[1], &mut cycles);
+    }
+    cycles
+}
+
+/// Coffin–Manson low-cycle fatigue: cycles-to-failure scales as
+/// `N_f ∝ ΔT^(−q)`, so each observed cycle of magnitude ΔT consumes
+/// `(ΔT / ΔT_ref)^q` units of damage relative to a reference cycle
+/// (Miner's linear accumulation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoffinManson {
+    /// Fatigue exponent `q` (JEP122C: 4 for hard metal fatigue — this
+    /// reproduces the paper's 16× factor between 10 and 20 °C swings).
+    pub exponent: f64,
+    /// Reference swing ΔT_ref in °C; damage is expressed in units of
+    /// "equivalent ΔT_ref cycles".
+    pub reference_delta_c: f64,
+}
+
+impl CoffinManson {
+    /// The JEP122C metal-fatigue parameterization the paper quotes:
+    /// `q = 4`, referenced to 10 °C swings.
+    #[must_use]
+    pub fn jep122c() -> Self {
+        Self { exponent: 4.0, reference_delta_c: 10.0 }
+    }
+
+    /// A model with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive.
+    #[must_use]
+    pub fn new(exponent: f64, reference_delta_c: f64) -> Self {
+        assert!(exponent > 0.0, "fatigue exponent must be positive");
+        assert!(reference_delta_c > 0.0, "reference swing must be positive");
+        Self { exponent, reference_delta_c }
+    }
+
+    /// Damage contributed by a single full cycle of magnitude `delta_c`,
+    /// in equivalent reference cycles.
+    #[must_use]
+    pub fn cycle_damage(&self, delta_c: f64) -> f64 {
+        if delta_c <= 0.0 {
+            return 0.0;
+        }
+        (delta_c / self.reference_delta_c).powf(self.exponent)
+    }
+
+    /// Total Miner's-rule damage of a set of half-cycles (each half-cycle
+    /// contributes half a full cycle's damage).
+    #[must_use]
+    pub fn accumulate(&self, half_cycles: &[HalfCycle]) -> f64 {
+        half_cycles.iter().map(|h| 0.5 * self.cycle_damage(h.delta_c)).sum()
+    }
+
+    /// Convenience: rainflow-count `series_c` (noise floor 1 °C) and
+    /// return the accumulated damage per hour given the sample period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not positive.
+    #[must_use]
+    pub fn damage_per_hour(&self, series_c: &[f64], dt_s: f64) -> f64 {
+        assert!(dt_s > 0.0, "sample period must be positive");
+        if series_c.len() < 2 {
+            return 0.0;
+        }
+        let damage = self.accumulate(&rainflow_half_cycles(series_c, 1.0));
+        let hours = (series_c.len() - 1) as f64 * dt_s / 3600.0;
+        damage / hours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sixteen_x_claim() {
+        // The exact sentence from the paper: ΔT from 10 to 20 °C makes
+        // failures 16× more frequent at the same cycle frequency.
+        let cm = CoffinManson::jep122c();
+        let ratio = cm.cycle_damage(20.0) / cm.cycle_damage(10.0);
+        assert!((ratio - 16.0).abs() < 1e-9, "Coffin-Manson q=4: {ratio}");
+    }
+
+    #[test]
+    fn single_triangle_wave_counts_correctly() {
+        let series = [50.0, 80.0, 50.0];
+        let cycles = rainflow_half_cycles(&series, 1.0);
+        assert_eq!(cycles.len(), 2);
+        for c in &cycles {
+            assert!((c.delta_c - 30.0).abs() < 1e-12);
+            assert!((c.mean_c - 65.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nested_small_cycle_extracted_as_full_cycle() {
+        // Big swing 40→90 with a 70→60→80 wiggle inside: rainflow must
+        // count the inner 10..20 °C cycle separately.
+        let series = [40.0, 70.0, 60.0, 90.0, 40.0];
+        let cycles = rainflow_half_cycles(&series, 1.0);
+        let total: f64 = cycles.iter().map(|c| c.delta_c).sum();
+        // Inner full cycle 10+10, outer half-cycles 50+50.
+        assert!((total - 120.0).abs() < 1e-9, "cycles: {cycles:?}");
+    }
+
+    #[test]
+    fn noise_floor_suppresses_jitter() {
+        let series = [60.0, 60.4, 59.8, 60.2, 60.1, 59.9];
+        assert!(rainflow_half_cycles(&series, 1.0).is_empty());
+    }
+
+    #[test]
+    fn monotone_series_is_one_half_cycle() {
+        let series = [40.0, 45.0, 50.0, 70.0];
+        let cycles = rainflow_half_cycles(&series, 1.0);
+        assert_eq!(cycles.len(), 1);
+        assert!((cycles[0].delta_c - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_has_no_cycles() {
+        let series = [55.0; 20];
+        assert!(rainflow_half_cycles(&series, 0.5).is_empty());
+        assert_eq!(CoffinManson::jep122c().damage_per_hour(&series, 0.1), 0.0);
+    }
+
+    #[test]
+    fn damage_per_hour_scales_with_frequency() {
+        let cm = CoffinManson::jep122c();
+        // Same waveform sampled twice as fast = cycles twice as frequent.
+        let slow: Vec<f64> = (0..400).map(|i| if (i / 20) % 2 == 0 { 60.0 } else { 80.0 }).collect();
+        let fast: Vec<f64> = (0..400).map(|i| if (i / 10) % 2 == 0 { 60.0 } else { 80.0 }).collect();
+        let d_slow = cm.damage_per_hour(&slow, 0.1);
+        let d_fast = cm.damage_per_hour(&fast, 0.1);
+        assert!(
+            (d_fast / d_slow - 2.0).abs() < 0.15,
+            "doubling cycle frequency doubles damage: {d_slow} vs {d_fast}"
+        );
+    }
+
+    #[test]
+    fn bigger_swings_dominate_damage() {
+        let cm = CoffinManson::jep122c();
+        let small = [HalfCycle { delta_c: 5.0, mean_c: 70.0 }; 100];
+        let big = [HalfCycle { delta_c: 25.0, mean_c: 70.0 }; 2];
+        assert!(
+            cm.accumulate(&big) > cm.accumulate(&small),
+            "two 25 °C swings out-damage a hundred 5 °C ones"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fatigue exponent")]
+    fn bad_exponent_rejected() {
+        let _ = CoffinManson::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Negative-bias temperature instability (NBTI): a threshold-voltage
+//! drift proxy for the timing degradation the paper cites via
+//! Kufluoglu et al. \[15\].
+//!
+//! The standard reaction–diffusion result gives a fractional-power time
+//! law with an Arrhenius temperature dependence:
+//!
+//! ```text
+//! ΔVth(t) ∝ exp(−Ea / kT) · t^n        (n ≈ 1/6 for H₂ diffusion)
+//! ```
+//!
+//! As with the other models the crate reports **relative** degradation
+//! against a reference temperature, which is what a DTM policy study
+//! needs: how much faster does a hot schedule consume timing margin.
+
+use crate::{kelvin, BOLTZMANN_EV_PER_K};
+
+/// Reaction–diffusion NBTI model with Arrhenius temperature acceleration
+/// and a `t^n` time law.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_reliability::NbtiModel;
+///
+/// let m = NbtiModel::default_rd();
+/// let rel = m.relative_shift(60.0, 95.0);
+/// assert!(rel > 1.0, "hotter devices drift faster: {rel}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NbtiModel {
+    /// Activation energy of the trap generation process, eV (≈ 0.1–0.2
+    /// for the diffusion-limited regime).
+    pub activation_energy_ev: f64,
+    /// Time exponent `n` (1/6 for H₂, 1/4 for atomic H).
+    pub time_exponent: f64,
+}
+
+impl NbtiModel {
+    /// The H₂ reaction–diffusion parameterization: Ea = 0.12 eV,
+    /// n = 1/6.
+    #[must_use]
+    pub fn default_rd() -> Self {
+        Self { activation_energy_ev: 0.12, time_exponent: 1.0 / 6.0 }
+    }
+
+    /// A model with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive.
+    #[must_use]
+    pub fn new(activation_energy_ev: f64, time_exponent: f64) -> Self {
+        assert!(activation_energy_ev > 0.0, "activation energy must be positive");
+        assert!(time_exponent > 0.0, "time exponent must be positive");
+        Self { activation_energy_ev, time_exponent }
+    }
+
+    /// ΔVth at `temp_c` relative to ΔVth at `ref_temp_c` after the same
+    /// stress time (>1 when hotter).
+    #[must_use]
+    pub fn relative_shift(&self, ref_temp_c: f64, temp_c: f64) -> f64 {
+        let t_ref = kelvin(ref_temp_c);
+        let t = kelvin(temp_c);
+        (self.activation_energy_ev / BOLTZMANN_EV_PER_K * (1.0 / t_ref - 1.0 / t)).exp()
+    }
+
+    /// Time-to-reach a fixed ΔVth budget at `temp_c`, relative to the
+    /// time needed at `ref_temp_c` (<1 when hotter: budget consumed
+    /// sooner). Uses the `t^n` law: `t ∝ shift^(−1/n)`.
+    #[must_use]
+    pub fn relative_lifetime(&self, ref_temp_c: f64, temp_c: f64) -> f64 {
+        self.relative_shift(ref_temp_c, temp_c).powf(-1.0 / self.time_exponent)
+    }
+
+    /// Mean relative shift over a temperature series (1.0 when empty).
+    #[must_use]
+    pub fn mean_relative_shift(&self, ref_temp_c: f64, series_c: &[f64]) -> f64 {
+        if series_c.is_empty() {
+            return 1.0;
+        }
+        series_c.iter().map(|&t| self.relative_shift(ref_temp_c, t)).sum::<f64>()
+            / series_c.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_is_one_at_reference() {
+        let m = NbtiModel::default_rd();
+        assert!((m.relative_shift(80.0, 80.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifetime_shrinks_fast_due_to_fractional_exponent() {
+        // A modest 1.2× shift acceleration costs (1.2)^6 ≈ 3× lifetime
+        // because n = 1/6.
+        let m = NbtiModel::default_rd();
+        let shift = m.relative_shift(60.0, 95.0);
+        let life = m.relative_lifetime(60.0, 95.0);
+        assert!(shift > 1.0);
+        assert!((life - shift.powf(-6.0)).abs() < 1e-9);
+        assert!(life < 0.8, "35 °C must cost a sizeable share of the budget: {life}");
+    }
+
+    #[test]
+    fn mean_shift_bounded_by_extremes() {
+        let m = NbtiModel::default_rd();
+        let series = [60.0, 70.0, 80.0];
+        let mean = m.mean_relative_shift(60.0, &series);
+        assert!(mean >= 1.0 && mean <= m.relative_shift(60.0, 80.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time exponent")]
+    fn bad_exponent_rejected() {
+        let _ = NbtiModel::new(0.12, 0.0);
+    }
+}

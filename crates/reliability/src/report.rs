@@ -1,0 +1,144 @@
+//! Per-core reliability roll-up: everything the examples and ablations
+//! print about one temperature series.
+
+use crate::arrhenius::{ArrheniusModel, BlackModel};
+use crate::cycling::CoffinManson;
+use crate::nbti::NbtiModel;
+
+/// Reference junction temperature all relative factors are quoted
+/// against, °C. 60 °C is a comfortably cooled 2009-class server die.
+pub const REFERENCE_TEMP_C: f64 = 60.0;
+
+/// Reliability summary of one temperature series (typically one core's
+/// history from a simulation run).
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_reliability::ReliabilityReport;
+///
+/// let calm: Vec<f64> = vec![65.0; 1000];
+/// let hot: Vec<f64> = vec![95.0; 1000];
+/// let a = ReliabilityReport::from_series(&calm, 0.1);
+/// let b = ReliabilityReport::from_series(&hot, 0.1);
+/// assert!(b.em_acceleration > a.em_acceleration);
+/// assert!(b.nbti_relative_lifetime < a.nbti_relative_lifetime);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityReport {
+    /// Mean temperature of the series, °C.
+    pub mean_temp_c: f64,
+    /// Peak temperature of the series, °C.
+    pub peak_temp_c: f64,
+    /// Electromigration aging acceleration vs the 60 °C reference
+    /// (Arrhenius mean over the series; >1 = ages faster).
+    pub em_acceleration: f64,
+    /// Electromigration MTTF relative to the reference (<1 = dies
+    /// sooner). Reciprocal of `em_acceleration` at unit current.
+    pub em_relative_mttf: f64,
+    /// Thermal-cycling fatigue damage per hour, in equivalent 10 °C
+    /// reference cycles (Coffin–Manson q=4, rainflow-counted).
+    pub cycling_damage_per_hour: f64,
+    /// NBTI threshold-shift acceleration vs the reference (>1 = drifts
+    /// faster).
+    pub nbti_acceleration: f64,
+    /// NBTI timing-margin lifetime relative to the reference (<1 =
+    /// margin consumed sooner).
+    pub nbti_relative_lifetime: f64,
+}
+
+impl ReliabilityReport {
+    /// Assesses a temperature series sampled every `dt_s` seconds with
+    /// the JEP122C-default models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty or `dt_s` is not positive.
+    #[must_use]
+    pub fn from_series(series_c: &[f64], dt_s: f64) -> Self {
+        assert!(!series_c.is_empty(), "need at least one sample");
+        assert!(dt_s > 0.0, "sample period must be positive");
+        let em = ArrheniusModel::new(BlackModel::jep122c().activation_energy_ev);
+        let cm = CoffinManson::jep122c();
+        let nbti = NbtiModel::default_rd();
+
+        let mean = series_c.iter().sum::<f64>() / series_c.len() as f64;
+        let peak = series_c.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let em_acc = em.mean_acceleration(REFERENCE_TEMP_C, series_c);
+        let nbti_acc = nbti.mean_relative_shift(REFERENCE_TEMP_C, series_c);
+        Self {
+            mean_temp_c: mean,
+            peak_temp_c: peak,
+            em_acceleration: em_acc,
+            em_relative_mttf: 1.0 / em_acc,
+            cycling_damage_per_hour: cm.damage_per_hour(series_c, dt_s),
+            nbti_acceleration: nbti_acc,
+            nbti_relative_lifetime: nbti_acc.powf(-1.0 / nbti.time_exponent),
+        }
+    }
+
+    /// A fixed-width table row for the examples.
+    #[must_use]
+    pub fn table_row(&self, label: &str) -> String {
+        format!(
+            "{label:<22} {:>7.1} {:>7.1} {:>9.2} {:>10.3} {:>11.2} {:>9.3}",
+            self.mean_temp_c,
+            self.peak_temp_c,
+            self.em_acceleration,
+            self.em_relative_mttf,
+            self.cycling_damage_per_hour,
+            self.nbti_relative_lifetime,
+        )
+    }
+
+    /// The header matching [`table_row`](Self::table_row).
+    #[must_use]
+    pub fn table_header() -> String {
+        format!(
+            "{:<22} {:>7} {:>7} {:>9} {:>10} {:>11} {:>9}",
+            "series", "mean_C", "peak_C", "em_accel", "em_mttf", "cyc_dmg_h", "nbti_life"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_series_scores_near_unity() {
+        let series = vec![REFERENCE_TEMP_C; 100];
+        let r = ReliabilityReport::from_series(&series, 0.1);
+        assert!((r.em_acceleration - 1.0).abs() < 1e-12);
+        assert!((r.em_relative_mttf - 1.0).abs() < 1e-12);
+        assert_eq!(r.cycling_damage_per_hour, 0.0);
+        assert!((r.nbti_relative_lifetime - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycling_shows_up_in_the_report() {
+        let square: Vec<f64> =
+            (0..2000).map(|i| if (i / 50) % 2 == 0 { 60.0 } else { 85.0 }).collect();
+        let flat = vec![72.5; 2000];
+        let cycling = ReliabilityReport::from_series(&square, 0.1);
+        let steady = ReliabilityReport::from_series(&flat, 0.1);
+        assert!(cycling.cycling_damage_per_hour > 100.0 * steady.cycling_damage_per_hour.max(1e-12));
+        // Same mean temperature, so EM is comparable but not equal
+        // (Jensen's inequality makes the cycling series age faster).
+        assert!(cycling.em_acceleration > steady.em_acceleration);
+    }
+
+    #[test]
+    fn table_row_alignment() {
+        let r = ReliabilityReport::from_series(&[70.0, 80.0], 0.1);
+        let header_cols = ReliabilityReport::table_header().split_whitespace().count();
+        let row_cols = r.table_row("x").split_whitespace().count();
+        assert_eq!(header_cols, row_cols);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_series_rejected() {
+        let _ = ReliabilityReport::from_series(&[], 0.1);
+    }
+}

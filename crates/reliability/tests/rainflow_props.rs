@@ -1,0 +1,86 @@
+//! Property-based tests for the rainflow counter and fatigue models.
+
+use proptest::prelude::*;
+use therm3d_reliability::{rainflow_half_cycles, ArrheniusModel, CoffinManson, NbtiModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn half_cycle_magnitudes_bounded_by_series_range(
+        series in prop::collection::vec(30.0f64..110.0, 2..200),
+    ) {
+        let lo = series.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for c in rainflow_half_cycles(&series, 0.5) {
+            prop_assert!(c.delta_c >= 0.5, "noise floor respected");
+            prop_assert!(c.delta_c <= hi - lo + 1e-9, "no cycle exceeds the range");
+            prop_assert!(c.mean_c >= lo - 1e-9 && c.mean_c <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rainflow_total_damage_is_shift_invariant(
+        series in prop::collection::vec(40.0f64..90.0, 4..100),
+        offset in -20.0f64..20.0,
+    ) {
+        // Cycling damage depends on swings, not absolute level.
+        let cm = CoffinManson::jep122c();
+        let shifted: Vec<f64> = series.iter().map(|t| t + offset).collect();
+        let a = cm.accumulate(&rainflow_half_cycles(&series, 1.0));
+        let b = cm.accumulate(&rainflow_half_cycles(&shifted, 1.0));
+        prop_assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn rainflow_insensitive_to_plateaus(
+        series in prop::collection::vec(40.0f64..90.0, 3..40),
+    ) {
+        // Repeating each sample (holding the temperature) must not create
+        // or destroy cycles.
+        let doubled: Vec<f64> = series.iter().flat_map(|&t| [t, t]).collect();
+        let cm = CoffinManson::jep122c();
+        let a = cm.accumulate(&rainflow_half_cycles(&series, 1.0));
+        let b = cm.accumulate(&rainflow_half_cycles(&doubled, 1.0));
+        prop_assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn arrhenius_acceleration_composes(
+        ea in 0.3f64..1.0,
+        t1 in 40.0f64..70.0,
+        t2 in 70.0f64..100.0,
+    ) {
+        // AF(a→c) = AF(a→b) · AF(b→c): the factors form a group.
+        let m = ArrheniusModel::new(ea);
+        let direct = m.acceleration(t1, t2);
+        let via = m.acceleration(t1, 70.0) * m.acceleration(70.0, t2);
+        prop_assert!((direct - via).abs() < 1e-9 * direct);
+    }
+
+    #[test]
+    fn coffin_manson_is_homogeneous(
+        q in 1.0f64..6.0,
+        delta in 1.0f64..60.0,
+        scale in 1.1f64..3.0,
+    ) {
+        // Damage(k·ΔT) = k^q · Damage(ΔT).
+        let cm = CoffinManson::new(q, 10.0);
+        let lhs = cm.cycle_damage(scale * delta);
+        let rhs = scale.powf(q) * cm.cycle_damage(delta);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1e-12));
+    }
+
+    #[test]
+    fn nbti_lifetime_reciprocal_consistency(
+        t_a in 50.0f64..80.0,
+        t_b in 80.0f64..110.0,
+    ) {
+        // lifetime(a→b) · lifetime(b→a) = 1.
+        let m = NbtiModel::default_rd();
+        let ab = m.relative_lifetime(t_a, t_b);
+        let ba = m.relative_lifetime(t_b, t_a);
+        prop_assert!((ab * ba - 1.0).abs() < 1e-9);
+        prop_assert!(ab < 1.0, "hotter consumes margin faster");
+    }
+}

@@ -1,0 +1,350 @@
+//! Block-granularity RC thermal model — HotSpot's *block model*
+//! counterpart to the grid model the paper uses.
+//!
+//! One thermal node per floorplan block (instead of `R×C` cells per
+//! layer): lateral conductances between blocks that share an edge,
+//! vertical conductances between blocks that overlap on adjacent layers,
+//! and the same TIM/spreader/sink package as
+//! [`RcNetwork`](crate::RcNetwork). The block model is an order of
+//! magnitude smaller and correspondingly faster, at the cost of washing
+//! out within-block temperature variation; the `model_fidelity` ablation
+//! binary quantifies the difference against the grid model.
+
+use therm3d_floorplan::Stack3d;
+
+use crate::config::ThermalConfig;
+use crate::sparse::{solve_cg, CsrMatrix, TripletMatrix};
+use crate::units::{celsius_from_kelvin, kelvin_from_celsius};
+
+/// Block-granularity thermal model with the same public shape as
+/// [`ThermalModel`](crate::ThermalModel): set powers, step, read
+/// temperatures.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_floorplan::Experiment;
+/// use therm3d_thermal::{BlockThermalModel, ThermalConfig};
+///
+/// let stack = Experiment::Exp2.stack();
+/// let mut model = BlockThermalModel::new(&stack, ThermalConfig::paper_default());
+/// let powers = vec![1.0; stack.num_blocks()];
+/// let steady = model.initialize_steady_state(&powers);
+/// assert!(steady.iter().all(|&t| t > 45.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockThermalModel {
+    /// Conductance matrix over `n_blocks + 2` nodes (spreader, sink last).
+    conductance: CsrMatrix,
+    /// Heat capacity per node, J/K.
+    capacitance: Vec<f64>,
+    /// Conductance to ambient per node (sink only), W/K.
+    ambient_g: Vec<f64>,
+    ambient_k: f64,
+    n_blocks: usize,
+    /// Node temperatures, kelvin.
+    temps_k: Vec<f64>,
+    /// Block power injection, W.
+    powers_w: Vec<f64>,
+    /// Conservative stable explicit step bound, seconds.
+    stable_dt: f64,
+}
+
+impl BlockThermalModel {
+    /// Builds the block-level network for `stack`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    #[must_use]
+    pub fn new(stack: &Stack3d, config: ThermalConfig) -> Self {
+        config.validate();
+        let n = stack.num_blocks();
+        let spreader = n;
+        let sink = n + 1;
+        let mut g = TripletMatrix::new(n + 2);
+        let mut cap = vec![0.0; n + 2];
+        let mut g_amb = vec![0.0; n + 2];
+
+        let k_si = config.silicon.conductivity;
+        let t_die = config.die_thickness_m;
+        let sites = stack.sites();
+
+        // Heat capacity: silicon volume per block.
+        for (i, s) in sites.iter().enumerate() {
+            let volume = s.area_mm2 * 1e-6 * t_die;
+            cap[i] = config.silicon.volume_capacitance(volume);
+        }
+
+        // Lateral conductances: blocks on the same layer sharing an edge.
+        // G = k_si · t_die · L_shared / d_centers.
+        for layer in 0..stack.layer_count() {
+            let fp = stack.layer(layer);
+            for a in 0..fp.len() {
+                for b in (a + 1)..fp.len() {
+                    let ra = fp.blocks()[a].rect();
+                    let rb = fp.blocks()[b].rect();
+                    let shared_mm = ra.shared_edge_length(rb);
+                    if shared_mm <= 0.0 {
+                        continue;
+                    }
+                    let (ax, ay) = ra.center();
+                    let (bx, by) = rb.center();
+                    let dist_m = ((ax - bx).hypot(ay - by)) * 1e-3;
+                    let g_lat = k_si * t_die * (shared_mm * 1e-3) / dist_m;
+                    let ia = stack.site_index(layer, a).expect("valid site");
+                    let ib = stack.site_index(layer, b).expect("valid site");
+                    g.add_conductance(ia, ib, g_lat);
+                }
+            }
+        }
+
+        // Vertical conductances through half-die + interface + half-die.
+        let rho_interlayer = config.interlayer.resistivity();
+        for (lo, hi) in stack.vertical_adjacency() {
+            let overlap_mm2 = {
+                let slo = &sites[lo];
+                let shi = &sites[hi];
+                let rl = stack.layer(slo.layer).blocks()[slo.block].rect();
+                let rh = stack.layer(shi.layer).blocks()[shi.block].rect();
+                rl.intersection_area(rh)
+            };
+            let area_m2 = overlap_mm2 * 1e-6;
+            let r = t_die / (k_si * area_m2)
+                + config.interlayer_thickness_m * rho_interlayer / area_m2;
+            g.add_conductance(lo, hi, 1.0 / r);
+        }
+
+        // Bottom layer into the spreader through half-die + TIM + spreader.
+        for (i, s) in sites.iter().enumerate() {
+            if s.layer != 0 {
+                continue;
+            }
+            let area_m2 = s.area_mm2 * 1e-6;
+            let r = t_die / (2.0 * k_si * area_m2)
+                + config.tim_thickness_m * config.tim.resistivity() / area_m2
+                + config.spreader_thickness_m / (config.spreader.conductivity * area_m2);
+            g.add_conductance(i, spreader, 1.0 / r);
+        }
+
+        // Package (same as the grid model).
+        cap[spreader] = config.spreader.volume_capacitance(
+            config.spreader_side_m * config.spreader_side_m * config.spreader_thickness_m,
+        );
+        cap[sink] = config.convection_capacitance_jk;
+        g.add_conductance(spreader, sink, 1.0 / config.spreader_to_sink_resistance_kw);
+        g_amb[sink] = 1.0 / config.convection_resistance_kw;
+        g.add_grounded_conductance(sink, g_amb[sink]);
+
+        let conductance = g.to_csr();
+        // Stable explicit step ∝ min(C_i / G_ii).
+        let stable_dt = conductance
+            .diagonal()
+            .iter()
+            .zip(&cap)
+            .filter(|(_, &c)| c > 0.0)
+            .map(|(&gii, &c)| c / gii)
+            .fold(f64::INFINITY, f64::min)
+            * 0.4;
+
+        let ambient_k = kelvin_from_celsius(config.ambient_c);
+        Self {
+            conductance,
+            capacitance: cap,
+            ambient_g: g_amb,
+            ambient_k,
+            n_blocks: n,
+            temps_k: vec![ambient_k; n + 2],
+            powers_w: vec![0.0; n],
+            stable_dt: stable_dt.max(1e-6),
+        }
+    }
+
+    /// Number of blocks (power entries / readable temperatures).
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// Total nodes including spreader and sink.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n_blocks + 2
+    }
+
+    /// Sets the per-block power injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len() != block_count()` or a power is negative
+    /// or non-finite.
+    pub fn set_block_powers(&mut self, powers: &[f64]) {
+        assert_eq!(powers.len(), self.n_blocks, "one power per block");
+        for (i, &p) in powers.iter().enumerate() {
+            assert!(p.is_finite() && p >= 0.0, "block {i} power {p} must be non-negative");
+        }
+        self.powers_w.copy_from_slice(powers);
+    }
+
+    fn node_power(&self) -> Vec<f64> {
+        let mut p = vec![0.0; self.node_count()];
+        p[..self.n_blocks].copy_from_slice(&self.powers_w);
+        for (i, &g) in self.ambient_g.iter().enumerate() {
+            if g > 0.0 {
+                p[i] += g * self.ambient_k;
+            }
+        }
+        p
+    }
+
+    /// Solves `G·T = P` and adopts the result as the current state,
+    /// returning block temperatures in °C.
+    #[must_use]
+    pub fn initialize_steady_state(&mut self, powers: &[f64]) -> Vec<f64> {
+        self.set_block_powers(powers);
+        let b = self.node_power();
+        let sol = solve_cg(&self.conductance, &b, &self.temps_k, 1e-9, 2000);
+        self.temps_k = sol.x;
+        self.block_temperatures_c()
+    }
+
+    /// Advances the transient solution by `dt` seconds (forward-Euler
+    /// sub-stepped under the stability bound; the block network is small
+    /// enough that this is cheap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn step(&mut self, dt: f64) {
+        assert!(dt > 0.0 && dt.is_finite(), "step must be positive");
+        let p = self.node_power();
+        let n = self.node_count();
+        let mut remaining = dt;
+        let mut flow = vec![0.0; n];
+        while remaining > 0.0 {
+            let h = remaining.min(self.stable_dt);
+            self.conductance.mul_into(&self.temps_k, &mut flow);
+            for i in 0..n {
+                if self.capacitance[i] > 0.0 {
+                    self.temps_k[i] += h * (p[i] - flow[i]) / self.capacitance[i];
+                }
+            }
+            remaining -= h;
+        }
+    }
+
+    /// Current block temperatures, °C.
+    #[must_use]
+    pub fn block_temperatures_c(&self) -> Vec<f64> {
+        self.temps_k[..self.n_blocks].iter().map(|&k| celsius_from_kelvin(k)).collect()
+    }
+
+    /// The sink node temperature, °C.
+    #[must_use]
+    pub fn sink_temperature_c(&self) -> f64 {
+        celsius_from_kelvin(self.temps_k[self.n_blocks + 1])
+    }
+
+    /// Resets every node to a uniform temperature.
+    pub fn reset_uniform(&mut self, celsius: f64) {
+        let k = kelvin_from_celsius(celsius);
+        self.temps_k.fill(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use therm3d_floorplan::Experiment;
+
+    fn model(exp: Experiment) -> (Stack3d, BlockThermalModel) {
+        let stack = exp.stack();
+        let m = BlockThermalModel::new(&stack, ThermalConfig::paper_default());
+        (stack, m)
+    }
+
+    #[test]
+    fn steady_state_above_ambient_and_conserves() {
+        let (stack, mut m) = model(Experiment::Exp2);
+        let powers = vec![1.0; stack.num_blocks()];
+        let total: f64 = powers.iter().sum();
+        let temps = m.initialize_steady_state(&powers);
+        for &t in &temps {
+            assert!(t > 45.0 && t < 150.0, "{t}");
+        }
+        let expected_sink = 45.0 + total * 0.1;
+        assert!(
+            (m.sink_temperature_c() - expected_sink).abs() < 0.05,
+            "sink {} vs conservation {expected_sink}",
+            m.sink_temperature_c()
+        );
+    }
+
+    #[test]
+    fn transient_converges_to_steady() {
+        let (stack, mut m) = model(Experiment::Exp1);
+        let powers: Vec<f64> = (0..stack.num_blocks()).map(|i| 0.3 + 0.1 * i as f64).collect();
+        let steady = m.initialize_steady_state(&powers);
+        let mut t = BlockThermalModel::new(&stack, ThermalConfig::paper_default());
+        t.reset_uniform(45.0);
+        t.set_block_powers(&powers);
+        for _ in 0..4000 {
+            t.step(0.1);
+        }
+        for (a, b) in steady.iter().zip(&t.block_temperatures_c()) {
+            assert!((a - b).abs() < 0.5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_grid_model_within_a_few_degrees() {
+        // The headline fidelity check: block vs 8×8 grid steady states.
+        use crate::ThermalModel;
+        for exp in [Experiment::Exp1, Experiment::Exp3] {
+            let stack = exp.stack();
+            let powers: Vec<f64> = stack
+                .sites()
+                .iter()
+                .map(|s| match s.kind {
+                    therm3d_floorplan::UnitKind::Core => 3.0,
+                    therm3d_floorplan::UnitKind::L2Cache => 1.28,
+                    _ => 2.0,
+                })
+                .collect();
+            let mut grid = ThermalModel::new(&stack, ThermalConfig::paper_default());
+            let mut block = BlockThermalModel::new(&stack, ThermalConfig::paper_default());
+            let tg = grid.initialize_steady_state(&powers);
+            let tb = block.initialize_steady_state(&powers);
+            for (i, (a, b)) in tg.iter().zip(&tb).enumerate() {
+                assert!(
+                    (a - b).abs() < 6.0,
+                    "{exp} block {i}: grid {a:.1} vs block-model {b:.1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hotter_with_more_power() {
+        let (stack, mut m) = model(Experiment::Exp4);
+        let lo = m.initialize_steady_state(&vec![0.5; stack.num_blocks()]);
+        let hi = m.initialize_steady_state(&vec![1.5; stack.num_blocks()]);
+        for (a, b) in lo.iter().zip(&hi) {
+            assert!(b > a);
+        }
+    }
+
+    #[test]
+    fn block_count_excludes_package_nodes() {
+        let (stack, m) = model(Experiment::Exp3);
+        assert_eq!(m.block_count(), stack.num_blocks());
+        assert_eq!(m.node_count(), stack.num_blocks() + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one power per block")]
+    fn wrong_power_length_rejected() {
+        let (_, mut m) = model(Experiment::Exp1);
+        m.set_block_powers(&[1.0]);
+    }
+}

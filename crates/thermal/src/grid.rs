@@ -1,0 +1,225 @@
+//! Spatial discretization of a die layer into a regular grid of thermal
+//! cells, and the block ↔ cell coverage mapping.
+
+use therm3d_floorplan::{Floorplan, Rect};
+
+/// A regular `rows × cols` grid over a die outline.
+///
+/// Cell `(r, c)` covers `x ∈ [c·w, (c+1)·w)`, `y ∈ [r·h, (r+1)·h)` relative
+/// to the outline origin. Grid geometry is in millimetres like the
+/// floorplan.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_floorplan::Rect;
+/// use therm3d_thermal::grid::LayerGrid;
+///
+/// let g = LayerGrid::new(Rect::new(0.0, 0.0, 11.5, 10.0), 8, 8);
+/// assert_eq!(g.num_cells(), 64);
+/// assert!((g.cell_area_mm2() - 115.0 / 64.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerGrid {
+    outline: Rect,
+    rows: usize,
+    cols: usize,
+}
+
+impl LayerGrid {
+    /// Creates a grid over `outline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    #[must_use]
+    pub fn new(outline: Rect, rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must have at least one cell");
+        Self { outline, rows, cols }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cells.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Cell width in mm.
+    #[must_use]
+    pub fn cell_width_mm(&self) -> f64 {
+        self.outline.width / self.cols as f64
+    }
+
+    /// Cell height in mm.
+    #[must_use]
+    pub fn cell_height_mm(&self) -> f64 {
+        self.outline.height / self.rows as f64
+    }
+
+    /// Cell area in mm².
+    #[must_use]
+    pub fn cell_area_mm2(&self) -> f64 {
+        self.cell_width_mm() * self.cell_height_mm()
+    }
+
+    /// Linear index of cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn cell_index(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        row * self.cols + col
+    }
+
+    /// `(row, col)` of a linear cell index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn cell_coords(&self, index: usize) -> (usize, usize) {
+        assert!(index < self.num_cells(), "cell index {index} out of range");
+        (index / self.cols, index % self.cols)
+    }
+
+    /// The rectangle covered by cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn cell_rect(&self, row: usize, col: usize) -> Rect {
+        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        Rect::new(
+            self.outline.x + col as f64 * self.cell_width_mm(),
+            self.outline.y + row as f64 * self.cell_height_mm(),
+            self.cell_width_mm(),
+            self.cell_height_mm(),
+        )
+    }
+
+    /// For every block of `fp`, the cells it covers with the fraction of
+    /// the **block's** area falling in each cell (fractions sum to 1 per
+    /// block).
+    ///
+    /// These weights serve double duty: distributing a block's power onto
+    /// cells, and averaging cell temperatures back into a block reading.
+    #[must_use]
+    pub fn block_coverage(&self, fp: &Floorplan) -> Vec<Vec<(usize, f64)>> {
+        fp.blocks()
+            .iter()
+            .map(|b| {
+                let mut cover = Vec::new();
+                let rect = b.rect();
+                let col_lo = ((rect.x - self.outline.x) / self.cell_width_mm()).floor() as usize;
+                let col_hi = (((rect.right() - self.outline.x) / self.cell_width_mm()).ceil()
+                    as usize)
+                    .min(self.cols);
+                let row_lo = ((rect.y - self.outline.y) / self.cell_height_mm()).floor() as usize;
+                let row_hi = (((rect.top() - self.outline.y) / self.cell_height_mm()).ceil()
+                    as usize)
+                    .min(self.rows);
+                for r in row_lo..row_hi {
+                    for c in col_lo..col_hi {
+                        let a = rect.intersection_area(&self.cell_rect(r, c));
+                        if a > 1e-12 {
+                            cover.push((self.cell_index(r, c), a / rect.area()));
+                        }
+                    }
+                }
+                cover
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use therm3d_floorplan::niagara;
+
+    #[test]
+    fn indexing_round_trip() {
+        let g = LayerGrid::new(Rect::new(0.0, 0.0, 10.0, 10.0), 4, 5);
+        for i in 0..g.num_cells() {
+            let (r, c) = g.cell_coords(i);
+            assert_eq!(g.cell_index(r, c), i);
+        }
+    }
+
+    #[test]
+    fn cell_rects_tile_outline() {
+        let g = LayerGrid::new(Rect::new(0.0, 0.0, 11.5, 10.0), 8, 8);
+        let total: f64 =
+            (0..8).flat_map(|r| (0..8).map(move |c| (r, c))).map(|(r, c)| g.cell_rect(r, c).area()).sum();
+        assert!((total - 115.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_fractions_sum_to_one() {
+        let fp = niagara::core_layer();
+        let g = LayerGrid::new(*fp.outline(), 8, 8);
+        for (bi, cover) in g.block_coverage(&fp).iter().enumerate() {
+            let sum: f64 = cover.iter().map(|(_, w)| w).sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "block {bi} ({}) coverage sums to {sum}",
+                fp.blocks()[bi].name()
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_respects_geometry() {
+        // A block occupying exactly the left half covers exactly the left
+        // half of the cells with uniform weights.
+        let outline = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let fp = Floorplan::new(
+            outline,
+            vec![therm3d_floorplan::Block::new(
+                "half",
+                therm3d_floorplan::UnitKind::Other,
+                Rect::new(0.0, 0.0, 5.0, 10.0),
+            )],
+        )
+        .unwrap();
+        let g = LayerGrid::new(outline, 2, 2);
+        let cover = &g.block_coverage(&fp)[0];
+        assert_eq!(cover.len(), 2, "covers cells (0,0) and (1,0)");
+        for (_, w) in cover {
+            assert!((w - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_cell_grid() {
+        let fp = niagara::cache_layer();
+        let g = LayerGrid::new(*fp.outline(), 1, 1);
+        for cover in g.block_coverage(&fp) {
+            assert_eq!(cover.len(), 1);
+            assert_eq!(cover[0].0, 0);
+            assert!((cover[0].1 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_cell_index_panics() {
+        let g = LayerGrid::new(Rect::new(0.0, 0.0, 1.0, 1.0), 2, 2);
+        let _ = g.cell_index(2, 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Thermal material properties.
+
+use std::fmt;
+
+/// Bulk thermal properties of a material.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_thermal::material::Material;
+///
+/// let si = Material::SILICON;
+/// assert!((si.resistivity() - 1.0 / si.conductivity).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Thermal conductivity `k` in W/(m·K).
+    pub conductivity: f64,
+    /// Volumetric heat capacity `c_v` in J/(m³·K).
+    pub volumetric_heat_capacity: f64,
+}
+
+impl Material {
+    /// Silicon near operating temperature (HotSpot's default:
+    /// k = 100 W/(m·K), c_v = 1.75 MJ/(m³·K)).
+    pub const SILICON: Material = Material {
+        conductivity: 100.0,
+        volumetric_heat_capacity: 1.75e6,
+    };
+
+    /// Copper (heat spreader and sink): k = 400 W/(m·K),
+    /// c_v = 3.55 MJ/(m³·K).
+    pub const COPPER: Material = Material {
+        conductivity: 400.0,
+        volumetric_heat_capacity: 3.55e6,
+    };
+
+    /// The inter-die interface material of Table II: resistivity
+    /// 0.25 m·K/W (k = 4 W/(m·K)), c_v = 4 MJ/(m³·K) — typical for the
+    /// polymer/adhesive bonding layers used in face-to-back stacking.
+    pub const INTERFACE: Material = Material {
+        conductivity: 4.0,
+        volumetric_heat_capacity: 4.0e6,
+    };
+
+    /// Thermal interface material between die and spreader (HotSpot
+    /// default-like: k = 4 W/(m·K)).
+    pub const TIM: Material = Material {
+        conductivity: 4.0,
+        volumetric_heat_capacity: 4.0e6,
+    };
+
+    /// Creates a material from conductivity and volumetric heat capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either property is not strictly positive and finite.
+    #[must_use]
+    pub fn new(conductivity: f64, volumetric_heat_capacity: f64) -> Self {
+        assert!(
+            conductivity.is_finite() && conductivity > 0.0,
+            "conductivity must be positive, got {conductivity}"
+        );
+        assert!(
+            volumetric_heat_capacity.is_finite() && volumetric_heat_capacity > 0.0,
+            "volumetric heat capacity must be positive, got {volumetric_heat_capacity}"
+        );
+        Self { conductivity, volumetric_heat_capacity }
+    }
+
+    /// Creates a material from its thermal **resistivity** in m·K/W (the
+    /// unit Table II uses for the interlayer material).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resistivity` or `volumetric_heat_capacity` is not
+    /// strictly positive and finite.
+    #[must_use]
+    pub fn from_resistivity(resistivity: f64, volumetric_heat_capacity: f64) -> Self {
+        assert!(
+            resistivity.is_finite() && resistivity > 0.0,
+            "resistivity must be positive, got {resistivity}"
+        );
+        Self::new(1.0 / resistivity, volumetric_heat_capacity)
+    }
+
+    /// Thermal resistivity `1/k` in m·K/W.
+    #[must_use]
+    pub fn resistivity(&self) -> f64 {
+        1.0 / self.conductivity
+    }
+
+    /// Conduction resistance of a slab of this material, `t / (k·A)`, in
+    /// K/W.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thickness_m` or `area_m2` is not strictly positive.
+    #[must_use]
+    pub fn slab_resistance(&self, thickness_m: f64, area_m2: f64) -> f64 {
+        assert!(thickness_m > 0.0, "slab thickness must be positive");
+        assert!(area_m2 > 0.0, "slab area must be positive");
+        thickness_m / (self.conductivity * area_m2)
+    }
+
+    /// Heat capacity of a volume of this material, `c_v · V`, in J/K.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volume_m3` is not strictly positive.
+    #[must_use]
+    pub fn volume_capacitance(&self, volume_m3: f64) -> f64 {
+        assert!(volume_m3 > 0.0, "volume must be positive");
+        self.volumetric_heat_capacity * volume_m3
+    }
+}
+
+impl fmt::Display for Material {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "k={} W/(m·K), c_v={:.3e} J/(m³·K)",
+            self.conductivity, self.volumetric_heat_capacity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_matches_table_ii_resistivity() {
+        assert!((Material::INTERFACE.resistivity() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slab_resistance_formula() {
+        // 0.15 mm silicon over 1 mm²: R = 1.5e-4 / (100 * 1e-6) = 1.5 K/W.
+        let r = Material::SILICON.slab_resistance(0.15e-3, 1.0e-6);
+        assert!((r - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume_capacitance_formula() {
+        // 1 mm³ silicon: 1.75e6 * 1e-9 = 1.75e-3 J/K.
+        let c = Material::SILICON.volume_capacitance(1.0e-9);
+        assert!((c - 1.75e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_resistivity_round_trip() {
+        let m = Material::from_resistivity(0.25, 4.0e6);
+        assert!((m.conductivity - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "conductivity must be positive")]
+    fn rejects_zero_conductivity() {
+        let _ = Material::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistivity must be positive")]
+    fn rejects_negative_resistivity() {
+        let _ = Material::from_resistivity(-1.0, 1.0);
+    }
+}

@@ -1,0 +1,459 @@
+//! The transient/steady-state thermal model: the public face of this
+//! crate.
+
+use therm3d_floorplan::Stack3d;
+
+use crate::config::ThermalConfig;
+use crate::network::RcNetwork;
+use crate::sparse::solve_cg;
+use crate::units::{celsius_from_kelvin, kelvin_from_celsius};
+
+/// Relative CG tolerance for steady-state solves.
+const CG_TOL: f64 = 1e-10;
+/// Iteration cap for steady-state solves.
+const CG_MAX_ITER: usize = 20_000;
+/// Safety factor applied to the explicit-RK4 stability limit.
+const RK4_SAFETY: f64 = 0.9;
+/// RK4 real-axis stability interval.
+const RK4_STABILITY: f64 = 2.78;
+
+/// A transient 3D thermal simulator for a die stack.
+///
+/// `ThermalModel` owns the RC network built from a [`Stack3d`] and a
+/// [`ThermalConfig`], the current temperature state, and the current
+/// per-block power assignment. Typical use alternates
+/// [`set_block_powers`](Self::set_block_powers) and [`step`](Self::step)
+/// at the thermal sampling interval (100 ms in the paper), reading back
+/// [`block_temperatures_c`](Self::block_temperatures_c) for the policies.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_floorplan::Experiment;
+/// use therm3d_thermal::{ThermalConfig, ThermalModel};
+///
+/// let stack = Experiment::Exp1.stack();
+/// let mut model = ThermalModel::new(&stack, ThermalConfig::paper_default().with_grid(4, 4));
+///
+/// // Run every core at 3 W for one second of simulated time.
+/// let mut powers = vec![0.0; stack.num_blocks()];
+/// for core in stack.core_ids() {
+///     powers[stack.core_block_index(core)] = 3.0;
+/// }
+/// model.set_block_powers(&powers);
+/// for _ in 0..10 {
+///     model.step(0.1);
+/// }
+/// let temps = model.block_temperatures_c();
+/// assert!(temps.iter().all(|&t| t > 45.0), "everything heated above ambient");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    network: RcNetwork,
+    /// Node temperatures in kelvin.
+    temps_k: Vec<f64>,
+    /// Current per-node power injection in W.
+    node_power: Vec<f64>,
+    /// Current per-block power in W (kept for diagnostics).
+    block_power: Vec<f64>,
+    /// Fixed stable substep for explicit integration, seconds.
+    stable_dt: f64,
+    /// Scratch buffers for RK4.
+    scratch: Rk4Scratch,
+}
+
+#[derive(Debug, Clone)]
+struct Rk4Scratch {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+    gt: Vec<f64>,
+}
+
+impl Rk4Scratch {
+    fn new(n: usize) -> Self {
+        Self {
+            k1: vec![0.0; n],
+            k2: vec![0.0; n],
+            k3: vec![0.0; n],
+            k4: vec![0.0; n],
+            tmp: vec![0.0; n],
+            gt: vec![0.0; n],
+        }
+    }
+}
+
+impl ThermalModel {
+    /// Builds the model and initializes every node at the ambient
+    /// temperature (the zero-power steady state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`ThermalConfig::validate`]).
+    #[must_use]
+    pub fn new(stack: &Stack3d, config: ThermalConfig) -> Self {
+        let network = RcNetwork::build(stack, &config);
+        let n = network.node_count();
+        let temps_k = vec![network.ambient_k(); n];
+        let stable_dt = RK4_SAFETY * RK4_STABILITY / network.stiffness_bound();
+        Self {
+            temps_k,
+            node_power: vec![0.0; n],
+            block_power: vec![0.0; network.block_count()],
+            scratch: Rk4Scratch::new(n),
+            stable_dt,
+            network,
+        }
+    }
+
+    /// The underlying RC network (for inspection and metrics).
+    #[must_use]
+    pub fn network(&self) -> &RcNetwork {
+        &self.network
+    }
+
+    /// Number of floorplan blocks the model exposes temperatures for.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.network.block_count()
+    }
+
+    /// The explicit-integration substep the model uses internally, in
+    /// seconds. [`step`](Self::step) transparently subdivides larger steps.
+    #[must_use]
+    pub fn stable_dt(&self) -> f64 {
+        self.stable_dt
+    }
+
+    /// Sets the per-block power dissipation (W) applied from now on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len() != block_count()` or any entry is negative
+    /// or not finite.
+    pub fn set_block_powers(&mut self, powers: &[f64]) {
+        self.network.node_power_into(powers, &mut self.node_power);
+        self.block_power.copy_from_slice(powers);
+    }
+
+    /// The most recently applied per-block powers (W).
+    #[must_use]
+    pub fn block_powers(&self) -> &[f64] {
+        &self.block_power
+    }
+
+    /// Advances the transient solution by `dt` seconds using classic RK4
+    /// with internally chosen stable substeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive and finite.
+    pub fn step(&mut self, dt: f64) {
+        assert!(dt.is_finite() && dt > 0.0, "dt must be positive, got {dt}");
+        let substeps = (dt / self.stable_dt).ceil().max(1.0) as usize;
+        let h = dt / substeps as f64;
+        for _ in 0..substeps {
+            self.rk4_substep(h);
+        }
+    }
+
+    fn rk4_substep(&mut self, h: f64) {
+        let n = self.temps_k.len();
+        // k1 = f(T)
+        Self::deriv(&self.network, &self.node_power, &self.temps_k, &mut self.scratch.gt, &mut self.scratch.k1);
+        // k2 = f(T + h/2 k1)
+        for i in 0..n {
+            self.scratch.tmp[i] = self.temps_k[i] + 0.5 * h * self.scratch.k1[i];
+        }
+        Self::deriv(&self.network, &self.node_power, &self.scratch.tmp, &mut self.scratch.gt, &mut self.scratch.k2);
+        // k3 = f(T + h/2 k2)
+        for i in 0..n {
+            self.scratch.tmp[i] = self.temps_k[i] + 0.5 * h * self.scratch.k2[i];
+        }
+        Self::deriv(&self.network, &self.node_power, &self.scratch.tmp, &mut self.scratch.gt, &mut self.scratch.k3);
+        // k4 = f(T + h k3)
+        for i in 0..n {
+            self.scratch.tmp[i] = self.temps_k[i] + h * self.scratch.k3[i];
+        }
+        Self::deriv(&self.network, &self.node_power, &self.scratch.tmp, &mut self.scratch.gt, &mut self.scratch.k4);
+        for i in 0..n {
+            self.temps_k[i] += h / 6.0
+                * (self.scratch.k1[i]
+                    + 2.0 * self.scratch.k2[i]
+                    + 2.0 * self.scratch.k3[i]
+                    + self.scratch.k4[i]);
+        }
+    }
+
+    /// `out = C⁻¹ · (P + g_amb·T_amb − G·T)`.
+    fn deriv(net: &RcNetwork, power: &[f64], temps: &[f64], gt: &mut [f64], out: &mut [f64]) {
+        net.conductance().mul_into(temps, gt);
+        let amb = net.ambient_k();
+        let g_amb = net.ambient_conductance();
+        let cap = net.capacitance();
+        for i in 0..out.len() {
+            out[i] = (power[i] + g_amb[i] * amb - gt[i]) / cap[i];
+        }
+    }
+
+    /// Solves for the steady-state temperatures under the given per-block
+    /// powers and **sets the model state** to that solution (the paper
+    /// initializes HotSpot with steady-state values).
+    ///
+    /// Returns the per-block steady-state temperatures in °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers` is malformed (see
+    /// [`set_block_powers`](Self::set_block_powers)) or if the linear
+    /// solve fails to converge (indicates a non-physical configuration).
+    pub fn initialize_steady_state(&mut self, powers: &[f64]) -> Vec<f64> {
+        self.set_block_powers(powers);
+        let net = &self.network;
+        let amb = net.ambient_k();
+        let rhs: Vec<f64> = self
+            .node_power
+            .iter()
+            .zip(net.ambient_conductance())
+            .map(|(&p, &g)| p + g * amb)
+            .collect();
+        let sol = solve_cg(net.conductance(), &rhs, &self.temps_k, CG_TOL, CG_MAX_ITER);
+        assert!(
+            sol.converged,
+            "steady-state CG did not converge (residual {:.3e})",
+            sol.relative_residual
+        );
+        self.temps_k = sol.x;
+        self.block_temperatures_c()
+    }
+
+    /// Per-block temperatures in °C (area-weighted over the block's
+    /// cells), indexed like [`Stack3d::sites`].
+    #[must_use]
+    pub fn block_temperatures_c(&self) -> Vec<f64> {
+        (0..self.network.block_count())
+            .map(|site| celsius_from_kelvin(self.network.block_temperature(site, &self.temps_k)))
+            .collect()
+    }
+
+    /// Temperature of a single block in °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn block_temperature_c(&self, site: usize) -> f64 {
+        celsius_from_kelvin(self.network.block_temperature(site, &self.temps_k))
+    }
+
+    /// Heat-sink temperature in °C.
+    #[must_use]
+    pub fn sink_temperature_c(&self) -> f64 {
+        celsius_from_kelvin(self.temps_k[self.network.sink_node()])
+    }
+
+    /// Heat-spreader temperature in °C.
+    #[must_use]
+    pub fn spreader_temperature_c(&self) -> f64 {
+        celsius_from_kelvin(self.temps_k[self.network.spreader_node()])
+    }
+
+    /// Raw node temperatures in kelvin (cells first, then spreader, sink).
+    #[must_use]
+    pub fn node_temperatures_k(&self) -> &[f64] {
+        &self.temps_k
+    }
+
+    /// Overrides the state to a uniform temperature in °C (useful for
+    /// tests and for restarting experiments).
+    pub fn reset_uniform(&mut self, celsius: f64) {
+        let k = kelvin_from_celsius(celsius);
+        self.temps_k.fill(k);
+    }
+
+    /// Total power currently injected, in W.
+    #[must_use]
+    pub fn total_power(&self) -> f64 {
+        self.block_power.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use therm3d_floorplan::Experiment;
+
+    fn small_model(exp: Experiment) -> (Stack3d, ThermalModel) {
+        let stack = exp.stack();
+        let cfg = ThermalConfig::paper_default().with_grid(4, 4);
+        let model = ThermalModel::new(&stack, cfg);
+        (stack, model)
+    }
+
+    fn core_power_vector(stack: &Stack3d, watts: f64) -> Vec<f64> {
+        let mut p = vec![0.0; stack.num_blocks()];
+        for c in stack.core_ids() {
+            p[stack.core_block_index(c)] = watts;
+        }
+        p
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        let (_, model) = small_model(Experiment::Exp1);
+        for t in model.block_temperatures_c() {
+            assert!((t - 45.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn steady_state_energy_balance() {
+        // In steady state, all injected power leaves through the sink:
+        // (T_sink − T_amb) / R_conv = P_total.
+        let (stack, mut model) = small_model(Experiment::Exp1);
+        let p = core_power_vector(&stack, 3.0);
+        model.initialize_steady_state(&p);
+        let p_total: f64 = p.iter().sum();
+        let flux = (model.sink_temperature_c() - 45.0) / 0.1;
+        assert!(
+            (flux - p_total).abs() < 1e-6 * p_total.max(1.0),
+            "flux {flux} vs injected {p_total}"
+        );
+    }
+
+    #[test]
+    fn transient_relaxes_to_steady_state() {
+        let (stack, mut model) = small_model(Experiment::Exp1);
+        let p = core_power_vector(&stack, 3.0);
+        let steady = {
+            let mut m2 = model.clone();
+            m2.initialize_steady_state(&p)
+        };
+        model.set_block_powers(&p);
+        // March the transient long enough for the die (not the 140 J/K
+        // sink) to settle: compare die temperature *rise above the sink*.
+        for _ in 0..600 {
+            model.step(0.1);
+        }
+        let now = model.block_temperatures_c();
+        let sink_now = model.sink_temperature_c();
+        // Steady sink temperature from energy balance.
+        let sink_steady = 45.0 + 0.1 * p.iter().sum::<f64>();
+        for (i, (a, b)) in now.iter().zip(&steady).enumerate() {
+            let rise_now = a - sink_now;
+            let rise_steady = b - sink_steady;
+            assert!(
+                (rise_now - rise_steady).abs() < 0.5,
+                "block {i}: transient rise {rise_now:.3} vs steady rise {rise_steady:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn hotter_blocks_are_the_powered_ones() {
+        let (stack, mut model) = small_model(Experiment::Exp1);
+        let mut p = vec![0.0; stack.num_blocks()];
+        let hot_core = stack.core_block_index(therm3d_floorplan::CoreId(0));
+        p[hot_core] = 5.0;
+        model.initialize_steady_state(&p);
+        let temps = model.block_temperatures_c();
+        let max_site =
+            (0..temps.len()).max_by(|&a, &b| temps[a].total_cmp(&temps[b])).expect("non-empty");
+        assert_eq!(max_site, hot_core, "the powered core must be the hottest block");
+    }
+
+    #[test]
+    fn upper_layer_cores_run_hotter_exp2() {
+        // Same power on every core: cores on the layer far from the sink
+        // must end up hotter — the 3D asymmetry central to the paper.
+        let (stack, mut model) = small_model(Experiment::Exp2);
+        let p = core_power_vector(&stack, 3.0);
+        model.initialize_steady_state(&p);
+        let temps = model.block_temperatures_c();
+        let mut layer0 = Vec::new();
+        let mut layer1 = Vec::new();
+        for c in stack.core_ids() {
+            let site = stack.core_block_index(c);
+            if stack.core_layer(c) == 0 {
+                layer0.push(temps[site]);
+            } else {
+                layer1.push(temps[site]);
+            }
+        }
+        let avg0: f64 = layer0.iter().sum::<f64>() / layer0.len() as f64;
+        let avg1: f64 = layer1.iter().sum::<f64>() / layer1.len() as f64;
+        assert!(avg1 > avg0 + 0.1, "upper layer {avg1:.2} vs sink-side layer {avg0:.2}");
+    }
+
+    #[test]
+    fn four_layers_hotter_than_two() {
+        // EXP-3 doubles the stacked power over the same footprint; peak
+        // temperature must exceed EXP-1's.
+        let (s1, mut m1) = small_model(Experiment::Exp1);
+        let (s3, mut m3) = small_model(Experiment::Exp3);
+        m1.initialize_steady_state(&core_power_vector(&s1, 3.0));
+        m3.initialize_steady_state(&core_power_vector(&s3, 3.0));
+        let max1 = m1.block_temperatures_c().into_iter().fold(f64::MIN, f64::max);
+        let max3 = m3.block_temperatures_c().into_iter().fold(f64::MIN, f64::max);
+        assert!(max3 > max1 + 1.0, "EXP-3 peak {max3:.2} vs EXP-1 peak {max1:.2}");
+    }
+
+    #[test]
+    fn step_subdivides_large_dt() {
+        let (stack, mut model) = small_model(Experiment::Exp1);
+        model.set_block_powers(&core_power_vector(&stack, 3.0));
+        let coarse = {
+            let mut m = model.clone();
+            m.step(0.5);
+            m.block_temperatures_c()
+        };
+        let fine = {
+            let mut m = model.clone();
+            for _ in 0..50 {
+                m.step(0.01);
+            }
+            m.block_temperatures_c()
+        };
+        for (a, b) in coarse.iter().zip(&fine) {
+            assert!((a - b).abs() < 0.05, "coarse {a} vs fine {b}");
+        }
+    }
+
+    #[test]
+    fn temperatures_never_drop_below_ambient() {
+        let (stack, mut model) = small_model(Experiment::Exp4);
+        model.set_block_powers(&core_power_vector(&stack, 2.0));
+        for _ in 0..100 {
+            model.step(0.1);
+            for t in model.block_temperatures_c() {
+                assert!(t >= 45.0 - 1e-6, "temperature {t} below ambient");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_uniform_sets_state() {
+        let (_, mut model) = small_model(Experiment::Exp1);
+        model.reset_uniform(80.0);
+        for t in model.block_temperatures_c() {
+            assert!((t - 80.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_rejected() {
+        let (_, mut model) = small_model(Experiment::Exp1);
+        model.step(0.0);
+    }
+
+    #[test]
+    fn total_power_tracks_assignment() {
+        let (stack, mut model) = small_model(Experiment::Exp2);
+        let p = core_power_vector(&stack, 1.5);
+        model.set_block_powers(&p);
+        assert!((model.total_power() - 12.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,214 @@
+//! Through-silicon-via (TSV) model: joint resistivity of the inter-die
+//! interface material as a function of via density (paper Figure 2).
+//!
+//! The paper models TSVs as homogeneously distributed through the interface
+//! material and computes a *combined* ("joint") thermal resistivity from
+//! the area fraction occupied by copper vias. Each via has a 10 µm diameter
+//! with 10 µm of keep-out spacing around it; the paper's x-axis `d_TSV` is
+//! the ratio of the **total area overhead** (via + spacing) to the layer
+//! area.
+//!
+//! With an abundant via count (1024 vias, < 1 % area overhead) the paper
+//! arrives at a joint resistivity of 0.23 m·K/W, down from the bare
+//! interface material's 0.25 m·K/W — reproduced exactly by this module
+//! (see `joint_resistivity_for_count`).
+
+use crate::material::Material;
+
+/// Geometry and population of the TSVs crossing one interface layer.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_thermal::tsv::TsvSpec;
+///
+/// // The paper's configuration: 1024 vias of 10 µm diameter, 10 µm spacing,
+/// // on a 115 mm² layer.
+/// let spec = TsvSpec::paper_default();
+/// let rho = spec.joint_resistivity();
+/// assert!((rho - 0.23).abs() < 0.005, "joint resistivity {rho} ≈ 0.23 m·K/W");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsvSpec {
+    /// Via diameter in µm (10 µm for the paper's technology).
+    pub diameter_um: f64,
+    /// Keep-out spacing required around each via, in µm (10 µm).
+    pub spacing_um: f64,
+    /// Number of vias distributed over the layer.
+    pub count: usize,
+    /// Layer area in mm² (115 mm² per Table II).
+    pub layer_area_mm2: f64,
+    /// Bare interface material (resistivity 0.25 m·K/W per Table II).
+    pub interface: Material,
+    /// Via fill material (copper).
+    pub via_material: Material,
+}
+
+impl TsvSpec {
+    /// The configuration used for all experiments in the paper: 1024 copper
+    /// vias, ⌀10 µm with 10 µm spacing, through the 0.25 m·K/W interface
+    /// material of a 115 mm² layer.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            diameter_um: 10.0,
+            spacing_um: 10.0,
+            count: 1024,
+            layer_area_mm2: 115.0,
+            interface: Material::INTERFACE,
+            via_material: Material::COPPER,
+        }
+    }
+
+    /// Copper cross-section of a single via in mm².
+    #[must_use]
+    pub fn via_area_mm2(&self) -> f64 {
+        let r_mm = self.diameter_um / 2.0 * 1e-3;
+        std::f64::consts::PI * r_mm * r_mm
+    }
+
+    /// Footprint (via + keep-out ring) of a single via in mm².
+    #[must_use]
+    pub fn via_footprint_mm2(&self) -> f64 {
+        let r_mm = (self.diameter_um / 2.0 + self.spacing_um) * 1e-3;
+        std::f64::consts::PI * r_mm * r_mm
+    }
+
+    /// `d_TSV`: total area overhead (footprints) over layer area — the
+    /// x-axis of Figure 2. Dimensionless fraction in `[0, 1]`.
+    #[must_use]
+    pub fn area_overhead_fraction(&self) -> f64 {
+        self.count as f64 * self.via_footprint_mm2() / self.layer_area_mm2
+    }
+
+    /// Fraction of the layer area that is actually copper.
+    #[must_use]
+    pub fn copper_fraction(&self) -> f64 {
+        self.count as f64 * self.via_area_mm2() / self.layer_area_mm2
+    }
+
+    /// Joint thermal resistivity of the interface-plus-vias composite, in
+    /// m·K/W.
+    ///
+    /// The vias conduct in parallel with the surrounding interface
+    /// material, so conductivities combine area-weighted:
+    /// `k_joint = (1 − f_cu)·k_int + f_cu·k_cu`, and
+    /// `ρ_joint = 1/k_joint`.
+    #[must_use]
+    pub fn joint_resistivity(&self) -> f64 {
+        let f_cu = self.copper_fraction().min(1.0);
+        let k = (1.0 - f_cu) * self.interface.conductivity
+            + f_cu * self.via_material.conductivity;
+        1.0 / k
+    }
+
+    /// The composite interface material (joint resistivity, unchanged heat
+    /// capacity — the paper argues the TSV contribution to capacity is
+    /// negligible at these densities).
+    #[must_use]
+    pub fn joint_material(&self) -> Material {
+        Material::from_resistivity(
+            self.joint_resistivity(),
+            self.interface.volumetric_heat_capacity,
+        )
+    }
+
+    /// Builds a spec with the number of vias needed to reach a target area
+    /// overhead `d_tsv` (Figure 2 sweeps this from 0 to ~2 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_tsv` is negative or not finite.
+    #[must_use]
+    pub fn with_overhead(mut self, d_tsv: f64) -> Self {
+        assert!(d_tsv.is_finite() && d_tsv >= 0.0, "d_TSV must be non-negative");
+        let per_via = self.via_footprint_mm2();
+        self.count = (d_tsv * self.layer_area_mm2 / per_via).round() as usize;
+        self
+    }
+}
+
+/// Joint resistivity (m·K/W) as a function of area overhead `d_tsv`,
+/// with the paper's default geometry — the curve of Figure 2.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_thermal::tsv::joint_resistivity_for_overhead;
+///
+/// let bare = joint_resistivity_for_overhead(0.0);
+/// assert!((bare - 0.25).abs() < 1e-9);
+/// let dense = joint_resistivity_for_overhead(0.02);
+/// assert!(dense < bare);
+/// ```
+#[must_use]
+pub fn joint_resistivity_for_overhead(d_tsv: f64) -> f64 {
+    TsvSpec::paper_default().with_overhead(d_tsv).joint_resistivity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_reproduces_023() {
+        let spec = TsvSpec::paper_default();
+        // 1024 vias: copper fraction ≈ 0.07 %, overhead ≈ 0.63 % (< 1 %).
+        assert!(spec.area_overhead_fraction() < 0.01, "area overhead below 1 %");
+        let rho = spec.joint_resistivity();
+        assert!((rho - 0.23).abs() < 0.005, "got {rho}");
+    }
+
+    #[test]
+    fn via_density_exceeds_8_per_mm2() {
+        // The paper notes its assumption places over 8 TSVs per mm².
+        let spec = TsvSpec::paper_default();
+        assert!(spec.count as f64 / spec.layer_area_mm2 > 8.0);
+    }
+
+    #[test]
+    fn resistivity_monotonically_decreases_with_density() {
+        let mut prev = f64::INFINITY;
+        for i in 0..=20 {
+            let d = i as f64 * 0.001; // 0 .. 2 %
+            let rho = joint_resistivity_for_overhead(d);
+            assert!(rho <= prev + 1e-12, "resistivity must not increase: d={d}");
+            prev = rho;
+        }
+    }
+
+    #[test]
+    fn zero_density_equals_bare_interface() {
+        assert!(
+            (joint_resistivity_for_overhead(0.0) - Material::INTERFACE.resistivity()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn one_to_two_percent_density_effect_is_a_few_percent() {
+        // "even when the TSV density reaches 1-2%, the effect on the
+        // temperature profile is limited" — resistivity drop stays modest.
+        let bare = joint_resistivity_for_overhead(0.0);
+        let at2 = joint_resistivity_for_overhead(0.02);
+        let drop = (bare - at2) / bare;
+        assert!(drop > 0.05 && drop < 0.35, "drop {drop}");
+    }
+
+    #[test]
+    fn with_overhead_round_trips() {
+        let spec = TsvSpec::paper_default().with_overhead(0.01);
+        assert!((spec.area_overhead_fraction() - 0.01).abs() < 1e-3);
+    }
+
+    #[test]
+    fn joint_material_keeps_capacity() {
+        let spec = TsvSpec::paper_default();
+        let m = spec.joint_material();
+        assert_eq!(
+            m.volumetric_heat_capacity,
+            Material::INTERFACE.volumetric_heat_capacity
+        );
+        assert!((m.resistivity() - spec.joint_resistivity()).abs() < 1e-12);
+    }
+}

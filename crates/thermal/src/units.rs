@@ -1,0 +1,55 @@
+//! Temperature conversion helpers.
+//!
+//! The thermal solver works in kelvin internally (the linear RC system is
+//! defined on absolute temperatures); the public API and the paper's
+//! thresholds (85 °C, 80 °C, 15 °C gradients, 20 °C cycles) are in degrees
+//! Celsius. These helpers keep conversions explicit at the boundary.
+
+/// Offset between the Celsius and Kelvin scales.
+pub const KELVIN_OFFSET: f64 = 273.15;
+
+/// Converts degrees Celsius to kelvin.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_thermal::units::kelvin_from_celsius;
+/// assert_eq!(kelvin_from_celsius(0.0), 273.15);
+/// assert_eq!(kelvin_from_celsius(85.0), 358.15);
+/// ```
+#[must_use]
+pub fn kelvin_from_celsius(celsius: f64) -> f64 {
+    celsius + KELVIN_OFFSET
+}
+
+/// Converts kelvin to degrees Celsius.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_thermal::units::celsius_from_kelvin;
+/// assert!((celsius_from_kelvin(383.0) - 109.85).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn celsius_from_kelvin(kelvin: f64) -> f64 {
+    kelvin - KELVIN_OFFSET
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for c in [-40.0, 0.0, 45.0, 85.0, 110.0] {
+            let back = celsius_from_kelvin(kelvin_from_celsius(c));
+            assert!((back - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_reference_points() {
+        // The leakage model's reference temperature is 383 K (Section IV-B).
+        assert!((kelvin_from_celsius(109.85) - 383.0).abs() < 1e-9);
+    }
+}

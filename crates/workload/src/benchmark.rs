@@ -1,0 +1,244 @@
+//! The paper's Table I benchmark characterization.
+//!
+//! The original study profiled real server workloads on an UltraSPARC T1
+//! with `mpstat`, `cpustat` and DTrace. Table I summarizes each benchmark
+//! by average utilization, L2 instruction/data misses and floating-point
+//! instructions per 100 K instructions; those numbers parameterize our
+//! synthetic trace generator (see [`crate::gen`]).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the eight benchmark workloads of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// SLAMD web server, 20 threads/client (medium utilization).
+    WebMed,
+    /// SLAMD web server, 40 threads/client (high utilization).
+    WebHigh,
+    /// MySQL + sysbench, 1 M-row table, 100 threads.
+    Database,
+    /// Combined web server and database load.
+    WebDb,
+    /// The gcc compiler (SPEC-like).
+    Gcc,
+    /// gzip compression/decompression (SPEC-like).
+    Gzip,
+    /// mplayer decoding 640×272 video (multimedia).
+    MPlayer,
+    /// mplayer plus web server.
+    MPlayerWeb,
+}
+
+/// The measured characteristics of a benchmark (one row of Table I).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadStats {
+    /// Average utilization over all cores, in `[0, 1]` (Table I reports
+    /// percent).
+    pub avg_utilization: f64,
+    /// L2 instruction misses per 100 K instructions.
+    pub l2_imiss_per_100k: f64,
+    /// L2 data misses per 100 K instructions.
+    pub l2_dmiss_per_100k: f64,
+    /// Floating-point instructions per 100 K instructions.
+    pub fp_per_100k: f64,
+}
+
+impl WorkloadStats {
+    /// A normalized memory-traffic intensity in `[0, 1]`, derived from the
+    /// combined L2 miss rate. Drives the crossbar's traffic-scaled power.
+    ///
+    /// Web-high (the heaviest L2 client in Table I at 356 misses/100 K)
+    /// maps to 1.0; others scale linearly.
+    #[must_use]
+    pub fn memory_intensity(&self) -> f64 {
+        const MAX_MISSES: f64 = 356.3; // Web-high's I+D total
+        ((self.l2_imiss_per_100k + self.l2_dmiss_per_100k) / MAX_MISSES).clamp(0.0, 1.0)
+    }
+}
+
+impl Benchmark {
+    /// All benchmarks in Table I order.
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::WebMed,
+        Benchmark::WebHigh,
+        Benchmark::Database,
+        Benchmark::WebDb,
+        Benchmark::Gcc,
+        Benchmark::Gzip,
+        Benchmark::MPlayer,
+        Benchmark::MPlayerWeb,
+    ];
+
+    /// The Table I row for this benchmark.
+    #[must_use]
+    pub fn stats(self) -> WorkloadStats {
+        match self {
+            Benchmark::WebMed => WorkloadStats {
+                avg_utilization: 0.5312,
+                l2_imiss_per_100k: 12.9,
+                l2_dmiss_per_100k: 167.7,
+                fp_per_100k: 31.2,
+            },
+            Benchmark::WebHigh => WorkloadStats {
+                avg_utilization: 0.9287,
+                l2_imiss_per_100k: 67.6,
+                l2_dmiss_per_100k: 288.7,
+                fp_per_100k: 31.2,
+            },
+            Benchmark::Database => WorkloadStats {
+                avg_utilization: 0.1775,
+                l2_imiss_per_100k: 6.5,
+                l2_dmiss_per_100k: 102.3,
+                fp_per_100k: 5.9,
+            },
+            Benchmark::WebDb => WorkloadStats {
+                avg_utilization: 0.7512,
+                l2_imiss_per_100k: 21.5,
+                l2_dmiss_per_100k: 115.3,
+                fp_per_100k: 24.1,
+            },
+            Benchmark::Gcc => WorkloadStats {
+                avg_utilization: 0.1525,
+                l2_imiss_per_100k: 31.7,
+                l2_dmiss_per_100k: 96.2,
+                fp_per_100k: 18.1,
+            },
+            Benchmark::Gzip => WorkloadStats {
+                avg_utilization: 0.09,
+                l2_imiss_per_100k: 2.0,
+                l2_dmiss_per_100k: 57.0,
+                fp_per_100k: 0.2,
+            },
+            Benchmark::MPlayer => WorkloadStats {
+                avg_utilization: 0.065,
+                l2_imiss_per_100k: 9.6,
+                l2_dmiss_per_100k: 136.0,
+                fp_per_100k: 1.0,
+            },
+            Benchmark::MPlayerWeb => WorkloadStats {
+                avg_utilization: 0.2662,
+                l2_imiss_per_100k: 9.1,
+                l2_dmiss_per_100k: 66.8,
+                fp_per_100k: 29.9,
+            },
+        }
+    }
+
+    /// The benchmark's name as used in Table I.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::WebMed => "Web-med",
+            Benchmark::WebHigh => "Web-high",
+            Benchmark::Database => "Database",
+            Benchmark::WebDb => "Web & DB",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Gzip => "gzip",
+            Benchmark::MPlayer => "MPlayer",
+            Benchmark::MPlayerWeb => "MPlayer&Web",
+        }
+    }
+
+    /// Table I's row number (1-based).
+    #[must_use]
+    pub fn table_index(self) -> usize {
+        Benchmark::ALL.iter().position(|&b| b == self).expect("benchmark in ALL") + 1
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing a [`Benchmark`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError(String);
+
+impl fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown benchmark `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+impl FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.to_ascii_lowercase().replace([' ', '-', '_', '&'], "");
+        Benchmark::ALL
+            .iter()
+            .find(|b| b.name().to_ascii_lowercase().replace([' ', '-', '&'], "") == norm)
+            .copied()
+            .ok_or_else(|| ParseBenchmarkError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_values() {
+        let s = Benchmark::WebHigh.stats();
+        assert!((s.avg_utilization - 0.9287).abs() < 1e-12);
+        assert!((s.l2_imiss_per_100k - 67.6).abs() < 1e-12);
+        let s = Benchmark::Gzip.stats();
+        assert!((s.avg_utilization - 0.09).abs() < 1e-12);
+        assert!((s.fp_per_100k - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_intensity_bounds_and_ordering() {
+        for b in Benchmark::ALL {
+            let m = b.stats().memory_intensity();
+            assert!((0.0..=1.0).contains(&m), "{b}: {m}");
+        }
+        assert!((Benchmark::WebHigh.stats().memory_intensity() - 1.0).abs() < 1e-9);
+        assert!(
+            Benchmark::Gzip.stats().memory_intensity()
+                < Benchmark::WebMed.stats().memory_intensity()
+        );
+    }
+
+    #[test]
+    fn table_indices_are_one_through_eight() {
+        let idx: Vec<_> = Benchmark::ALL.iter().map(|b| b.table_index()).collect();
+        assert_eq!(idx, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.name().parse::<Benchmark>().unwrap(), b, "{b}");
+        }
+        assert_eq!("web-high".parse::<Benchmark>().unwrap(), Benchmark::WebHigh);
+        assert_eq!("Web & DB".parse::<Benchmark>().unwrap(), Benchmark::WebDb);
+        assert!("quake3".parse::<Benchmark>().is_err());
+    }
+
+    #[test]
+    fn utilization_ordering_matches_table() {
+        // Web-high > Web&DB > Web-med > MPlayer&Web > DB > gcc > gzip > MPlayer
+        let u: Vec<f64> = [
+            Benchmark::WebHigh,
+            Benchmark::WebDb,
+            Benchmark::WebMed,
+            Benchmark::MPlayerWeb,
+            Benchmark::Database,
+            Benchmark::Gcc,
+            Benchmark::Gzip,
+            Benchmark::MPlayer,
+        ]
+        .iter()
+        .map(|b| b.stats().avg_utilization)
+        .collect();
+        for w in u.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+}

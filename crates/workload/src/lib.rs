@@ -1,0 +1,28 @@
+//! Workload characterization and synthetic trace generation for the
+//! `therm3d` reproduction of "Dynamic Thermal Management in 3D Multicore
+//! Architectures" (Coskun et al., DATE 2009).
+//!
+//! The crate encodes the paper's Table I benchmark statistics (average
+//! utilization, L2 miss rates, FP mix of eight real server/desktop
+//! workloads measured on an UltraSPARC T1) and generates statistically
+//! matched synthetic job traces: modulated-Poisson arrivals with lognormal
+//! CPU demands whose offered load equals the benchmark's measured average
+//! utilization.
+//!
+//! # Quick start
+//!
+//! ```
+//! use therm3d_workload::{Benchmark, TraceConfig};
+//!
+//! // One minute of Web-med load for an 8-core system.
+//! let trace = TraceConfig::new(Benchmark::WebMed, 8, 60.0).generate();
+//! println!("{} jobs, {:.1} CPU-seconds", trace.len(), trace.total_work_s());
+//! ```
+
+pub mod benchmark;
+pub mod gen;
+pub mod job;
+
+pub use benchmark::{Benchmark, ParseBenchmarkError, WorkloadStats};
+pub use gen::{generate_mix, TraceConfig};
+pub use job::{Job, JobCursor, JobTrace};

@@ -1,0 +1,129 @@
+//! Tiny terminal plotting helpers used by the examples: horizontal bars
+//! for figure-style comparisons and sparklines for temperature traces.
+
+/// Renders `value` as a horizontal bar scaled so `max` fills `width`
+/// characters, e.g. `bar(3.0, 6.0, 10)` → `"█████     "`.
+///
+/// Values below zero render as an empty bar; values above `max` are
+/// clamped to the full width. A zero or negative `max` renders empty.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_repro::bar;
+///
+/// assert_eq!(bar(5.0, 10.0, 10), "█████     ");
+/// assert_eq!(bar(99.0, 10.0, 4), "████");
+/// ```
+#[must_use]
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if width == 0 {
+        return String::new();
+    }
+    let frac = if max > 0.0 { (value / max).clamp(0.0, 1.0) } else { 0.0 };
+    let filled = (frac * width as f64).round() as usize;
+    let mut s = "█".repeat(filled.min(width));
+    s.push_str(&" ".repeat(width - filled.min(width)));
+    s
+}
+
+/// Renders a numeric series as a unicode sparkline (8 levels), scaling to
+/// the series' own min/max.
+///
+/// Empty input produces an empty string; a constant series renders at the
+/// lowest level.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_repro::sparkline;
+///
+/// let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+/// assert_eq!(s.chars().count(), 4);
+/// ```
+#[must_use]
+pub fn sparkline(series: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() {
+        return String::new();
+    }
+    let lo = series.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    series
+        .iter()
+        .map(|&v| {
+            let idx = if span > 0.0 {
+                (((v - lo) / span) * 7.0).round() as usize
+            } else {
+                0
+            };
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Downsamples `series` to at most `max_points` by averaging fixed-size
+/// chunks — handy before sparkline-plotting long temperature traces.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_repro::textplot::downsample;
+///
+/// let d = downsample(&[1.0, 3.0, 5.0, 7.0], 2);
+/// assert_eq!(d, vec![2.0, 6.0]);
+/// ```
+#[must_use]
+pub fn downsample(series: &[f64], max_points: usize) -> Vec<f64> {
+    if max_points == 0 || series.is_empty() {
+        return Vec::new();
+    }
+    if series.len() <= max_points {
+        return series.to_vec();
+    }
+    let chunk = series.len().div_ceil(max_points);
+    series
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(0.0, 10.0, 5), "     ");
+        assert_eq!(bar(10.0, 10.0, 5), "█████");
+        assert_eq!(bar(-3.0, 10.0, 5), "     ");
+        assert_eq!(bar(30.0, 10.0, 5), "█████");
+        assert_eq!(bar(1.0, 0.0, 5), "     ", "degenerate max renders empty");
+        assert_eq!(bar(1.0, 1.0, 0), "");
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0, 5.0]), "▁▁", "constant series at lowest level");
+        let s = sparkline(&[0.0, 7.0]);
+        assert_eq!(s, "▁█");
+    }
+
+    #[test]
+    fn downsample_preserves_short_series() {
+        let xs = [1.0, 2.0];
+        assert_eq!(downsample(&xs, 10), vec![1.0, 2.0]);
+        assert_eq!(downsample(&xs, 0), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn downsample_averages_chunks() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let d = downsample(&xs, 10);
+        assert_eq!(d.len(), 10);
+        assert!((d[0] - 4.5).abs() < 1e-12);
+        assert!(d.windows(2).all(|w| w[0] < w[1]), "monotone input stays monotone");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the floorplan geometry primitives and the power
+//! model's monotonicity guarantees.
+
+use proptest::prelude::*;
+
+use therm3d_floorplan::{Experiment, Rect};
+use therm3d_power::{CorePowerInput, LeakageModel, PowerModel, PowerParams, VfTable};
+
+fn any_rect() -> impl Strategy<Value = Rect> {
+    (0.0f64..20.0, 0.0f64..20.0, 0.1f64..10.0, 0.1f64..10.0)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rect_intersection_is_symmetric_and_bounded(a in any_rect(), b in any_rect()) {
+        let ab = a.intersection_area(&b);
+        let ba = b.intersection_area(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!(ab >= 0.0);
+        prop_assert!(ab <= a.area().min(b.area()) + 1e-12);
+        prop_assert_eq!(ab > 0.0, a.overlaps(&b), "overlap ⇔ positive intersection");
+    }
+
+    #[test]
+    fn rect_self_intersection_is_area(a in any_rect()) {
+        prop_assert!((a.intersection_area(&a) - a.area()).abs() < 1e-9);
+        prop_assert!(a.contained_in(&a));
+        let (cx, cy) = a.center();
+        prop_assert!(a.contains_point(cx, cy));
+    }
+
+    #[test]
+    fn shared_edge_is_symmetric_and_disjoint_from_overlap(a in any_rect(), b in any_rect()) {
+        let ab = a.shared_edge_length(&b);
+        prop_assert!((ab - b.shared_edge_length(&a)).abs() < 1e-12);
+        prop_assert!(ab >= 0.0);
+        if ab > 0.0 {
+            prop_assert!(
+                a.intersection_area(&b) < 1e-12,
+                "abutting rectangles cannot overlap"
+            );
+        }
+    }
+
+    #[test]
+    fn mirrored_floorplan_preserves_geometry(_dummy in 0u8..1) {
+        for fp in [
+            therm3d_floorplan::niagara::core_layer(),
+            therm3d_floorplan::niagara::cache_layer(),
+            therm3d_floorplan::niagara::mixed_layer(),
+        ] {
+            let m = fp.mirrored_y();
+            prop_assert_eq!(m.len(), fp.len());
+            prop_assert!((m.covered_area() - fp.covered_area()).abs() < 1e-9);
+            // Mirroring twice is the identity.
+            let mm = m.mirrored_y();
+            for (a, b) in fp.blocks().iter().zip(mm.blocks()) {
+                prop_assert_eq!(a.name(), b.name());
+                prop_assert!((a.rect().y - b.rect().y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn core_power_monotone_in_utilization(
+        u1 in 0.0f64..1.0,
+        u2 in 0.0f64..1.0,
+        temp in 45.0f64..100.0,
+    ) {
+        let stack = Experiment::Exp1.stack();
+        let m = PowerModel::new(&stack, PowerParams::paper_default(), VfTable::paper_default());
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        let mk = |u| CorePowerInput { utilization: u, ..CorePowerInput::busy() };
+        let p_lo = m.core_power(&mk(lo), temp, 10.0);
+        let p_hi = m.core_power(&mk(hi), temp, 10.0);
+        prop_assert!(p_hi >= p_lo - 1e-12, "power must grow with utilization");
+    }
+
+    #[test]
+    fn dvfs_levels_order_power(temp in 45.0f64..100.0, u in 0.0f64..1.0) {
+        let stack = Experiment::Exp1.stack();
+        let m = PowerModel::new(&stack, PowerParams::paper_default(), VfTable::paper_default());
+        let mut last = f64::INFINITY;
+        for level in 0..VfTable::paper_default().len() {
+            let c = CorePowerInput { utilization: u, vf_index: level, ..CorePowerInput::busy() };
+            let p = m.core_power(&c, temp, 10.0);
+            prop_assert!(p <= last + 1e-12, "lower V/f must never cost more power");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn leakage_monotone_in_temperature(t1 in 20.0f64..110.0, t2 in 20.0f64..110.0) {
+        let leak = LeakageModel::paper_default();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(leak.normalized(hi) >= leak.normalized(lo) - 1e-12);
+        prop_assert!(leak.power_w(10.0, hi, 1.0) >= 0.0);
+    }
+
+    #[test]
+    fn sleep_beats_everything(temp in 45.0f64..110.0, u in 0.0f64..1.0) {
+        let stack = Experiment::Exp1.stack();
+        let m = PowerModel::new(&stack, PowerParams::paper_default(), VfTable::paper_default());
+        let mut asleep = CorePowerInput { utilization: u, ..CorePowerInput::busy() };
+        asleep.asleep = true;
+        let awake = CorePowerInput { utilization: u, ..CorePowerInput::busy() };
+        prop_assert!(
+            m.core_power(&asleep, temp, 10.0) < m.core_power(&awake, temp, 10.0),
+            "the 0.02 W sleep state must undercut any awake state"
+        );
+    }
+}

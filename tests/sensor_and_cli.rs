@@ -1,0 +1,79 @@
+//! Integration tests for the sensor-imperfection extension and the CLI's
+//! interaction with the engine defaults.
+
+use therm3d::{SensorModel, SimConfig, Simulator};
+use therm3d_floorplan::Experiment;
+use therm3d_policies::PolicyKind;
+use therm3d_workload::{Benchmark, TraceConfig};
+
+fn run_with_sensor(sensor: SensorModel, secs: f64) -> therm3d::RunResult {
+    let exp = Experiment::Exp3;
+    let stack = exp.stack();
+    let policy = PolicyKind::DvfsTt.build(&stack, 0xACE1);
+    let trace =
+        TraceConfig::new(Benchmark::WebHigh, stack.num_cores(), secs).with_seed(7).generate();
+    let mut cfg = SimConfig::fast(exp);
+    cfg.sensor = sensor;
+    Simulator::new(cfg, policy).run(&trace, secs)
+}
+
+#[test]
+fn ideal_sensor_matches_default_config() {
+    let explicit = run_with_sensor(SensorModel::ideal(), 10.0);
+    let exp = Experiment::Exp3;
+    let stack = exp.stack();
+    let policy = PolicyKind::DvfsTt.build(&stack, 0xACE1);
+    let trace =
+        TraceConfig::new(Benchmark::WebHigh, stack.num_cores(), 10.0).with_seed(7).generate();
+    let default = Simulator::new(SimConfig::fast(exp), policy).run(&trace, 10.0);
+    assert_eq!(explicit, default, "the default sensor is ideal");
+}
+
+#[test]
+fn noisy_sensor_changes_behaviour_but_stays_deterministic() {
+    let noisy = || run_with_sensor(SensorModel::ideal().with_noise(2.0, 99), 15.0);
+    let a = noisy();
+    let b = noisy();
+    assert_eq!(a, b, "noise comes from a seeded stream");
+    let clean = run_with_sensor(SensorModel::ideal(), 15.0);
+    assert_ne!(a, clean, "2 °C sensor noise must alter DVFS trigger timing");
+    // Metrics use true temperatures, so results stay physically sane.
+    assert!((0.0..=100.0).contains(&a.hotspot_pct));
+    assert_eq!(a.unfinished, 0);
+}
+
+#[test]
+fn underreading_sensor_worsens_hot_spots() {
+    // A sensor that reads 4 °C cool delays every threshold reaction.
+    let clean = run_with_sensor(SensorModel::ideal(), 25.0);
+    let offset = run_with_sensor(SensorModel::ideal().with_offset(-4.0), 25.0);
+    assert!(
+        offset.hotspot_pct > clean.hotspot_pct,
+        "under-reporting must cost hot-spot time: {:.2}% vs {:.2}%",
+        offset.hotspot_pct,
+        clean.hotspot_pct
+    );
+}
+
+#[test]
+fn cli_run_matches_library_run() {
+    // The CLI's `run` path must produce exactly the library numbers.
+    let cmd = therm3d_cli::parse(
+        "run --exp exp1 --policy Default --benchmark gzip -t 5 --grid 4 --csv"
+            .split_whitespace()
+            .map(str::to_owned),
+    )
+    .expect("valid command line");
+    let out = therm3d_cli::execute(&cmd);
+    let row = out.lines().nth(1).expect("csv row");
+
+    let exp = Experiment::Exp1;
+    let stack = exp.stack();
+    let policy = PolicyKind::Default.build(&stack, 0xACE1);
+    let trace = TraceConfig::new(Benchmark::Gzip, 8, 5.0).with_seed(2009).generate();
+    let mut cfg = SimConfig::paper_default(exp);
+    cfg.thermal = cfg.thermal.with_grid(4, 4);
+    let r = Simulator::new(cfg, policy).run(&trace, 5.0);
+    let expected_prefix = format!("Default,EXP-1,false,{:.4}", r.hotspot_pct);
+    assert!(row.starts_with(&expected_prefix), "row `{row}` vs `{expected_prefix}`");
+}
