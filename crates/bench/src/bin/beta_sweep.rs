@@ -11,20 +11,14 @@ use therm3d_workload::{generate_mix, Benchmark};
 
 fn run(exp: Experiment, cfg: AdaptiveConfig, sim_seconds: f64) -> therm3d::RunResult {
     let stack = exp.stack();
-    let policy = Box::new(AdaptivePolicy::adapt3d_with_config(
-        stack.default_thermal_indices(),
-        cfg,
-        0xACE1,
-    ));
+    let policy =
+        Box::new(AdaptivePolicy::adapt3d_with_config(stack.default_thermal_indices(), cfg, 0xACE1));
     let trace = generate_mix(&Benchmark::ALL, exp.num_cores(), sim_seconds, 2009);
     Simulator::new(SimConfig::paper_default(exp), policy).run(&trace, sim_seconds)
 }
 
 fn main() {
-    let sim_seconds = std::env::var("THERM3D_SIM_SECONDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(160.0);
+    let sim_seconds = therm3d_sweep::sim_seconds_from_env(160.0);
     let exp = Experiment::Exp3;
     println!("Adapt3D β / history-window sweep on {exp} ({sim_seconds:.0} s per cell)\n");
 

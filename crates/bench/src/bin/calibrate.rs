@@ -40,7 +40,9 @@ fn main() {
     // v4.2's default interface material (20 µm, k = 4).
     let tims = [(20.0e-6, 2.0)];
 
-    let mut best: Option<(f64, [f64; 4], (f64, f64, f64, (f64, f64)))> = None;
+    // (ambient °C, other-block W, spreader-to-sink K/W, (TIM m, TIM W/(m·K)))
+    type Candidate = (f64, f64, f64, (f64, f64));
+    let mut best: Option<(f64, [f64; 4], Candidate)> = None;
     for &ambient in &ambients {
         for &other_w in &others {
             for &r in &s2s {
@@ -80,7 +82,10 @@ fn main() {
     }
     let (err, peaks, (a, o, r, t)) = best.expect("grid is non-empty");
     println!("\nbest: err {err:.1}");
-    println!("  peaks: EXP1 {:.1}  EXP2 {:.1}  EXP3 {:.1}  EXP4 {:.1}", peaks[0], peaks[1], peaks[2], peaks[3]);
+    println!(
+        "  peaks: EXP1 {:.1}  EXP2 {:.1}  EXP3 {:.1}  EXP4 {:.1}",
+        peaks[0], peaks[1], peaks[2], peaks[3]
+    );
     println!("  ambient_c = {a}");
     println!("  other_w = {o}");
     println!("  spreader_to_sink_resistance_kw = {r}");
@@ -91,16 +96,25 @@ fn main() {
     use therm3d_policies::PolicyKind;
     use therm3d_workload::{generate_mix, Benchmark};
 
-    let candidates: [(f64, f64, f64, (f64, f64)); 1] = [
-        (45.0, 3.0, 0.2, (20.0e-6, 2.0)),
-    ];
+    let candidates: [(f64, f64, f64, (f64, f64)); 1] = [(45.0, 3.0, 0.2, (20.0e-6, 2.0))];
     let sim_seconds = 160.0;
     let benches = Benchmark::ALL;
     for (amb, ow, rr, tim) in candidates {
-        println!("\n=== dynamic: ambient={amb} other_w={ow} r_s2s={rr} tim={:.0}µm k={} ===", tim.0*1e6, tim.1);
+        println!(
+            "\n=== dynamic: ambient={amb} other_w={ow} r_s2s={rr} tim={:.0}µm k={} ===",
+            tim.0 * 1e6,
+            tim.1
+        );
         for exp in [Experiment::Exp3, Experiment::Exp4] {
             println!("  {exp}:");
-            for kind in [PolicyKind::Default, PolicyKind::Migr, PolicyKind::AdaptRand, PolicyKind::Adapt3d, PolicyKind::DvfsTt, PolicyKind::Adapt3dDvfsTt] {
+            for kind in [
+                PolicyKind::Default,
+                PolicyKind::Migr,
+                PolicyKind::AdaptRand,
+                PolicyKind::Adapt3d,
+                PolicyKind::DvfsTt,
+                PolicyKind::Adapt3dDvfsTt,
+            ] {
                 let stack = exp.stack();
                 let mut cfg = SimConfig::paper_default(exp);
                 cfg.thermal.ambient_c = amb;

@@ -9,16 +9,14 @@ use therm3d_policies::{AdaptiveConfig, AdaptivePolicy};
 use therm3d_workload::{generate_mix, Benchmark};
 
 fn main() {
-    let sim_seconds = std::env::var("THERM3D_SIM_SECONDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(160.0);
+    let sim_seconds = therm3d_sweep::sim_seconds_from_env(160.0);
     for exp in [Experiment::Exp3, Experiment::Exp4] {
         println!("{exp} (Adapt3D, backlog-cutoff sweep, {sim_seconds:.0} s):");
         let stack = exp.stack();
         let trace = generate_mix(&Benchmark::ALL, exp.num_cores(), sim_seconds, 2009);
         for cutoff in [0.5, 1.0, 2.0, 4.0, 8.0, f64::INFINITY] {
-            let cfg = AdaptiveConfig { backlog_cutoff_s: cutoff, ..AdaptiveConfig::paper_default() };
+            let cfg =
+                AdaptiveConfig { backlog_cutoff_s: cutoff, ..AdaptiveConfig::paper_default() };
             let policy = Box::new(AdaptivePolicy::adapt3d_with_config(
                 stack.default_thermal_indices(),
                 cfg,

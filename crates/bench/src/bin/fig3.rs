@@ -1,19 +1,20 @@
 //! Regenerates Figure 3: thermal hot spots (% of time above 85 °C)
 //! WITHOUT dynamic power management, for all 11 policies on EXP-1..4,
 //! plus the performance line (normalized to Default).
+//!
+//! The 44-cell grid executes as one parallel sweep.
 
-use therm3d_bench::{format_figure, run_experiment, FigureConfig};
+use therm3d_bench::{format_figure, run_figure, FigureConfig};
 use therm3d_floorplan::Experiment;
 
 fn main() {
     let cfg = FigureConfig::paper_default();
-    let results: Vec<_> = Experiment::ALL
-        .iter()
-        .map(|&exp| {
-            eprintln!("running {exp} ({} policies)…", therm3d_policies::PolicyKind::ALL.len());
-            (exp, run_experiment(&cfg, exp, false))
-        })
-        .collect();
+    eprintln!(
+        "running {} experiments x {} policies in parallel…",
+        Experiment::ALL.len(),
+        therm3d_policies::PolicyKind::ALL.len()
+    );
+    let results = run_figure(&cfg, &Experiment::ALL, false);
     print!(
         "{}",
         format_figure(

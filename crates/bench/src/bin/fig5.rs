@@ -1,18 +1,15 @@
 //! Regenerates Figure 5: spatial gradients (% of time the worst per-layer
 //! gradient exceeds 15 °C) with DPM, all 11 policies on EXP-1..4.
+//!
+//! The 44-cell grid executes as one parallel sweep.
 
-use therm3d_bench::{format_figure, run_experiment, FigureConfig};
+use therm3d_bench::{format_figure, run_figure, FigureConfig};
 use therm3d_floorplan::Experiment;
 
 fn main() {
     let cfg = FigureConfig::paper_default();
-    let results: Vec<_> = Experiment::ALL
-        .iter()
-        .map(|&exp| {
-            eprintln!("running {exp} with DPM…");
-            (exp, run_experiment(&cfg, exp, true))
-        })
-        .collect();
+    eprintln!("running {} experiments with DPM in parallel…", Experiment::ALL.len());
+    let results = run_figure(&cfg, &Experiment::ALL, true);
     print!(
         "{}",
         format_figure(

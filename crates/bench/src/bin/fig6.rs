@@ -1,19 +1,17 @@
 //! Regenerates Figure 6: thermal cycles (% of sliding-window ΔT samples
 //! above 20 °C) with DPM, all 11 policies on EXP-1 and EXP-3 (the two
 //! systems the paper's Figure 6 shows).
+//!
+//! The 22-cell grid executes as one parallel sweep.
 
-use therm3d_bench::{format_figure, run_experiment, FigureConfig};
+use therm3d_bench::{format_figure, run_figure, FigureConfig};
 use therm3d_floorplan::Experiment;
 
 fn main() {
     let cfg = FigureConfig::paper_default();
-    let results: Vec<_> = [Experiment::Exp1, Experiment::Exp3]
-        .iter()
-        .map(|&exp| {
-            eprintln!("running {exp} with DPM…");
-            (exp, run_experiment(&cfg, exp, true))
-        })
-        .collect();
+    let experiments = [Experiment::Exp1, Experiment::Exp3];
+    eprintln!("running {} experiments with DPM in parallel…", experiments.len());
+    let results = run_figure(&cfg, &experiments, true);
     print!(
         "{}",
         format_figure(

@@ -44,11 +44,7 @@ fn main() {
             let mut m = ThermalModel::new(&stack, cfg);
             let t = m.initialize_steady_state(&powers);
             let peak = t.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let maxerr = t
-                .iter()
-                .zip(&t_ref)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
+            let maxerr = t.iter().zip(&t_ref).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             m.set_block_powers(&powers);
             let t0 = Instant::now();
             for _ in 0..200 {
@@ -68,8 +64,7 @@ fn main() {
         let mut b = BlockThermalModel::new(&stack, ThermalConfig::paper_default());
         let t = b.initialize_steady_state(&powers);
         let peak = t.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let maxerr =
-            t.iter().zip(&t_ref).map(|(a, c)| (a - c).abs()).fold(0.0, f64::max);
+        let maxerr = t.iter().zip(&t_ref).map(|(a, c)| (a - c).abs()).fold(0.0, f64::max);
         b.set_block_powers(&powers);
         let t0 = Instant::now();
         for _ in 0..200 {

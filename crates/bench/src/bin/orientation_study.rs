@@ -32,25 +32,21 @@ fn dynamic(exp: Experiment, order: StackOrder, sim_seconds: f64) -> RunResult {
 }
 
 fn main() {
-    let sim_seconds = std::env::var("THERM3D_SIM_SECONDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120.0);
+    let sim_seconds = therm3d_sweep::sim_seconds_from_env(120.0);
     println!("stack-orientation study: which die touches the spreader?\n");
     println!("all-cores-busy steady peak core temperature, °C:");
     println!("{:>8} {:>16} {:>16} {:>8}", "config", "cores far (dflt)", "cores near sink", "delta");
     for exp in [Experiment::Exp1, Experiment::Exp3] {
         let far = busy_peak(exp, StackOrder::CoresFarFromSink);
         let near = busy_peak(exp, StackOrder::CoresNearSink);
-        println!(
-            "{:>8} {far:>16.1} {near:>16.1} {:>8.1}",
-            exp.to_string(),
-            far - near
-        );
+        println!("{:>8} {far:>16.1} {near:>16.1} {:>8.1}", exp.to_string(), far - near);
     }
 
     println!("\ndynamic comparison (Default policy, Table I rotation):");
-    println!("{:>8} {:>12} {:>10} {:>10} {:>12}", "config", "orientation", "hot%", "peak°C", "vert_peak°C");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>12}",
+        "config", "orientation", "hot%", "peak°C", "vert_peak°C"
+    );
     for exp in [Experiment::Exp1, Experiment::Exp3] {
         for (label, order) in
             [("far", StackOrder::CoresFarFromSink), ("near", StackOrder::CoresNearSink)]

@@ -7,10 +7,7 @@ use therm3d_policies::PolicyKind;
 
 fn main() {
     let mut cfg = FigureConfig::paper_default();
-    cfg.sim_seconds = std::env::var("THERM3D_SIM_SECONDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120.0);
+    cfg.sim_seconds = therm3d_sweep::sim_seconds_from_env(120.0);
     for exp in [Experiment::Exp1, Experiment::Exp3] {
         for kind in [PolicyKind::Default, PolicyKind::Adapt3d, PolicyKind::DvfsTt] {
             let t0 = std::time::Instant::now();

@@ -23,15 +23,9 @@ fn run(kind: PolicyKind, sensor: SensorModel, sim_seconds: f64) -> therm3d::RunR
 }
 
 fn main() {
-    let sim_seconds = std::env::var("THERM3D_SIM_SECONDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(160.0);
+    let sim_seconds = therm3d_sweep::sim_seconds_from_env(160.0);
     println!("sensor-imperfection study on EXP-3 ({sim_seconds:.0} s per cell)\n");
-    println!(
-        "{:<18} {:<26} {:>7} {:>8} {:>8}",
-        "policy", "sensor", "hot%", "peak°C", "turn_s"
-    );
+    println!("{:<18} {:<26} {:>7} {:>8} {:>8}", "policy", "sensor", "hot%", "peak°C", "turn_s");
 
     let sensors: Vec<(&str, SensorModel)> = vec![
         ("ideal", SensorModel::ideal()),

@@ -18,12 +18,7 @@ fn main() {
         cfg.thermal.ambient_c = 60.0;
         cfg.power.other_w = 3.0;
         let policy = kind.build(&stack, 0xACE1);
-        let trace = generate_mix(
-            &[Benchmark::WebMed, Benchmark::WebDb],
-            n,
-            sim_seconds,
-            2009,
-        );
+        let trace = generate_mix(&[Benchmark::WebMed, Benchmark::WebDb], n, sim_seconds, 2009);
         let mut util_sum = vec![0.0; n];
         let mut temp_sum = vec![0.0; n];
         let mut ticks = 0usize;

@@ -36,13 +36,42 @@ impl Default for SimOptions {
     }
 }
 
+/// Output format for sweep-spec reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepFormat {
+    /// Paper-style fixed-width text tables.
+    #[default]
+    Table,
+    /// The shared CSV schema (`therm3d_sweep::csv_header`).
+    Csv,
+    /// Hand-rolled JSON export.
+    Json,
+}
+
+impl std::str::FromStr for SweepFormat {
+    type Err = ParseCliError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "table" | "text" => Ok(SweepFormat::Table),
+            "csv" => Ok(SweepFormat::Csv),
+            "json" => Ok(SweepFormat::Json),
+            other => Err(ParseCliError(format!(
+                "unknown format `{other}` (expected table, csv or json)"
+            ))),
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Simulate one (experiment, policy, workload) cell.
     Run { sim: SimOptions, policy: PolicyKind, csv: bool },
     /// Run all eleven policies on one experiment and tabulate.
-    Sweep { sim: SimOptions },
+    Sweep { sim: SimOptions, csv: bool },
+    /// Execute a declarative sweep spec (TOML) on the parallel engine.
+    SweepFile { path: String, threads: Option<usize>, format: SweepFormat },
     /// Print the all-cores-busy steady-state profile.
     Steady { exp: Experiment, grid: usize },
     /// Generate and dump a workload trace.
@@ -71,14 +100,20 @@ therm3d — 3D multicore dynamic thermal management simulator (DATE 2009 reprodu
 
 USAGE:
   therm3d run         [--exp E] [--policy P] [--benchmark B] [-t SECS] [--dpm] [--seed N] [--grid N] [--csv]
-  therm3d sweep       [--exp E] [-t SECS] [--dpm] [--seed N] [--grid N]
+  therm3d sweep       [--exp E] [-t SECS] [--dpm] [--seed N] [--grid N] [--csv]
+  therm3d sweep       SPEC.toml [--threads N] [--format table|csv|json] [--csv]
   therm3d steady      [--exp E] [--grid N]
   therm3d trace       [--benchmark B] [--cores N] [-t SECS] [--seed N] [--csv]
   therm3d reliability [--exp E] [--policy P] [-t SECS] [--dpm] [--seed N] [--grid N]
   therm3d help
 
   E = exp1..exp4   P = figure label (Default, CGate, DVFS_TT, Adapt3D, ...)
-  B = Table I name (web-med, web-high, database, web-db, gcc, gzip, mplayer, mplayer-web)";
+  B = Table I name (web-med, web-high, database, web-db, gcc, gzip, mplayer, mplayer-web)
+
+  With a SPEC.toml, `sweep` expands the spec's experiment x policy x DPM
+  x seed cross-product and executes it on all cores (deterministic for
+  any --threads). Keys: name, experiments, policies, dpm, benchmarks,
+  seeds, sim_seconds, grid, policy_seed, threads.";
 
 struct Tokens {
     items: Vec<String>,
@@ -124,6 +159,36 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
     let Some(sub) = items.first().cloned() else {
         return Ok(Command::Help);
     };
+    // `sweep` takes an optional positional spec file anywhere among its
+    // flags; skip over tokens that are values of value-taking flags.
+    let mut spec_path: Option<String> = None;
+    if sub == "sweep" {
+        let takes_value = |flag: &str| {
+            matches!(
+                flag,
+                "--exp"
+                    | "--policy"
+                    | "--benchmark"
+                    | "-t"
+                    | "--seconds"
+                    | "--seed"
+                    | "--grid"
+                    | "--cores"
+                    | "--threads"
+                    | "--format"
+            )
+        };
+        let mut i = 1;
+        while i < items.len() {
+            let token = &items[i];
+            if token.starts_with('-') {
+                i += if takes_value(token) { 2 } else { 1 };
+            } else {
+                spec_path = Some(items.remove(i));
+                break;
+            }
+        }
+    }
     let mut t = Tokens { items, pos: 0 };
 
     let mut sim = SimOptions::default();
@@ -131,10 +196,29 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
     let mut csv = false;
     let mut cores = 8usize;
     let mut benchmark = Benchmark::Gcc;
+    let mut threads: Option<usize> = None;
+    let mut format: Option<SweepFormat> = None;
+    let mut sim_flags: Vec<String> = Vec::new();
 
     while t.pos + 1 < t.items.len() {
         t.pos += 1;
         let key = t.items[t.pos].clone();
+        // Flags that configure an ad-hoc simulation; a spec file owns
+        // these settings, so the two must not be mixed silently.
+        if matches!(
+            key.as_str(),
+            "--exp"
+                | "--policy"
+                | "--benchmark"
+                | "-t"
+                | "--seconds"
+                | "--seed"
+                | "--grid"
+                | "--cores"
+                | "--dpm"
+        ) {
+            sim_flags.push(key.clone());
+        }
         match key.as_str() {
             "--exp" => sim.exp = parse_num("--exp", &t.next_value("--exp")?)?,
             "--policy" => policy = parse_num("--policy", &t.next_value("--policy")?)?,
@@ -147,6 +231,8 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             "--seed" => sim.seed = parse_num("--seed", &t.next_value("--seed")?)?,
             "--grid" => sim.grid = parse_num("--grid", &t.next_value("--grid")?)?,
             "--cores" => cores = parse_num("--cores", &t.next_value("--cores")?)?,
+            "--threads" => threads = Some(parse_num("--threads", &t.next_value("--threads")?)?),
+            "--format" => format = Some(parse_num("--format", &t.next_value("--format")?)?),
             "--dpm" => sim.dpm = true,
             "--csv" => csv = true,
             other => return Err(ParseCliError(format!("unknown flag `{other}`"))),
@@ -158,18 +244,48 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
     if sim.grid == 0 {
         return Err(ParseCliError("`--grid` must be at least 1".into()));
     }
+    // Only a spec-file sweep consumes these; reject them anywhere else
+    // rather than dropping them silently.
+    if (threads.is_some() || format.is_some()) && !(sub == "sweep" && spec_path.is_some()) {
+        return Err(ParseCliError(
+            "`--threads` and `--format` only apply to `sweep SPEC.toml`".into(),
+        ));
+    }
+    if format.is_some() && csv && spec_path.is_some() {
+        return Err(ParseCliError(
+            "`--csv` is shorthand for `--format csv`; pass one or the other, not both".into(),
+        ));
+    }
 
     match sub.as_str() {
         "run" => Ok(Command::Run { sim, policy, csv }),
-        "sweep" => Ok(Command::Sweep { sim }),
+        "sweep" => match spec_path {
+            Some(path) => {
+                if !sim_flags.is_empty() {
+                    return Err(ParseCliError(format!(
+                        "{} cannot be combined with a spec file: set {} in `{path}` instead \
+                         (a spec-file sweep only takes --threads, --format and --csv)",
+                        sim_flags.join(", "),
+                        if sim_flags.len() == 1 { "it" } else { "them" },
+                    )));
+                }
+                Ok(Command::SweepFile {
+                    path,
+                    threads,
+                    // `--csv` is shorthand for `--format csv`.
+                    format: format.unwrap_or(if csv {
+                        SweepFormat::Csv
+                    } else {
+                        SweepFormat::Table
+                    }),
+                })
+            }
+            None => Ok(Command::Sweep { sim, csv }),
+        },
         "steady" => Ok(Command::Steady { exp: sim.exp, grid: sim.grid }),
-        "trace" => Ok(Command::Trace {
-            benchmark,
-            cores,
-            seconds: sim.seconds,
-            seed: sim.seed,
-            csv,
-        }),
+        "trace" => {
+            Ok(Command::Trace { benchmark, cores, seconds: sim.seconds, seed: sim.seed, csv })
+        }
         "reliability" => Ok(Command::Reliability { sim, policy }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseCliError(format!("unknown subcommand `{other}`"))),
@@ -225,9 +341,10 @@ mod tests {
     fn key_equals_value_form() {
         let cmd = parse(argv("sweep --exp=exp2 --seconds=15")).unwrap();
         match cmd {
-            Command::Sweep { sim } => {
+            Command::Sweep { sim, csv } => {
                 assert_eq!(sim.exp, Experiment::Exp2);
                 assert_eq!(sim.seconds, 15.0);
+                assert!(!csv);
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -246,6 +363,109 @@ mod tests {
                 csv: true
             }
         );
+    }
+
+    #[test]
+    fn sweep_without_spec_keeps_the_policy_tabulation() {
+        let cmd = parse(argv("sweep --exp exp2 -t 15")).unwrap();
+        assert!(matches!(cmd, Command::Sweep { .. }), "{cmd:?}");
+        // `--csv` is honored (not dropped) on the flag form too.
+        let cmd = parse(argv("sweep --exp exp2 -t 15 --csv")).unwrap();
+        assert!(matches!(cmd, Command::Sweep { csv: true, .. }), "{cmd:?}");
+    }
+
+    #[test]
+    fn sweep_with_spec_file() {
+        let cmd = parse(argv("sweep campaign.toml --threads 4 --format json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::SweepFile {
+                path: "campaign.toml".into(),
+                threads: Some(4),
+                format: SweepFormat::Json
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_spec_file_can_follow_flags() {
+        // The positional is found anywhere, not only at position one —
+        // and flag values ("4", "json") are not mistaken for it.
+        let cmd = parse(argv("sweep --threads 4 --format json campaign.toml")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::SweepFile {
+                path: "campaign.toml".into(),
+                threads: Some(4),
+                format: SweepFormat::Json
+            }
+        );
+        let cmd = parse(argv("sweep --threads 2 campaign.toml --csv")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::SweepFile {
+                path: "campaign.toml".into(),
+                threads: Some(2),
+                format: SweepFormat::Csv
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_spec_defaults_and_csv_shorthand() {
+        let cmd = parse(argv("sweep campaign.toml")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::SweepFile {
+                path: "campaign.toml".into(),
+                threads: None,
+                format: SweepFormat::Table
+            }
+        );
+        let cmd = parse(argv("sweep campaign.toml --csv")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::SweepFile {
+                path: "campaign.toml".into(),
+                threads: None,
+                format: SweepFormat::Csv
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_format_errors_are_descriptive() {
+        assert!(parse(argv("sweep s.toml --format yaml")).unwrap_err().0.contains("yaml"));
+        assert!(parse(argv("sweep s.toml --threads x")).unwrap_err().0.contains("--threads"));
+    }
+
+    #[test]
+    fn sweep_only_flags_are_rejected_elsewhere() {
+        // `--threads`/`--format` are only consumed by a spec-file sweep;
+        // anywhere else they would be silently dropped.
+        for line in ["run --format json", "sweep --threads 8", "trace --format csv"] {
+            let err = parse(argv(line)).unwrap_err().0;
+            assert!(err.contains("sweep SPEC.toml"), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn conflicting_format_and_csv_are_rejected() {
+        let err = parse(argv("sweep s.toml --format json --csv")).unwrap_err().0;
+        assert!(err.contains("shorthand"), "{err}");
+        // Each alone is fine.
+        assert!(parse(argv("sweep s.toml --format json")).is_ok());
+        assert!(parse(argv("sweep s.toml --csv")).is_ok());
+    }
+
+    #[test]
+    fn sweep_spec_rejects_sim_flags_instead_of_dropping_them() {
+        // `-t`/`--grid`/... configure ad-hoc runs; silently ignoring
+        // them next to a spec file would run something else entirely.
+        let err = parse(argv("sweep s.toml -t 60 --grid 4")).unwrap_err().0;
+        assert!(err.contains("-t") && err.contains("--grid") && err.contains("s.toml"), "{err}");
+        // The allowed companions still parse.
+        assert!(parse(argv("sweep s.toml --threads 2 --format csv")).is_ok());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use therm3d_reliability::ReliabilityReport;
 use therm3d_thermal::{ThermalConfig, ThermalModel};
 use therm3d_workload::{generate_mix, Benchmark, JobTrace, TraceConfig};
 
-use crate::args::{Command, SimOptions, USAGE};
+use crate::args::{Command, SimOptions, SweepFormat, USAGE};
 
 impl SimOptions {
     fn config(&self) -> SimConfig {
@@ -38,36 +38,44 @@ impl SimOptions {
     }
 }
 
-/// CSV header matching [`csv_row`].
+/// CSV header matching [`csv_row`] (the workspace-wide schema owned by
+/// [`therm3d_sweep::report`]).
 #[must_use]
 pub fn csv_header() -> &'static str {
-    "policy,experiment,dpm,hot_pct,grad_pct,cycle_pct,peak_c,vertical_peak_c,mean_turnaround_s,energy_j,migrations,unfinished"
+    therm3d_sweep::csv_header()
 }
 
-/// One CSV row for a run result.
+/// One CSV row for a run result (delegates to the sweep crate's single
+/// source of truth for result serialization).
 #[must_use]
 pub fn csv_row(r: &RunResult, dpm: bool) -> String {
-    format!(
-        "{},{},{},{:.4},{:.4},{:.4},{:.2},{:.2},{:.4},{:.1},{},{}",
-        r.policy,
-        r.experiment,
-        dpm,
-        r.hotspot_pct,
-        r.gradient_pct,
-        r.cycle_pct,
-        r.peak_temp_c,
-        r.vertical_peak_c,
-        r.perf.mean_turnaround_s,
-        r.energy_j,
-        r.migrations,
-        r.unfinished
-    )
+    therm3d_sweep::csv_row(r, dpm)
+}
+
+/// Loads, expands and executes a sweep-spec file, rendering the report
+/// in the requested format.
+fn run_sweep_file(
+    path: &str,
+    threads: Option<usize>,
+    format: SweepFormat,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut spec =
+        therm3d_sweep::from_toml(&text).map_err(|e| format!("invalid sweep spec `{path}`: {e}"))?;
+    if let Some(threads) = threads {
+        spec = spec.with_threads(threads);
+    }
+    let report = therm3d_sweep::run(&spec).map_err(|e| format!("sweep failed: {e}"))?;
+    Ok(match format {
+        SweepFormat::Table => report.render(),
+        SweepFormat::Csv => report.csv(),
+        SweepFormat::Json => report.json(),
+    })
 }
 
 fn steady_report(exp: Experiment, grid: usize) -> String {
     let stack = exp.stack();
-    let mut model =
-        ThermalModel::new(&stack, ThermalConfig::paper_default().with_grid(grid, grid));
+    let mut model = ThermalModel::new(&stack, ThermalConfig::paper_default().with_grid(grid, grid));
     let power = PowerModel::new(&stack, PowerParams::paper_default(), VfTable::paper_default());
     let busy = vec![CorePowerInput::busy(); stack.num_cores()];
     let mut temps = vec![45.0; stack.num_blocks()];
@@ -78,12 +86,8 @@ fn steady_report(exp: Experiment, grid: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{exp}: all-cores-busy steady state ({grid}x{grid} grid)");
     for layer in 0..stack.layer_count() {
-        let blocks: Vec<(usize, &therm3d_floorplan::BlockSite)> = stack
-            .sites()
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.layer == layer)
-            .collect();
+        let blocks: Vec<(usize, &therm3d_floorplan::BlockSite)> =
+            stack.sites().iter().enumerate().filter(|(_, s)| s.layer == layer).collect();
         let peak = blocks.iter().map(|(i, _)| temps[*i]).fold(f64::NEG_INFINITY, f64::max);
         let _ = writeln!(out, "  layer {layer} ({}): peak {peak:.1} °C", stack.layer_name(layer));
         for (i, site) in blocks {
@@ -106,8 +110,13 @@ fn steady_report(exp: Experiment, grid: usize) -> String {
 }
 
 /// Executes a parsed command and returns its report.
-#[must_use]
-pub fn execute(cmd: &Command) -> String {
+///
+/// # Errors
+///
+/// Returns a message (without an `error:` prefix) when a sweep-spec
+/// file cannot be read, parsed or validated; the other subcommands are
+/// infallible once parsed.
+pub fn execute(cmd: &Command) -> Result<String, String> {
     let mut out = String::new();
     match cmd {
         Command::Help => out.push_str(USAGE),
@@ -122,32 +131,41 @@ pub fn execute(cmd: &Command) -> String {
                 let _ = writeln!(out, "{}", r.table_row());
             }
         }
-        Command::Sweep { sim } => {
-            let _ = writeln!(
-                out,
-                "policy sweep on {}{}, {:.0} s, grid {}x{}",
-                sim.exp,
-                if sim.dpm { " +DPM" } else { "" },
-                sim.seconds,
-                sim.grid,
-                sim.grid
-            );
-            let _ = writeln!(out, "{}", RunResult::table_header());
+        Command::Sweep { sim, csv } => {
+            if *csv {
+                let _ = writeln!(out, "{}", csv_header());
+            } else {
+                let _ = writeln!(
+                    out,
+                    "policy sweep on {}{}, {:.0} s, grid {}x{}",
+                    sim.exp,
+                    if sim.dpm { " +DPM" } else { "" },
+                    sim.seconds,
+                    sim.grid,
+                    sim.grid
+                );
+                let _ = writeln!(out, "{}", RunResult::table_header());
+            }
             let mut baseline: Option<RunResult> = None;
             for kind in PolicyKind::ALL {
                 let r = sim.run(kind);
-                let norm =
-                    baseline.as_ref().map_or(1.0, |b| r.normalized_performance_vs(b));
-                let _ = writeln!(out, "{}  perf={norm:.3}", r.table_row());
+                if *csv {
+                    let _ = writeln!(out, "{}", csv_row(&r, sim.dpm));
+                } else {
+                    let norm = baseline.as_ref().map_or(1.0, |b| r.normalized_performance_vs(b));
+                    let _ = writeln!(out, "{}  perf={norm:.3}", r.table_row());
+                }
                 if baseline.is_none() {
                     baseline = Some(r);
                 }
             }
         }
+        Command::SweepFile { path, threads, format } => {
+            out.push_str(&run_sweep_file(path, *threads, *format)?);
+        }
         Command::Steady { exp, grid } => out.push_str(&steady_report(*exp, *grid)),
         Command::Trace { benchmark, cores, seconds, seed, csv } => {
-            let trace =
-                TraceConfig::new(*benchmark, *cores, *seconds).with_seed(*seed).generate();
+            let trace = TraceConfig::new(*benchmark, *cores, *seconds).with_seed(*seed).generate();
             if *csv {
                 let _ = writeln!(out, "id,arrival_s,work_s,memory_intensity,thread");
                 for j in trace.jobs() {
@@ -194,7 +212,7 @@ pub fn execute(cmd: &Command) -> String {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -208,7 +226,7 @@ mod tests {
 
     #[test]
     fn help_prints_usage() {
-        let out = execute(&Command::Help);
+        let out = execute(&Command::Help).unwrap();
         assert!(out.contains("USAGE"));
         assert!(out.contains("therm3d run"));
     }
@@ -216,7 +234,7 @@ mod tests {
     #[test]
     fn run_csv_has_header_and_row() {
         let cmd = parse(argv("run --exp exp1 --benchmark gzip -t 5 --grid 4 --csv")).unwrap();
-        let out = execute(&cmd);
+        let out = execute(&cmd).unwrap();
         let mut lines = out.lines();
         assert_eq!(lines.next(), Some(csv_header()));
         let row = lines.next().expect("one data row");
@@ -227,7 +245,7 @@ mod tests {
     #[test]
     fn steady_lists_every_layer() {
         let cmd = parse(argv("steady --exp exp4 --grid 4")).unwrap();
-        let out = execute(&cmd);
+        let out = execute(&cmd).unwrap();
         for layer in 0..4 {
             assert!(out.contains(&format!("layer {layer}")), "{out}");
         }
@@ -236,8 +254,9 @@ mod tests {
 
     #[test]
     fn trace_csv_row_count_matches_summary() {
-        let csv = execute(&parse(argv("trace --benchmark gcc --cores 4 -t 8 --csv")).unwrap());
-        let plain = execute(&parse(argv("trace --benchmark gcc --cores 4 -t 8")).unwrap());
+        let csv =
+            execute(&parse(argv("trace --benchmark gcc --cores 4 -t 8 --csv")).unwrap()).unwrap();
+        let plain = execute(&parse(argv("trace --benchmark gcc --cores 4 -t 8")).unwrap()).unwrap();
         let rows = csv.lines().count() - 1; // minus header
         let reported: usize = plain
             .split(':')
@@ -249,10 +268,82 @@ mod tests {
     }
 
     #[test]
+    fn plain_sweep_honors_csv() {
+        let cmd = parse(argv("sweep --exp exp1 --benchmark gzip -t 3 --grid 4 --csv")).unwrap();
+        let out = execute(&cmd).unwrap();
+        let mut lines = out.lines();
+        assert_eq!(lines.next(), Some(csv_header()));
+        assert_eq!(lines.count(), PolicyKind::ALL.len());
+    }
+
+    #[test]
+    fn sweep_file_runs_a_tiny_campaign_in_every_format() {
+        let path = std::env::temp_dir().join("therm3d_cli_sweep_test.toml");
+        std::fs::write(
+            &path,
+            "name = \"cli-test\"\n\
+             experiments = [\"exp1\"]\n\
+             policies = [\"Default\", \"Adapt3D\"]\n\
+             dpm = [false, true]\n\
+             benchmarks = [\"gzip\"]\n\
+             sim_seconds = 3.0\n\
+             grid = 4\n\
+             threads = 2\n",
+        )
+        .unwrap();
+        let path = path.to_str().unwrap().to_owned();
+
+        let table = execute(&Command::SweepFile {
+            path: path.clone(),
+            threads: None,
+            format: SweepFormat::Table,
+        })
+        .unwrap();
+        assert!(table.contains("sweep 'cli-test': 4 cells"), "{table}");
+        assert!(table.contains("== EXP-1 +DPM"), "{table}");
+
+        let csv = execute(&Command::SweepFile {
+            path: path.clone(),
+            threads: Some(1),
+            format: SweepFormat::Csv,
+        })
+        .unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(format!("cell,trace_seed,{}", csv_header()).as_str()));
+        assert_eq!(lines.count(), 4);
+
+        let json =
+            execute(&Command::SweepFile { path, threads: Some(2), format: SweepFormat::Json })
+                .unwrap();
+        assert!(json.contains("\"name\": \"cli-test\""), "{json}");
+        assert_eq!(json.matches("\"cell\":").count(), 4);
+    }
+
+    #[test]
+    fn sweep_file_failures_are_errors() {
+        let err = execute(&Command::SweepFile {
+            path: "/nonexistent/spec.toml".into(),
+            threads: None,
+            format: SweepFormat::Table,
+        })
+        .unwrap_err();
+        assert!(err.starts_with("cannot read"), "{err}");
+
+        let bad = std::env::temp_dir().join("therm3d_cli_bad_spec.toml");
+        std::fs::write(&bad, "policies = []\n").unwrap();
+        let err = execute(&Command::SweepFile {
+            path: bad.to_str().unwrap().into(),
+            threads: None,
+            format: SweepFormat::Table,
+        })
+        .unwrap_err();
+        assert!(err.starts_with("invalid sweep spec"), "{err}");
+    }
+
+    #[test]
     fn reliability_reports_every_core() {
-        let cmd =
-            parse(argv("reliability --exp exp1 --benchmark gzip -t 5 --grid 4")).unwrap();
-        let out = execute(&cmd);
+        let cmd = parse(argv("reliability --exp exp1 --benchmark gzip -t 5 --grid 4")).unwrap();
+        let out = execute(&cmd).unwrap();
         for core in 0..8 {
             assert!(out.contains(&format!("core {core}")), "{out}");
         }

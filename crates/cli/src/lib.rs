@@ -9,5 +9,5 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse, Command, ParseCliError, SimOptions};
+pub use args::{parse, Command, ParseCliError, SimOptions, SweepFormat};
 pub use commands::execute;

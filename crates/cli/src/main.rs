@@ -5,14 +5,21 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match therm3d_cli::parse(argv) {
-        Ok(cmd) => {
-            print!("{}", therm3d_cli::execute(&cmd));
+    let cmd = match therm3d_cli::parse(argv) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `therm3d help` for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    match therm3d_cli::execute(&cmd) {
+        Ok(out) => {
+            print!("{out}");
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("run `therm3d help` for usage");
             ExitCode::FAILURE
         }
     }

@@ -77,8 +77,7 @@ impl Simulator {
         let mut thermal = ThermalModel::new(&stack, config.thermal.clone());
         let power = PowerModel::new(&stack, config.power.clone(), config.vf.clone());
         let n_cores = stack.num_cores();
-        let core_sites: Vec<usize> =
-            stack.core_ids().map(|c| stack.core_block_index(c)).collect();
+        let core_sites: Vec<usize> = stack.core_ids().map(|c| stack.core_block_index(c)).collect();
         let layer_of_block: Vec<usize> = stack.sites().iter().map(|s| s.layer).collect();
         let vertical_pairs = stack.vertical_adjacency();
 
@@ -154,10 +153,12 @@ impl Simulator {
 
         let mut hotspots = HotSpotTracker::new(self.config.hotspot_threshold_c);
         let mut gradients = SpatialGradientTracker::new(self.config.gradient_threshold_c);
-        let mut cycles =
-            ThermalCycleTracker::new(self.config.cycle_threshold_c, self.config.cycle_window, n_cores);
-        let mut vertical =
-            VerticalGradientTracker::new(self.config.vertical_threshold_c);
+        let mut cycles = ThermalCycleTracker::new(
+            self.config.cycle_threshold_c,
+            self.config.cycle_window,
+            n_cores,
+        );
+        let mut vertical = VerticalGradientTracker::new(self.config.vertical_threshold_c);
         let mut energy = EnergyMeter::new();
 
         let mut cursor = trace.cursor();
@@ -218,8 +219,7 @@ impl Simulator {
                         queued_work_s: &queued_work,
                         idle_time_s: &self.idle_time,
                     };
-                    let hint =
-                        QueueHint { queued_work_s: &queued_work, queue_len: &queue_len };
+                    let hint = QueueHint { queued_work_s: &queued_work, queue_len: &queue_len };
                     self.policy.place_job(&job, &obs, &hint)
                 };
                 assert!(target.0 < n_cores, "policy placed a job on core {target}");
@@ -229,16 +229,15 @@ impl Simulator {
             // 5. Wake-on-work: a sleeping core with queued jobs wakes this
             // tick (sleep-state entry/exit latencies are far below the
             // 100 ms sampling interval).
-            for c in 0..n_cores {
-                if commands[c].asleep && self.queues.queue_len(CoreId(c)) > 0 {
-                    commands[c].asleep = false;
+            for (c, cmd) in commands.iter_mut().enumerate() {
+                if cmd.asleep && self.queues.queue_len(CoreId(c)) > 0 {
+                    cmd.asleep = false;
                 }
             }
 
             // 6. Execute each core for the tick.
             let mut inputs = Vec::with_capacity(n_cores);
-            for c in 0..n_cores {
-                let cmd = commands[c];
+            for (c, &cmd) in commands.iter().enumerate() {
                 let freq = if cmd.asleep || cmd.gated {
                     0.0
                 } else {
@@ -270,8 +269,7 @@ impl Simulator {
 
             // 8. Metrics on the post-step temperature field.
             let temps_after = self.thermal.block_temperatures_c();
-            let core_after: Vec<f64> =
-                self.core_sites.iter().map(|&s| temps_after[s]).collect();
+            let core_after: Vec<f64> = self.core_sites.iter().map(|&s| temps_after[s]).collect();
             hotspots.record(&core_after);
             gradients.record(max_layer_gradient(&temps_after, &self.layer_of_block));
             vertical.record(max_vertical_gradient(&temps_after, &self.vertical_pairs));
@@ -384,8 +382,7 @@ mod tests {
             for kind in [PolicyKind::Default, PolicyKind::Adapt3d, PolicyKind::Adapt3dDvfsTt] {
                 let cfg = SimConfig::fast(exp);
                 let policy = kind.build(&stack, 1);
-                let trace =
-                    TraceConfig::new(Benchmark::Gcc, stack.num_cores(), 3.0).generate();
+                let trace = TraceConfig::new(Benchmark::Gcc, stack.num_cores(), 3.0).generate();
                 let r = Simulator::new(cfg, policy).run(&trace, 3.0);
                 assert!(r.duration_s >= 3.0, "{exp}/{kind}");
             }

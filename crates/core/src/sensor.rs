@@ -169,8 +169,7 @@ mod tests {
         let n = 20_000;
         let readings = s.read(&vec![70.0; n]);
         let mean: f64 = readings.iter().sum::<f64>() / n as f64;
-        let var: f64 =
-            readings.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n as f64;
+        let var: f64 = readings.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n as f64;
         assert!((mean - 70.0).abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "sigma {}", var.sqrt());
     }

@@ -97,21 +97,18 @@ impl Experiment {
             }
         };
         let split_pair = |idx: &str| match order {
-            StackOrder::CoresFarFromSink => vec![
-                (format!("caches{idx}"), cache()),
-                (format!("cores{idx}"), core()),
-            ],
-            StackOrder::CoresNearSink => vec![
-                (format!("cores{idx}"), core()),
-                (format!("caches{idx}"), cache()),
-            ],
+            StackOrder::CoresFarFromSink => {
+                vec![(format!("caches{idx}"), cache()), (format!("cores{idx}"), core())]
+            }
+            StackOrder::CoresNearSink => {
+                vec![(format!("cores{idx}"), core()), (format!("caches{idx}"), cache())]
+            }
         };
         match self {
             Experiment::Exp1 => Stack3d::new(split_pair("")),
-            Experiment::Exp2 => Stack3d::new(vec![
-                ("mixed0".to_owned(), mixed(0)),
-                ("mixed1".to_owned(), mixed(1)),
-            ]),
+            Experiment::Exp2 => {
+                Stack3d::new(vec![("mixed0".to_owned(), mixed(0)), ("mixed1".to_owned(), mixed(1))])
+            }
             Experiment::Exp3 => {
                 let mut layers = split_pair("0");
                 layers.extend(split_pair("1"));
@@ -276,12 +273,8 @@ mod tests {
         // banks), so L2 area per 8 cores is identical.
         for exp in Experiment::ALL {
             let s = exp.stack();
-            let l2: f64 = s
-                .sites()
-                .iter()
-                .filter(|b| b.kind == UnitKind::L2Cache)
-                .map(|b| b.area_mm2)
-                .sum();
+            let l2: f64 =
+                s.sites().iter().filter(|b| b.kind == UnitKind::L2Cache).map(|b| b.area_mm2).sum();
             let per8 = l2 / (s.num_cores() as f64 / 8.0);
             assert!((per8 - 76.0).abs() < 1e-9, "{exp}: {per8}");
         }

@@ -153,10 +153,7 @@ impl Floorplan {
 
     /// Iterates over the blocks that are processing cores.
     pub fn cores(&self) -> impl Iterator<Item = (usize, &Block)> {
-        self.blocks
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| b.kind() == UnitKind::Core)
+        self.blocks.iter().enumerate().filter(|(_, b)| b.kind() == UnitKind::Core)
     }
 
     /// Looks up a block index by name.

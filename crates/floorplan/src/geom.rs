@@ -154,11 +154,7 @@ impl Rect {
 
 impl fmt::Display for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{:.3},{:.3} {:.3}x{:.3} mm]",
-            self.x, self.y, self.width, self.height
-        )
+        write!(f, "[{:.3},{:.3} {:.3}x{:.3} mm]", self.x, self.y, self.width, self.height)
     }
 }
 

@@ -67,11 +67,7 @@ pub fn core_layer() -> Floorplan {
     }
     let band_y = CORE_H;
     let band_h = LAYER_HEIGHT_MM - 2.0 * CORE_H;
-    blocks.push(Block::new(
-        "other_l",
-        UnitKind::Other,
-        Rect::new(0.0, band_y, CORE_W, band_h),
-    ));
+    blocks.push(Block::new("other_l", UnitKind::Other, Rect::new(0.0, band_y, CORE_W, band_h)));
     blocks.push(Block::new(
         "xbar",
         UnitKind::Crossbar,
@@ -150,19 +146,10 @@ pub fn mixed_layer() -> Floorplan {
         blocks.push(Block::new(
             format!("scdata{i}"),
             UnitKind::L2Cache,
-            Rect::new(
-                i as f64 * (LAYER_WIDTH_MM / 2.0),
-                other_h,
-                LAYER_WIDTH_MM / 2.0,
-                l2_h,
-            ),
+            Rect::new(i as f64 * (LAYER_WIDTH_MM / 2.0), other_h, LAYER_WIDTH_MM / 2.0, l2_h),
         ));
     }
-    blocks.push(Block::new(
-        "other",
-        UnitKind::Other,
-        Rect::new(0.0, 0.0, LAYER_WIDTH_MM, other_h),
-    ));
+    blocks.push(Block::new("other", UnitKind::Other, Rect::new(0.0, 0.0, LAYER_WIDTH_MM, other_h)));
     Floorplan::new(layer_outline(), blocks).expect("mixed layer template is valid by construction")
 }
 
@@ -187,8 +174,7 @@ mod tests {
     #[test]
     fn cache_layer_areas_match_table_ii() {
         let fp = cache_layer();
-        let l2s: Vec<_> =
-            fp.blocks().iter().filter(|b| b.kind() == UnitKind::L2Cache).collect();
+        let l2s: Vec<_> = fp.blocks().iter().filter(|b| b.kind() == UnitKind::L2Cache).collect();
         assert_eq!(l2s.len(), 4);
         for b in l2s {
             assert!((b.area() - L2_AREA_MM2).abs() < 1e-9);
@@ -200,12 +186,8 @@ mod tests {
     fn mixed_layer_composition() {
         let fp = mixed_layer();
         assert_eq!(fp.cores().count(), 4);
-        let l2_area: f64 = fp
-            .blocks()
-            .iter()
-            .filter(|b| b.kind() == UnitKind::L2Cache)
-            .map(Block::area)
-            .sum();
+        let l2_area: f64 =
+            fp.blocks().iter().filter(|b| b.kind() == UnitKind::L2Cache).map(Block::area).sum();
         assert!((l2_area - 2.0 * L2_AREA_MM2).abs() < 1e-9);
         assert!((fp.covered_area() - 115.0).abs() < 1e-9);
     }

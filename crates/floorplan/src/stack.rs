@@ -266,11 +266,8 @@ impl Stack3d {
             .core_ids()
             .map(|c| {
                 let site = self.core_site(c);
-                let layer_frac = if self.layer_count() > 1 {
-                    site.layer as f64 / denom
-                } else {
-                    0.0
-                };
+                let layer_frac =
+                    if self.layer_count() > 1 { site.layer as f64 / denom } else { 0.0 };
                 let centrality = self.layers[site.layer].centrality(site.block);
                 0.15 + 0.60 * layer_frac + 0.20 * centrality
             })

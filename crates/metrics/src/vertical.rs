@@ -28,10 +28,7 @@
 /// ```
 #[must_use]
 pub fn max_vertical_gradient(temps_c: &[f64], pairs: &[(usize, usize)]) -> f64 {
-    pairs
-        .iter()
-        .map(|&(a, b)| (temps_c[a] - temps_c[b]).abs())
-        .fold(0.0, f64::max)
+    pairs.iter().map(|&(a, b)| (temps_c[a] - temps_c[b]).abs()).fold(0.0, f64::max)
 }
 
 /// Streaming statistics of the vertical gradient across a run: peak,

@@ -142,8 +142,7 @@ impl RuntimeAlpha {
             return None; // no contrast to learn from yet
         }
         // Scores in [0.2, 0.8] by min-max, then normalized to mean 0.5.
-        let scores: Vec<f64> =
-            means.iter().map(|&m| 0.2 + 0.6 * (m - lo) / (hi - lo)).collect();
+        let scores: Vec<f64> = means.iter().map(|&m| 0.2 + 0.6 * (m - lo) / (hi - lo)).collect();
         let mean_score: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
         Some(scores.iter().map(|s| (0.5 * s / mean_score).clamp(0.05, 0.95)).collect())
     }
@@ -154,7 +153,8 @@ impl AdaptivePolicy {
     /// (`α_i = 1`), symmetric β of 0.05.
     #[must_use]
     pub fn adapt_rand(n_cores: usize, seed: u16) -> Self {
-        let cfg = AdaptiveConfig { beta_inc: 0.05, beta_dec: 0.05, ..AdaptiveConfig::paper_default() };
+        let cfg =
+            AdaptiveConfig { beta_inc: 0.05, beta_dec: 0.05, ..AdaptiveConfig::paper_default() };
         Self::build("AdaptRand", vec![1.0; n_cores], cfg, seed)
     }
 
@@ -195,17 +195,9 @@ impl AdaptivePolicy {
     pub fn adapt3d_runtime_alpha(n_cores: usize, update_every: usize, seed: u16) -> Self {
         assert!(n_cores > 0, "need at least one core");
         assert!(update_every > 0, "update interval must be non-empty");
-        let mut p = Self::build(
-            "Adapt3D",
-            vec![0.5; n_cores],
-            AdaptiveConfig::paper_default(),
-            seed,
-        );
-        p.runtime_alpha = Some(RuntimeAlpha {
-            update_every,
-            sums: vec![0.0; n_cores],
-            count: 0,
-        });
+        let mut p =
+            Self::build("Adapt3D", vec![0.5; n_cores], AdaptiveConfig::paper_default(), seed);
+        p.runtime_alpha = Some(RuntimeAlpha { update_every, sums: vec![0.0; n_cores], count: 0 });
         p
     }
 
@@ -283,20 +275,21 @@ impl AdaptivePolicy {
         // non-emergency cores instead, preserving the paper's
         // "negligible performance overhead" property.
         let floor = 0.1 / self.probs.len() as f64;
-        for i in 0..self.probs.len() {
-            let h = &self.history[i];
+        let (cfg, history, alphas) = (&self.cfg, &self.history, &self.alphas);
+        for (i, p) in self.probs.iter_mut().enumerate() {
+            let h = &history[i];
             let t_avg: f64 = h.iter().sum::<f64>() / h.len() as f64;
-            let w_diff = self.cfg.t_pref_c - t_avg;
+            let w_diff = cfg.t_pref_c - t_avg;
             let w = if w_diff >= 0.0 {
-                self.cfg.beta_inc * w_diff / self.alphas[i]
+                cfg.beta_inc * w_diff / alphas[i]
             } else {
-                self.cfg.beta_dec * w_diff * self.alphas[i]
+                cfg.beta_dec * w_diff * alphas[i]
             };
-            self.probs[i] = (self.probs[i] + w).max(floor);
+            *p = (*p + w).max(floor);
             // Emergency: a core above the threshold in the last interval
             // must not receive new work.
-            if temps_c[i] > self.cfg.threshold_c {
-                self.probs[i] = 0.0;
+            if temps_c[i] > cfg.threshold_c {
+                *p = 0.0;
             }
         }
         let total: f64 = self.probs.iter().sum();
@@ -344,8 +337,7 @@ impl Policy for AdaptivePolicy {
         // cutoff is excluded from this draw, bounding the queueing delay
         // the thermal preference can introduce.
         let cutoff = self.cfg.backlog_cutoff_s;
-        let min_work =
-            queue_hint.queued_work_s.iter().copied().fold(f64::INFINITY, f64::min);
+        let min_work = queue_hint.queued_work_s.iter().copied().fold(f64::INFINITY, f64::min);
         let weighted: Vec<f64> = self
             .probs
             .iter()
@@ -410,11 +402,7 @@ mod tests {
         for _ in 0..20 {
             p.control(&obs(&[84.0, 60.0]));
         }
-        assert!(
-            p.probabilities()[1] > 0.8,
-            "cool core should dominate: {:?}",
-            p.probabilities()
-        );
+        assert!(p.probabilities()[1] > 0.8, "cool core should dominate: {:?}", p.probabilities());
     }
 
     #[test]
@@ -426,10 +414,7 @@ mod tests {
             p.control(&obs(&[84.0, 84.0, 40.0]));
         }
         let probs = p.probabilities();
-        assert!(
-            probs[0] > probs[1],
-            "low-α core keeps more probability: {probs:?}"
-        );
+        assert!(probs[0] > probs[1], "low-α core keeps more probability: {probs:?}");
     }
 
     #[test]

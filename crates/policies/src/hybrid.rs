@@ -103,8 +103,7 @@ mod tests {
 
     #[test]
     fn placement_comes_from_allocator() {
-        let mut h =
-            HybridPolicy::new(AdaptivePolicy::adapt3d(vec![0.5, 0.5], 3), DvfsUtil::new());
+        let mut h = HybridPolicy::new(AdaptivePolicy::adapt3d(vec![0.5, 0.5], 3), DvfsUtil::new());
         // Drive core 0 into emergency so the allocator zeroes it.
         h.control(&obs(&[90.0, 60.0], &[1.0, 0.2], &[1, 1]));
         let job = therm3d_workload::Job::new(0, 0.0, 1.0, 0.5, therm3d_workload::Benchmark::Gcc);

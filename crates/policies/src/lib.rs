@@ -43,10 +43,10 @@ pub use baseline::DefaultPolicy;
 pub use dpm::DpmWrapper;
 pub use dvfs::{CGate, DvfsFlp, DvfsTt, DvfsUtil, DEFAULT_THRESHOLD_C};
 pub use hybrid::HybridPolicy;
+pub use lfsr::Lfsr16;
 pub use migration::Migration;
 pub use policy::{ControlDecision, CoreCommand, Observation, Policy, QueueHint};
 pub use queue::{CompletedJob, MultiQueue, ResidentJob, MIGRATION_COST_S};
-pub use lfsr::Lfsr16;
 pub use registry::{ParsePolicyError, PolicyKind};
 
 impl Policy for Box<dyn Policy> {

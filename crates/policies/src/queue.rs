@@ -91,11 +91,7 @@ impl MultiQueue {
     ///
     /// Panics if `core` is out of range.
     pub fn enqueue(&mut self, core: CoreId, job: Job) {
-        self.queues[core.0].push_back(ResidentJob {
-            job,
-            remaining_s: job.work_s,
-            stall_s: 0.0,
-        });
+        self.queues[core.0].push_back(ResidentJob { job, remaining_s: job.work_s, stall_s: 0.0 });
     }
 
     /// Number of jobs queued on `core` (including the running one).
@@ -158,10 +154,7 @@ impl MultiQueue {
         tick_start_s: f64,
     ) -> f64 {
         assert!(wall_dt > 0.0 && wall_dt.is_finite(), "wall_dt must be positive");
-        assert!(
-            (0.0..=1.0).contains(&freq_scale),
-            "freq scale must be in [0,1], got {freq_scale}"
-        );
+        assert!((0.0..=1.0).contains(&freq_scale), "freq scale must be in [0,1], got {freq_scale}");
         let q = &mut self.queues[core.0];
         let mut t = 0.0;
         while t < wall_dt - 1e-12 {
@@ -186,10 +179,7 @@ impl MultiQueue {
             t += run;
             if front.remaining_s <= 1e-12 {
                 let done = q.pop_front().expect("front exists");
-                self.completed.push(CompletedJob {
-                    job: done.job,
-                    completed_s: tick_start_s + t,
-                });
+                self.completed.push(CompletedJob { job: done.job, completed_s: tick_start_s + t });
             }
         }
         t.min(wall_dt)

@@ -118,14 +118,12 @@ impl PolicyKind {
             PolicyKind::Migr => Box::new(Migration::new()),
             PolicyKind::AdaptRand => Box::new(AdaptivePolicy::adapt_rand(n, seed)),
             PolicyKind::Adapt3d => Box::new(AdaptivePolicy::adapt3d(alphas, seed)),
-            PolicyKind::Adapt3dDvfsTt => Box::new(HybridPolicy::new(
-                AdaptivePolicy::adapt3d(alphas, seed),
-                DvfsTt::new(n),
-            )),
-            PolicyKind::Adapt3dDvfsUtil => Box::new(HybridPolicy::new(
-                AdaptivePolicy::adapt3d(alphas, seed),
-                DvfsUtil::new(),
-            )),
+            PolicyKind::Adapt3dDvfsTt => {
+                Box::new(HybridPolicy::new(AdaptivePolicy::adapt3d(alphas, seed), DvfsTt::new(n)))
+            }
+            PolicyKind::Adapt3dDvfsUtil => {
+                Box::new(HybridPolicy::new(AdaptivePolicy::adapt3d(alphas, seed), DvfsUtil::new()))
+            }
             PolicyKind::Adapt3dDvfsFlp => Box::new(HybridPolicy::new(
                 AdaptivePolicy::adapt3d(alphas.clone(), seed),
                 DvfsFlp::from_thermal_indices(&alphas, &vf),

@@ -72,13 +72,7 @@ impl LeakageModel {
     /// A leakage-free model (for ablations isolating dynamic power).
     #[must_use]
     pub fn disabled() -> Self {
-        Self {
-            base_density_w_per_mm2: 0.0,
-            reference_k: 383.0,
-            a1: 0.0,
-            a2: 0.0,
-            min_factor: 0.0,
-        }
+        Self { base_density_w_per_mm2: 0.0, reference_k: 383.0, a1: 0.0, a2: 0.0, min_factor: 0.0 }
     }
 
     /// The normalized temperature factor `n(T)` at `temp_c` °C.

@@ -305,8 +305,7 @@ mod tests {
         gated.gated = true;
         let pg = m.block_powers(&vec![gated; 8], &temps);
         let site = stack.core_block_index(therm3d_floorplan::CoreId(0));
-        let leak_only =
-            m.params().leakage.power_w(10.0, 85.0, 1.0);
+        let leak_only = m.params().leakage.power_w(10.0, 85.0, 1.0);
         assert!((pg[site] - leak_only).abs() < 1e-9);
         assert!(pg[site] > 0.5, "leakage at 85 °C is substantial");
     }
@@ -382,7 +381,7 @@ mod tests {
     fn wrong_core_count_rejected() {
         let (stack, m) = model(Experiment::Exp1);
         let temps = vec![60.0; stack.num_blocks()];
-        let _ = m.block_powers(&vec![CorePowerInput::busy(); 4], &temps);
+        let _ = m.block_powers(&[CorePowerInput::busy(); 4], &temps);
     }
 
     #[test]

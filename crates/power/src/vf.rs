@@ -81,11 +81,7 @@ impl VfTable {
     /// The paper's table: 100 %, 95 %, 85 % of the default V/f setting.
     #[must_use]
     pub fn paper_default() -> Self {
-        Self::new(vec![
-            VfLevel::new(1.0, 1.0),
-            VfLevel::new(0.95, 0.95),
-            VfLevel::new(0.85, 0.85),
-        ])
+        Self::new(vec![VfLevel::new(1.0, 1.0), VfLevel::new(0.95, 0.95), VfLevel::new(0.85, 0.85)])
     }
 
     /// Creates a table from levels ordered fastest first.
@@ -98,10 +94,7 @@ impl VfTable {
     pub fn new(levels: Vec<VfLevel>) -> Self {
         assert!(!levels.is_empty(), "V/f table must have at least one level");
         for w in levels.windows(2) {
-            assert!(
-                w[1].freq_scale < w[0].freq_scale,
-                "levels must be ordered fastest first"
-            );
+            assert!(w[1].freq_scale < w[0].freq_scale, "levels must be ordered fastest first");
         }
         Self { levels }
     }

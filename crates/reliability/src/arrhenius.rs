@@ -114,8 +114,7 @@ impl BlackModel {
     pub fn mttf_ratio(&self, ref_temp_c: f64, temp_c: f64, current_ratio: f64) -> f64 {
         assert!(current_ratio > 0.0, "current ratio must be positive");
         let arrhenius = ArrheniusModel::new(self.activation_energy_ev);
-        current_ratio.powf(-self.current_exponent)
-            / arrhenius.acceleration(ref_temp_c, temp_c)
+        current_ratio.powf(-self.current_exponent) / arrhenius.acceleration(ref_temp_c, temp_c)
     }
 }
 

@@ -219,8 +219,10 @@ mod tests {
     fn damage_per_hour_scales_with_frequency() {
         let cm = CoffinManson::jep122c();
         // Same waveform sampled twice as fast = cycles twice as frequent.
-        let slow: Vec<f64> = (0..400).map(|i| if (i / 20) % 2 == 0 { 60.0 } else { 80.0 }).collect();
-        let fast: Vec<f64> = (0..400).map(|i| if (i / 10) % 2 == 0 { 60.0 } else { 80.0 }).collect();
+        let slow: Vec<f64> =
+            (0..400).map(|i| if (i / 20) % 2 == 0 { 60.0 } else { 80.0 }).collect();
+        let fast: Vec<f64> =
+            (0..400).map(|i| if (i / 10) % 2 == 0 { 60.0 } else { 80.0 }).collect();
         let d_slow = cm.damage_per_hour(&slow, 0.1);
         let d_fast = cm.damage_per_hour(&fast, 0.1);
         assert!(

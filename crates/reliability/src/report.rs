@@ -122,7 +122,9 @@ mod tests {
         let flat = vec![72.5; 2000];
         let cycling = ReliabilityReport::from_series(&square, 0.1);
         let steady = ReliabilityReport::from_series(&flat, 0.1);
-        assert!(cycling.cycling_damage_per_hour > 100.0 * steady.cycling_damage_per_hour.max(1e-12));
+        assert!(
+            cycling.cycling_damage_per_hour > 100.0 * steady.cycling_damage_per_hour.max(1e-12)
+        );
         // Same mean temperature, so EM is comparable but not equal
         // (Jensen's inequality makes the cycling series age faster).
         assert!(cycling.em_acceleration > steady.em_acceleration);

@@ -1,0 +1,54 @@
+//! `therm3d_sweep`: declarative, parallel scenario-sweep orchestration
+//! for the therm3d DATE 2009 reproduction.
+//!
+//! The paper evaluates every policy × experiment × DPM × workload
+//! combination by replaying traces and comparing hot-spot, gradient and
+//! cycling metrics. This crate turns that combinatorial pattern into a
+//! subsystem:
+//!
+//! 1. [`SweepSpec`] — a declarative scenario description (builder API,
+//!    or a TOML file via [`from_toml`]/[`to_toml`]) with axes over
+//!    experiments, policies, DPM, benchmarks and trace seeds;
+//! 2. [`expand`] — deterministic cross-product expansion into a run
+//!    matrix of [`SweepCell`]s, each a pure function of the spec (seeds
+//!    derived per cell, never from scheduling order);
+//! 3. [`run`] — parallel execution across worker threads, one
+//!    `Simulator` per cell, traces generated once per (core-count,
+//!    seed) and shared read-only;
+//! 4. [`SweepReport`] — typed aggregation with CSV/JSON export and
+//!    paper-style text tables; results are bit-identical for any thread
+//!    count.
+//!
+//! The figure binaries (`fig3`..`fig6`) and the `therm3d sweep`
+//! subcommand are thin layers over this crate.
+//!
+//! # Quick start
+//!
+//! ```
+//! use therm3d_floorplan::Experiment;
+//! use therm3d_policies::PolicyKind;
+//! use therm3d_sweep::SweepSpec;
+//! use therm3d_workload::Benchmark;
+//!
+//! let spec = SweepSpec::new("quickstart")
+//!     .with_experiments(&[Experiment::Exp1])
+//!     .with_policies(&[PolicyKind::Default, PolicyKind::Adapt3d])
+//!     .with_benchmarks(&[Benchmark::Gzip])
+//!     .with_sim_seconds(4.0)
+//!     .with_grid(4, 4);
+//! let report = therm3d_sweep::run(&spec).unwrap();
+//! assert_eq!(report.rows.len(), 2);
+//! println!("{}", report.render());
+//! ```
+
+pub mod matrix;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod toml;
+
+pub use matrix::{derive_policy_seed, expand, SweepCell};
+pub use report::{csv_header, csv_row, SweepReport, SweepRow, CSV_HEADER};
+pub use runner::{effective_threads, run, run_cell, sim_config};
+pub use spec::{sim_seconds_from_env, SweepSpec};
+pub use toml::{from_toml, to_toml};

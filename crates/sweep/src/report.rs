@@ -1,0 +1,279 @@
+//! Typed aggregation of sweep results with CSV/JSON export and
+//! paper-style text rendering.
+//!
+//! This module is the single source of truth for `RunResult`
+//! serialization: the CLI's `run --csv` output and the sweep exports
+//! share [`csv_header`]/[`csv_row`].
+
+use std::fmt::Write as _;
+
+use therm3d::RunResult;
+use therm3d_floorplan::Experiment;
+
+use crate::matrix::SweepCell;
+
+/// The per-result CSV columns shared by every exporter in the workspace.
+pub const CSV_HEADER: &str = "policy,experiment,dpm,hot_pct,grad_pct,cycle_pct,peak_c,vertical_peak_c,mean_turnaround_s,energy_j,migrations,unfinished";
+
+/// CSV header matching [`csv_row`].
+#[must_use]
+pub fn csv_header() -> &'static str {
+    CSV_HEADER
+}
+
+/// One CSV row for a run result.
+#[must_use]
+pub fn csv_row(r: &RunResult, dpm: bool) -> String {
+    format!(
+        "{},{},{},{:.4},{:.4},{:.4},{:.2},{:.2},{:.4},{:.1},{},{}",
+        r.policy,
+        r.experiment,
+        dpm,
+        r.hotspot_pct,
+        r.gradient_pct,
+        r.cycle_pct,
+        r.peak_temp_c,
+        r.vertical_peak_c,
+        r.perf.mean_turnaround_s,
+        r.energy_j,
+        r.migrations,
+        r.unfinished
+    )
+}
+
+/// One executed cell with its result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// The cell descriptor (axes + derived seeds).
+    pub cell: SweepCell,
+    /// The simulation outcome.
+    pub result: RunResult,
+}
+
+/// Aggregated results of one sweep, in canonical matrix order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The sweep's name (from the spec).
+    pub name: String,
+    /// One row per cell, ordered by `cell.index`.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepReport {
+    /// The results for one (experiment, dpm, seed-axis position) group,
+    /// in the spec's policy order — the shape one figure column needs.
+    #[must_use]
+    pub fn group(&self, experiment: Experiment, dpm: bool, seed_index: usize) -> Vec<&RunResult> {
+        self.rows
+            .iter()
+            .filter(|r| {
+                r.cell.experiment == experiment
+                    && r.cell.dpm == dpm
+                    && r.cell.seed_index == seed_index
+            })
+            .map(|r| &r.result)
+            .collect()
+    }
+
+    /// CSV export: `cell,trace_seed,` + [`CSV_HEADER`], one line per
+    /// cell in canonical order. Identical for every thread count.
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "cell,trace_seed,{CSV_HEADER}");
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{}",
+                row.cell.index,
+                row.cell.trace_seed,
+                csv_row(&row.result, row.cell.dpm)
+            );
+        }
+        out
+    }
+
+    /// JSON export: `{"name": .., "rows": [{..}, ..]}` with one object
+    /// per cell. Hand-rolled (the offline dependency set has no serde);
+    /// policy labels and names are escaped as JSON strings.
+    #[must_use]
+    pub fn json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"name\": {},", json_string(&self.name));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let r = &row.result;
+            let _ = write!(
+                out,
+                "    {{\"cell\": {}, \"experiment\": {}, \"policy\": {}, \"dpm\": {}, \
+                 \"trace_seed\": {}, \"hotspot_pct\": {}, \"gradient_pct\": {}, \
+                 \"cycle_pct\": {}, \"peak_temp_c\": {}, \"vertical_peak_c\": {}, \
+                 \"mean_turnaround_s\": {}, \"completed\": {}, \"energy_j\": {}, \
+                 \"mean_power_w\": {}, \"migrations\": {}, \"unfinished\": {}}}",
+                row.cell.index,
+                json_string(&r.experiment.to_string()),
+                json_string(&r.policy),
+                row.cell.dpm,
+                row.cell.trace_seed,
+                json_f64(r.hotspot_pct),
+                json_f64(r.gradient_pct),
+                json_f64(r.cycle_pct),
+                json_f64(r.peak_temp_c),
+                json_f64(r.vertical_peak_c),
+                json_f64(r.perf.mean_turnaround_s),
+                r.perf.completed,
+                json_f64(r.energy_j),
+                json_f64(r.mean_power_w),
+                r.migrations,
+                r.unfinished
+            );
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Paper-style text rendering: one fixed-width table per
+    /// (experiment, DPM, seed) group, rows in the spec's policy order,
+    /// with throughput normalized to each group's first policy.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "sweep '{}': {} cells", self.name, self.rows.len());
+        let mut groups: Vec<(Experiment, bool, usize, u64)> = Vec::new();
+        for row in &self.rows {
+            let key = (row.cell.experiment, row.cell.dpm, row.cell.seed_index, row.cell.trace_seed);
+            if !groups.contains(&key) {
+                groups.push(key);
+            }
+        }
+        for (experiment, dpm, seed_index, trace_seed) in groups {
+            let runs = self.group(experiment, dpm, seed_index);
+            let _ = writeln!(
+                out,
+                "\n== {experiment}{} (trace seed {trace_seed})",
+                if dpm { " +DPM" } else { "" },
+            );
+            let _ = writeln!(out, "{}", RunResult::table_header());
+            let baseline = runs.first().copied();
+            for r in runs {
+                let norm = baseline.map_or(1.0, |b| r.normalized_performance_vs(b));
+                let _ = writeln!(out, "{}  perf={norm:.3}", r.table_row());
+            }
+        }
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::expand;
+    use crate::spec::SweepSpec;
+    use therm3d::metrics::PerformanceStats;
+    use therm3d_policies::PolicyKind;
+
+    fn fake_result(policy: &str, experiment: Experiment) -> RunResult {
+        RunResult {
+            policy: policy.to_owned(),
+            experiment,
+            duration_s: 10.0,
+            hotspot_pct: 12.5,
+            gradient_pct: 3.0,
+            cycle_pct: 1.0,
+            vertical_peak_c: 4.0,
+            vertical_mean_c: 2.0,
+            peak_temp_c: 91.0,
+            perf: PerformanceStats::from_turnarounds(&[0.5, 0.7]),
+            energy_j: 500.0,
+            mean_power_w: 50.0,
+            migrations: 3,
+            unfinished: 0,
+        }
+    }
+
+    fn fake_report() -> SweepReport {
+        let spec = SweepSpec::new("fake")
+            .with_experiments(&[Experiment::Exp1])
+            .with_policies(&[PolicyKind::Default, PolicyKind::Adapt3d])
+            .with_dpm(&[false, true]);
+        let rows = expand(&spec)
+            .into_iter()
+            .map(|cell| SweepRow {
+                result: fake_result(cell.policy.label(), cell.experiment),
+                cell,
+            })
+            .collect();
+        SweepReport { name: spec.name, rows }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_cell() {
+        let report = fake_report();
+        let csv = report.csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("cell,trace_seed,policy,experiment,dpm,hot_pct,grad_pct,cycle_pct,peak_c,vertical_peak_c,mean_turnaround_s,energy_j,migrations,unfinished"));
+        assert_eq!(lines.count(), report.rows.len());
+    }
+
+    #[test]
+    fn csv_row_field_count_matches_header() {
+        let r = fake_result("Adapt3D", Experiment::Exp2);
+        assert_eq!(csv_row(&r, true).split(',').count(), csv_header().split(',').count());
+    }
+
+    #[test]
+    fn json_is_balanced_and_mentions_every_policy() {
+        let json = fake_report().json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"Adapt3D\""));
+        assert!(json.contains("\"dpm\": true"));
+    }
+
+    #[test]
+    fn render_groups_by_experiment_and_dpm() {
+        let text = fake_report().render();
+        assert!(text.contains("== EXP-1 (trace seed"));
+        assert!(text.contains("== EXP-1 +DPM"));
+        assert!(text.contains("Adapt3D"));
+        assert!(text.contains("perf="));
+    }
+
+    #[test]
+    fn group_preserves_policy_order() {
+        let report = fake_report();
+        let group = report.group(Experiment::Exp1, false, 0);
+        assert_eq!(group.len(), 2);
+        assert_eq!(group[0].policy, "Default");
+        assert_eq!(group[1].policy, "Adapt3D");
+    }
+}

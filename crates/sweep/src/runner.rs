@@ -1,0 +1,161 @@
+//! Parallel execution of a sweep's run matrix.
+//!
+//! Traces are generated once per (core-count, seed) pair and shared
+//! read-only across workers; each worker builds its own [`Simulator`]
+//! per cell, so no simulation state crosses threads and the aggregated
+//! results are bit-identical for any thread count.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use therm3d::{RunResult, SimConfig, Simulator};
+use therm3d_workload::{generate_mix, JobTrace};
+
+use crate::matrix::{expand, SweepCell};
+use crate::report::{SweepReport, SweepRow};
+use crate::spec::SweepSpec;
+
+/// The simulator configuration for one cell of `spec`.
+#[must_use]
+pub fn sim_config(spec: &SweepSpec, cell: &SweepCell) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(cell.experiment);
+    cfg.thermal = cfg.thermal.with_grid(spec.grid.0, spec.grid.1);
+    cfg
+}
+
+/// Runs a single cell in isolation, generating its trace on the fly.
+///
+/// The figure binaries use this for one-off cells; [`run`] amortizes
+/// trace generation across the matrix instead.
+#[must_use]
+pub fn run_cell(spec: &SweepSpec, cell: &SweepCell) -> RunResult {
+    let trace = generate_mix(
+        &spec.benchmarks,
+        cell.experiment.num_cores(),
+        spec.sim_seconds,
+        cell.trace_seed,
+    );
+    run_cell_with_trace(spec, cell, &trace)
+}
+
+fn run_cell_with_trace(spec: &SweepSpec, cell: &SweepCell, trace: &JobTrace) -> RunResult {
+    let stack = cell.experiment.stack();
+    let policy = cell.policy.build_with_dpm(&stack, cell.policy_seed, cell.dpm);
+    let mut sim = Simulator::new(sim_config(spec, cell), policy);
+    sim.run(trace, spec.sim_seconds)
+}
+
+/// Resolves the effective worker count for `jobs` cells.
+#[must_use]
+pub fn effective_threads(requested: usize, jobs: usize) -> usize {
+    let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let t = if requested == 0 { auto } else { requested };
+    t.clamp(1, jobs.max(1))
+}
+
+/// Expands `spec` and executes every cell across worker threads,
+/// returning rows in canonical matrix order.
+///
+/// # Errors
+///
+/// Returns the validation message for an invalid spec.
+pub fn run(spec: &SweepSpec) -> Result<SweepReport, String> {
+    spec.validate()?;
+    let cells = expand(spec);
+    let threads = effective_threads(spec.threads, cells.len());
+
+    // One trace per (core-count, seed): generated up front, shared
+    // read-only by every worker.
+    let mut traces: BTreeMap<(usize, u64), JobTrace> = BTreeMap::new();
+    for cell in &cells {
+        let key = (cell.experiment.num_cores(), cell.trace_seed);
+        traces
+            .entry(key)
+            .or_insert_with(|| generate_mix(&spec.benchmarks, key.0, spec.sim_seconds, key.1));
+    }
+
+    let mut results: Vec<Option<RunResult>> = vec![None; cells.len()];
+    if threads == 1 {
+        for (cell, slot) in cells.iter().zip(&mut results) {
+            let trace = &traces[&(cell.experiment.num_cores(), cell.trace_seed)];
+            *slot = Some(run_cell_with_trace(spec, cell, trace));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
+        let (next, cells_ref, traces_ref) = (&next, &cells, &traces);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells_ref.get(i) else { break };
+                    let trace = &traces_ref[&(cell.experiment.num_cores(), cell.trace_seed)];
+                    let result = run_cell_with_trace(spec, cell, trace);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, result) in rx {
+                results[i] = Some(result);
+            }
+        });
+    }
+
+    let rows = cells
+        .into_iter()
+        .zip(results)
+        .map(|(cell, result)| SweepRow {
+            result: result.expect("every cell executed exactly once"),
+            cell,
+        })
+        .collect();
+    Ok(SweepReport { name: spec.name.clone(), rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use therm3d_floorplan::Experiment;
+    use therm3d_policies::PolicyKind;
+    use therm3d_workload::Benchmark;
+
+    fn tiny_spec(threads: usize) -> SweepSpec {
+        SweepSpec::new("tiny")
+            .with_experiments(&[Experiment::Exp1])
+            .with_policies(&[PolicyKind::Default, PolicyKind::Adapt3d])
+            .with_benchmarks(&[Benchmark::Gzip])
+            .with_sim_seconds(4.0)
+            .with_grid(4, 4)
+            .with_threads(threads)
+    }
+
+    #[test]
+    fn rows_come_back_in_matrix_order() {
+        let report = run(&tiny_spec(2)).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows[0].cell.policy, PolicyKind::Default);
+        assert_eq!(report.rows[1].cell.policy, PolicyKind::Adapt3d);
+        for (i, row) in report.rows.iter().enumerate() {
+            assert_eq!(row.cell.index, i);
+            assert_eq!(row.result.experiment, Experiment::Exp1);
+        }
+    }
+
+    #[test]
+    fn invalid_spec_is_reported() {
+        let err = run(&tiny_spec(1).with_policies(&[])).unwrap_err();
+        assert!(err.contains("policies"), "{err}");
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(2, 100), 2);
+        assert!(effective_threads(0, 100) >= 1);
+        assert_eq!(effective_threads(1, 0), 1);
+    }
+}

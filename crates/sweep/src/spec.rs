@@ -1,0 +1,257 @@
+//! The declarative description of a scenario sweep: which axes to cross,
+//! how long to simulate, and how to seed each cell.
+
+use therm3d_floorplan::Experiment;
+use therm3d_policies::PolicyKind;
+use therm3d_workload::Benchmark;
+
+/// Default simulated seconds per cell (the figure binaries' default).
+pub const DEFAULT_SIM_SECONDS: f64 = 240.0;
+
+/// Default trace seed (the paper-reproduction seed used everywhere).
+pub const DEFAULT_TRACE_SEED: u64 = 2009;
+
+/// Default policy (LFSR) seed.
+pub const DEFAULT_POLICY_SEED: u16 = 0xACE1;
+
+/// A declarative scenario sweep: the cross-product of every axis below
+/// is expanded into one deterministic run matrix (see
+/// [`expand`](crate::expand)).
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_sweep::SweepSpec;
+/// use therm3d_floorplan::Experiment;
+/// use therm3d_policies::PolicyKind;
+///
+/// let spec = SweepSpec::new("demo")
+///     .with_experiments(&[Experiment::Exp1, Experiment::Exp2])
+///     .with_policies(&[PolicyKind::Default, PolicyKind::Adapt3d])
+///     .with_dpm(&[false, true])
+///     .with_sim_seconds(10.0);
+/// assert_eq!(therm3d_sweep::expand(&spec).len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Human-readable sweep name (used in reports and file headers).
+    pub name: String,
+    /// 3D systems to simulate (EXP-1..4).
+    pub experiments: Vec<Experiment>,
+    /// DTM policies to evaluate.
+    pub policies: Vec<PolicyKind>,
+    /// Dynamic power management on/off axis.
+    pub dpm: Vec<bool>,
+    /// The benchmark rotation; each run replays this mix with equal
+    /// time shares (as the figure binaries do).
+    pub benchmarks: Vec<Benchmark>,
+    /// Trace-seed axis: one full (experiment × dpm × policy) grid is run
+    /// per seed. All policies within one (experiment, seed) cell group
+    /// replay the *same* trace, so policies stay comparable.
+    pub seeds: Vec<u64>,
+    /// Simulated seconds per cell.
+    pub sim_seconds: f64,
+    /// Thermal grid resolution per layer (rows, cols).
+    pub grid: (usize, usize),
+    /// Base policy (LFSR) seed; per-cell seeds are derived from it (see
+    /// [`SweepCell::policy_seed`](crate::SweepCell)).
+    pub policy_seed: u16,
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+}
+
+impl SweepSpec {
+    /// Creates a spec with the paper defaults: all four experiments, all
+    /// eleven policies, DPM off, the full Table I benchmark rotation,
+    /// trace seed 2009, 240 s per cell on an 8×8 grid.
+    ///
+    /// `sim_seconds` honours the `THERM3D_SIM_SECONDS` environment
+    /// variable (unparsable or non-positive values are ignored).
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            experiments: Experiment::ALL.to_vec(),
+            policies: PolicyKind::ALL.to_vec(),
+            dpm: vec![false],
+            benchmarks: Benchmark::ALL.to_vec(),
+            seeds: vec![DEFAULT_TRACE_SEED],
+            sim_seconds: sim_seconds_from_env(DEFAULT_SIM_SECONDS),
+            grid: (8, 8),
+            policy_seed: DEFAULT_POLICY_SEED,
+            threads: 0,
+        }
+    }
+
+    /// Sets the experiment axis.
+    #[must_use]
+    pub fn with_experiments(mut self, experiments: &[Experiment]) -> Self {
+        self.experiments = experiments.to_vec();
+        self
+    }
+
+    /// Sets the policy axis.
+    #[must_use]
+    pub fn with_policies(mut self, policies: &[PolicyKind]) -> Self {
+        self.policies = policies.to_vec();
+        self
+    }
+
+    /// Sets the DPM axis (e.g. `&[false, true]` to sweep both).
+    #[must_use]
+    pub fn with_dpm(mut self, dpm: &[bool]) -> Self {
+        self.dpm = dpm.to_vec();
+        self
+    }
+
+    /// Sets the benchmark rotation.
+    #[must_use]
+    pub fn with_benchmarks(mut self, benchmarks: &[Benchmark]) -> Self {
+        self.benchmarks = benchmarks.to_vec();
+        self
+    }
+
+    /// Sets the trace-seed axis.
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Sets the simulated duration per cell, seconds.
+    #[must_use]
+    pub fn with_sim_seconds(mut self, sim_seconds: f64) -> Self {
+        self.sim_seconds = sim_seconds;
+        self
+    }
+
+    /// Sets the thermal grid resolution per layer.
+    #[must_use]
+    pub fn with_grid(mut self, rows: usize, cols: usize) -> Self {
+        self.grid = (rows, cols);
+        self
+    }
+
+    /// Sets the base policy (LFSR) seed.
+    #[must_use]
+    pub fn with_policy_seed(mut self, policy_seed: u16) -> Self {
+        self.policy_seed = policy_seed;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = one per available CPU).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of cells the spec expands to.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.experiments.len() * self.policies.len() * self.dpm.len() * self.seeds.len()
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field when an axis is
+    /// empty, an axis contains duplicates, the duration is not positive,
+    /// or the grid is degenerate.
+    pub fn validate(&self) -> Result<(), String> {
+        fn no_dupes<T: PartialEq + std::fmt::Debug>(axis: &[T], name: &str) -> Result<(), String> {
+            if axis.is_empty() {
+                return Err(format!("`{name}` axis must not be empty"));
+            }
+            for (i, a) in axis.iter().enumerate() {
+                if axis[..i].contains(a) {
+                    return Err(format!("`{name}` axis repeats {a:?}"));
+                }
+            }
+            Ok(())
+        }
+        // The TOML subset has no string escapes, so a quote (or line
+        // break) in the name would break the to_toml/from_toml
+        // round-trip guarantee.
+        if self.name.contains('"') || self.name.contains('\n') || self.name.contains('\r') {
+            return Err(format!("`name` must not contain quotes or line breaks: {:?}", self.name));
+        }
+        no_dupes(&self.experiments, "experiments")?;
+        no_dupes(&self.policies, "policies")?;
+        no_dupes(&self.dpm, "dpm")?;
+        no_dupes(&self.seeds, "seeds")?;
+        if self.benchmarks.is_empty() {
+            return Err("`benchmarks` must not be empty".into());
+        }
+        if !(self.sim_seconds > 0.0 && self.sim_seconds.is_finite()) {
+            return Err(format!("`sim_seconds` must be positive and finite: {}", self.sim_seconds));
+        }
+        if self.grid.0 == 0 || self.grid.1 == 0 {
+            return Err(format!("`grid` must be at least 1x1: {:?}", self.grid));
+        }
+        Ok(())
+    }
+}
+
+/// Reads `THERM3D_SIM_SECONDS`, defensively: missing, unparsable or
+/// non-positive values fall back to `default_s` instead of panicking.
+///
+/// # Examples
+///
+/// ```
+/// let s = therm3d_sweep::sim_seconds_from_env(240.0);
+/// assert!(s > 0.0);
+/// ```
+#[must_use]
+pub fn sim_seconds_from_env(default_s: f64) -> f64 {
+    std::env::var("THERM3D_SIM_SECONDS")
+        .ok()
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .filter(|&s| s > 0.0 && s.is_finite())
+        .unwrap_or(default_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_the_paper_grid() {
+        let spec = SweepSpec::new("paper");
+        assert_eq!(spec.experiments.len(), 4);
+        assert_eq!(spec.policies.len(), 11);
+        assert_eq!(spec.cell_count(), 44);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_axis_rejected() {
+        let spec = SweepSpec::new("x").with_policies(&[]);
+        assert!(spec.validate().unwrap_err().contains("policies"));
+    }
+
+    #[test]
+    fn duplicate_axis_value_rejected() {
+        let spec = SweepSpec::new("x").with_seeds(&[1, 2, 1]);
+        assert!(spec.validate().unwrap_err().contains("seeds"));
+    }
+
+    #[test]
+    fn bad_duration_rejected() {
+        let spec = SweepSpec::new("x").with_sim_seconds(0.0);
+        assert!(spec.validate().unwrap_err().contains("sim_seconds"));
+    }
+
+    #[test]
+    fn env_parsing_is_defensive() {
+        // No mutation of the real environment (tests run in parallel):
+        // whatever THERM3D_SIM_SECONDS holds, the helper must return a
+        // positive value, and the fallback must apply when it is unset.
+        let value = sim_seconds_from_env(123.0);
+        assert!(value > 0.0 && value.is_finite());
+        if std::env::var("THERM3D_SIM_SECONDS").is_err() {
+            assert_eq!(value, 123.0);
+        }
+    }
+}

@@ -110,8 +110,8 @@ impl BlockThermalModel {
                 rl.intersection_area(rh)
             };
             let area_m2 = overlap_mm2 * 1e-6;
-            let r = t_die / (k_si * area_m2)
-                + config.interlayer_thickness_m * rho_interlayer / area_m2;
+            let r =
+                t_die / (k_si * area_m2) + config.interlayer_thickness_m * rho_interlayer / area_m2;
             g.add_conductance(lo, hi, 1.0 / r);
         }
 
@@ -316,10 +316,7 @@ mod tests {
             let tg = grid.initialize_steady_state(&powers);
             let tb = block.initialize_steady_state(&powers);
             for (i, (a, b)) in tg.iter().zip(&tb).enumerate() {
-                assert!(
-                    (a - b).abs() < 6.0,
-                    "{exp} block {i}: grid {a:.1} vs block-model {b:.1}"
-                );
+                assert!((a - b).abs() < 6.0, "{exp} block {i}: grid {a:.1} vs block-model {b:.1}");
             }
         }
     }

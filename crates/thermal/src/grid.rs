@@ -164,8 +164,10 @@ mod tests {
     #[test]
     fn cell_rects_tile_outline() {
         let g = LayerGrid::new(Rect::new(0.0, 0.0, 11.5, 10.0), 8, 8);
-        let total: f64 =
-            (0..8).flat_map(|r| (0..8).map(move |c| (r, c))).map(|(r, c)| g.cell_rect(r, c).area()).sum();
+        let total: f64 = (0..8)
+            .flat_map(|r| (0..8).map(move |c| (r, c)))
+            .map(|(r, c)| g.cell_rect(r, c).area())
+            .sum();
         assert!((total - 115.0).abs() < 1e-9);
     }
 

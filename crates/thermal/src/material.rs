@@ -23,32 +23,21 @@ pub struct Material {
 impl Material {
     /// Silicon near operating temperature (HotSpot's default:
     /// k = 100 W/(m·K), c_v = 1.75 MJ/(m³·K)).
-    pub const SILICON: Material = Material {
-        conductivity: 100.0,
-        volumetric_heat_capacity: 1.75e6,
-    };
+    pub const SILICON: Material =
+        Material { conductivity: 100.0, volumetric_heat_capacity: 1.75e6 };
 
     /// Copper (heat spreader and sink): k = 400 W/(m·K),
     /// c_v = 3.55 MJ/(m³·K).
-    pub const COPPER: Material = Material {
-        conductivity: 400.0,
-        volumetric_heat_capacity: 3.55e6,
-    };
+    pub const COPPER: Material = Material { conductivity: 400.0, volumetric_heat_capacity: 3.55e6 };
 
     /// The inter-die interface material of Table II: resistivity
     /// 0.25 m·K/W (k = 4 W/(m·K)), c_v = 4 MJ/(m³·K) — typical for the
     /// polymer/adhesive bonding layers used in face-to-back stacking.
-    pub const INTERFACE: Material = Material {
-        conductivity: 4.0,
-        volumetric_heat_capacity: 4.0e6,
-    };
+    pub const INTERFACE: Material = Material { conductivity: 4.0, volumetric_heat_capacity: 4.0e6 };
 
     /// Thermal interface material between die and spreader (HotSpot
     /// default-like: k = 4 W/(m·K)).
-    pub const TIM: Material = Material {
-        conductivity: 4.0,
-        volumetric_heat_capacity: 4.0e6,
-    };
+    pub const TIM: Material = Material { conductivity: 4.0, volumetric_heat_capacity: 4.0e6 };
 
     /// Creates a material from conductivity and volumetric heat capacity.
     ///

@@ -162,22 +162,46 @@ impl ThermalModel {
     fn rk4_substep(&mut self, h: f64) {
         let n = self.temps_k.len();
         // k1 = f(T)
-        Self::deriv(&self.network, &self.node_power, &self.temps_k, &mut self.scratch.gt, &mut self.scratch.k1);
+        Self::deriv(
+            &self.network,
+            &self.node_power,
+            &self.temps_k,
+            &mut self.scratch.gt,
+            &mut self.scratch.k1,
+        );
         // k2 = f(T + h/2 k1)
         for i in 0..n {
             self.scratch.tmp[i] = self.temps_k[i] + 0.5 * h * self.scratch.k1[i];
         }
-        Self::deriv(&self.network, &self.node_power, &self.scratch.tmp, &mut self.scratch.gt, &mut self.scratch.k2);
+        Self::deriv(
+            &self.network,
+            &self.node_power,
+            &self.scratch.tmp,
+            &mut self.scratch.gt,
+            &mut self.scratch.k2,
+        );
         // k3 = f(T + h/2 k2)
         for i in 0..n {
             self.scratch.tmp[i] = self.temps_k[i] + 0.5 * h * self.scratch.k2[i];
         }
-        Self::deriv(&self.network, &self.node_power, &self.scratch.tmp, &mut self.scratch.gt, &mut self.scratch.k3);
+        Self::deriv(
+            &self.network,
+            &self.node_power,
+            &self.scratch.tmp,
+            &mut self.scratch.gt,
+            &mut self.scratch.k3,
+        );
         // k4 = f(T + h k3)
         for i in 0..n {
             self.scratch.tmp[i] = self.temps_k[i] + h * self.scratch.k3[i];
         }
-        Self::deriv(&self.network, &self.node_power, &self.scratch.tmp, &mut self.scratch.gt, &mut self.scratch.k4);
+        Self::deriv(
+            &self.network,
+            &self.node_power,
+            &self.scratch.tmp,
+            &mut self.scratch.gt,
+            &mut self.scratch.k4,
+        );
         for i in 0..n {
             self.temps_k[i] += h / 6.0
                 * (self.scratch.k1[i]

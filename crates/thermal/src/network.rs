@@ -80,10 +80,8 @@ impl RcNetwork {
         // Per-cell silicon heat capacity, plus half the adjacent interface
         // material's capacity lumped into each neighbouring cell.
         let c_cell_si = config.silicon.volume_capacitance(cell_area * t_die);
-        let c_half_interface = config
-            .interlayer
-            .volume_capacitance(cell_area * config.interlayer_thickness_m)
-            / 2.0;
+        let c_half_interface =
+            config.interlayer.volume_capacitance(cell_area * config.interlayer_thickness_m) / 2.0;
 
         // Lateral conductances within each layer.
         let g_lat_x = k_si * (t_die * cell_h) / cell_w;
@@ -106,7 +104,8 @@ impl RcNetwork {
 
         // Vertical conductances between stacked layers: half-die silicon,
         // joint interface, half-die silicon — all per cell column.
-        let r_vert = (t_die / k_si + config.interlayer_thickness_m * config.interlayer.resistivity())
+        let r_vert = (t_die / k_si
+            + config.interlayer_thickness_m * config.interlayer.resistivity())
             / cell_area;
         let g_vert = 1.0 / r_vert;
         for l in 0..layers.saturating_sub(1) {
@@ -137,11 +136,7 @@ impl RcNetwork {
             config.spreader_side_m * config.spreader_side_m * config.spreader_thickness_m,
         );
         cap[sink_node] = config.convection_capacitance_jk;
-        g.add_conductance(
-            spreader_node,
-            sink_node,
-            1.0 / config.spreader_to_sink_resistance_kw,
-        );
+        g.add_conductance(spreader_node, sink_node, 1.0 / config.spreader_to_sink_resistance_kw);
         g_amb[sink_node] = 1.0 / config.convection_resistance_kw;
         g.add_grounded_conductance(sink_node, g_amb[sink_node]);
 
@@ -303,10 +298,7 @@ impl RcNetwork {
     #[must_use]
     pub fn stiffness_bound(&self) -> f64 {
         let diag = self.conductance.diagonal();
-        diag.iter()
-            .zip(&self.capacitance)
-            .map(|(&d, &c)| 2.0 * d / c)
-            .fold(0.0, f64::max)
+        diag.iter().zip(&self.capacitance).map(|(&d, &c)| 2.0 * d / c).fold(0.0, f64::max)
     }
 }
 
@@ -397,9 +389,9 @@ mod tests {
         let n = net(Experiment::Exp2, 4, 4);
         let ones = vec![1.0; n.node_count()];
         let y = n.conductance().mul(&ones);
-        for i in 0..n.node_count() {
+        for (i, yi) in y.iter().enumerate() {
             let expect = n.ambient_conductance()[i];
-            assert!((y[i] - expect).abs() < 1e-9, "row {i}: {} vs {expect}", y[i]);
+            assert!((yi - expect).abs() < 1e-9, "row {i}: {yi} vs {expect}");
         }
     }
 }

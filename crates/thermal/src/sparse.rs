@@ -139,12 +139,12 @@ impl CsrMatrix {
     pub fn mul_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.n, "x length mismatch");
         assert_eq!(out.len(), self.n, "out length mismatch");
-        for r in 0..self.n {
+        for (r, slot) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            out[r] = acc;
+            *slot = acc;
         }
     }
 
@@ -164,10 +164,10 @@ impl CsrMatrix {
     #[must_use]
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.n];
-        for r in 0..self.n {
+        for (r, slot) in d.iter_mut().enumerate() {
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 if self.col_idx[k] == r {
-                    d[r] += self.values[k];
+                    *slot += self.values[k];
                 }
             }
         }
@@ -246,7 +246,12 @@ pub fn solve_cg(a: &CsrMatrix, b: &[f64], x0: &[f64], tol: f64, max_iter: usize)
 
     let b_norm = norm2(b);
     if b_norm == 0.0 {
-        return CgSolution { x: vec![0.0; n], iterations: 0, relative_residual: 0.0, converged: true };
+        return CgSolution {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+            converged: true,
+        };
     }
 
     let mut x = x0.to_vec();

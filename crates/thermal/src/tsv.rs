@@ -97,8 +97,7 @@ impl TsvSpec {
     #[must_use]
     pub fn joint_resistivity(&self) -> f64 {
         let f_cu = self.copper_fraction().min(1.0);
-        let k = (1.0 - f_cu) * self.interface.conductivity
-            + f_cu * self.via_material.conductivity;
+        let k = (1.0 - f_cu) * self.interface.conductivity + f_cu * self.via_material.conductivity;
         1.0 / k
     }
 
@@ -180,8 +179,7 @@ mod tests {
     #[test]
     fn zero_density_equals_bare_interface() {
         assert!(
-            (joint_resistivity_for_overhead(0.0) - Material::INTERFACE.resistivity()).abs()
-                < 1e-12
+            (joint_resistivity_for_overhead(0.0) - Material::INTERFACE.resistivity()).abs() < 1e-12
         );
     }
 
@@ -205,10 +203,7 @@ mod tests {
     fn joint_material_keeps_capacity() {
         let spec = TsvSpec::paper_default();
         let m = spec.joint_material();
-        assert_eq!(
-            m.volumetric_heat_capacity,
-            Material::INTERFACE.volumetric_heat_capacity
-        );
+        assert_eq!(m.volumetric_heat_capacity, Material::INTERFACE.volumetric_heat_capacity);
         assert!((m.resistivity() - spec.joint_resistivity()).abs() < 1e-12);
     }
 }

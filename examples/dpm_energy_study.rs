@@ -23,11 +23,7 @@ use therm3d_workload::{generate_mix, Benchmark};
 
 const SIM_SECONDS: f64 = 120.0;
 
-fn run(
-    experiment: Experiment,
-    kind: PolicyKind,
-    dpm: bool,
-) -> (RunResult, CycleHistogram) {
+fn run(experiment: Experiment, kind: PolicyKind, dpm: bool) -> (RunResult, CycleHistogram) {
     let stack = experiment.stack();
     let policy = kind.build_with_dpm(&stack, 0xACE1, dpm);
     let trace = generate_mix(
@@ -60,8 +56,7 @@ fn main() {
         for kind in [PolicyKind::Default, PolicyKind::Adapt3d] {
             for dpm in [false, true] {
                 let (result, hist) = run(experiment, kind, dpm);
-                let label =
-                    format!("{}{}", kind.label(), if dpm { "+DPM" } else { "" });
+                let label = format!("{}{}", kind.label(), if dpm { "+DPM" } else { "" });
                 println!(
                     "{:<22} {:>9.0} {:>9.2} {:>8.2} {:>8.1}%",
                     label,

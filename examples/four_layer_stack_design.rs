@@ -13,9 +13,9 @@
 
 use therm3d::{SimConfig, Simulator};
 use therm3d_floorplan::{Experiment, UnitKind};
+use therm3d_policies::PolicyKind;
 use therm3d_power::{CorePowerInput, PowerModel, PowerParams, VfTable};
 use therm3d_thermal::{ThermalConfig, ThermalModel};
-use therm3d_policies::PolicyKind;
 use therm3d_workload::{generate_mix, Benchmark};
 
 const SIM_SECONDS: f64 = 60.0;
@@ -81,7 +81,11 @@ fn main() {
     println!("(layer 0 touches the heat spreader; higher layers cool worse)\n");
     for experiment in Experiment::ALL {
         let profile = steady_layer_profile(experiment);
-        print!("  {experiment} ({} layers, {} cores): ", experiment.layer_count(), experiment.num_cores());
+        print!(
+            "  {experiment} ({} layers, {} cores): ",
+            experiment.layer_count(),
+            experiment.num_cores()
+        );
         let rows: Vec<String> = profile
             .iter()
             .map(|(layer, mean, n)| {
@@ -101,7 +105,13 @@ fn main() {
         let dvfs = hotspot_pct(experiment, PolicyKind::DvfsTt);
         let hybrid = hotspot_pct(experiment, PolicyKind::Adapt3dDvfsTt);
         let reduction = if dvfs > 0.0 { 100.0 * (dvfs - hybrid) / dvfs } else { 0.0 };
-        println!("{:<8} {:>10.2} {:>16.2} {:>9.0}%", experiment.to_string(), dvfs, hybrid, reduction);
+        println!(
+            "{:<8} {:>10.2} {:>16.2} {:>9.0}%",
+            experiment.to_string(),
+            dvfs,
+            hybrid,
+            reduction
+        );
     }
 
     println!(

@@ -38,10 +38,7 @@ fn assess(kind: PolicyKind, dpm: bool) -> (ReliabilityReport, f64) {
         let series = history.core_series(core);
         let report = ReliabilityReport::from_series(&series, 0.1);
         total_damage += cm.damage_per_hour(&series, 0.1);
-        if worst
-            .as_ref()
-            .is_none_or(|w| report.em_acceleration > w.em_acceleration)
-        {
+        if worst.as_ref().is_none_or(|w| report.em_acceleration > w.em_acceleration) {
             worst = Some(report);
         }
     }

@@ -24,12 +24,7 @@ const SIM_SECONDS: f64 = 90.0;
 /// The consolidation mix: one busy web tier plus the mixed web/database
 /// benchmark of Table I.
 fn consolidation_trace(experiment: Experiment) -> therm3d_workload::JobTrace {
-    generate_mix(
-        &[Benchmark::WebHigh, Benchmark::WebDb],
-        experiment.num_cores(),
-        SIM_SECONDS,
-        7,
-    )
+    generate_mix(&[Benchmark::WebHigh, Benchmark::WebDb], experiment.num_cores(), SIM_SECONDS, 7)
 }
 
 fn run(experiment: Experiment, kind: PolicyKind) -> (RunResult, TempHistory) {
@@ -51,7 +46,9 @@ fn main() {
         PolicyKind::Adapt3dDvfsTt,
     ];
 
-    println!("web-server consolidation: 2-tier vs 4-tier stacking ({SIM_SECONDS:.0} s simulated)\n");
+    println!(
+        "web-server consolidation: 2-tier vs 4-tier stacking ({SIM_SECONDS:.0} s simulated)\n"
+    );
     println!("workload: Web-high (92.9 % util) + Web&DB (75.1 % util), Table I statistics\n");
 
     for experiment in [Experiment::Exp2, Experiment::Exp4] {
@@ -69,9 +66,7 @@ fn main() {
         let mut baseline: Option<RunResult> = None;
         for kind in policies {
             let (result, history) = run(experiment, kind);
-            let perf = baseline
-                .as_ref()
-                .map_or(1.0, |b| result.normalized_performance_vs(b));
+            let perf = baseline.as_ref().map_or(1.0, |b| result.normalized_performance_vs(b));
             let trace = downsample(&history.max_series(), 40);
             println!(
                 "{:<20} {:>7.2} {:>7.2} {:>7.1} {:>7.3}  {}",

@@ -1,0 +1,193 @@
+//! Offline stand-in for the parts of `criterion 0.5` this workspace
+//! uses: `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `benchmark_group`, `sample_size`, `bench_with_input`, `Bencher::iter`,
+//! `Bencher::iter_batched`, `BatchSize` and `black_box`.
+//!
+//! Instead of Criterion's statistical machinery, each benchmark is
+//! warmed up once and then timed over `sample_size` samples; the median
+//! per-iteration time is printed as a single line. Good enough to rank
+//! policies and spot order-of-magnitude regressions offline; use the
+//! real crate for publishable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (the real crate's default too).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in the real crate; one here.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier (subset of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a parameter's `Display` form.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        Self { id: parameter.to_string() }
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<D: Display>(function: &str, parameter: D) -> Self {
+        Self { id: format!("{function}/{parameter}") }
+    }
+}
+
+/// The benchmark manager (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_owned(), sample_size: 30 }
+    }
+}
+
+/// A group of related benchmarks (subset of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One warm-up sample, then the timed ones.
+        for i in 0..=self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b, input);
+            if i > 0 && b.iters > 0 {
+                samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(f64::NAN);
+        println!(
+            "{}/{}: median {:.1} ns/iter ({} samples)",
+            self.name,
+            id.id,
+            median,
+            samples.len()
+        );
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, ()| f(b))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures (subset of `criterion::Bencher`).
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const ITERS: u64 = 10;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS;
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        const ITERS: u64 = 4;
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += ITERS;
+    }
+}
+
+/// Declares a benchmark group function (subset of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` (subset of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        let mut group = c.benchmark_group("example");
+        group.sample_size(3);
+        for n in [10u64, 100] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>());
+            });
+        }
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_example);
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        benches(&mut c);
+    }
+}

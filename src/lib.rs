@@ -45,9 +45,8 @@ pub fn quick_run(
 ) -> RunResult {
     let stack = experiment.stack();
     let policy = kind.build_with_dpm(&stack, 0xACE1, dpm);
-    let trace = TraceConfig::new(benchmark, stack.num_cores(), sim_seconds)
-        .with_seed(2009)
-        .generate();
+    let trace =
+        TraceConfig::new(benchmark, stack.num_cores(), sim_seconds).with_seed(2009).generate();
     let mut sim = Simulator::new(SimConfig::fast(experiment), policy);
     sim.run(&trace, sim_seconds)
 }
@@ -63,9 +62,8 @@ pub fn quick_run_recorded(
 ) -> (RunResult, TempHistory) {
     let stack = experiment.stack();
     let policy = kind.build_with_dpm(&stack, 0xACE1, dpm);
-    let trace = TraceConfig::new(benchmark, stack.num_cores(), sim_seconds)
-        .with_seed(2009)
-        .generate();
+    let trace =
+        TraceConfig::new(benchmark, stack.num_cores(), sim_seconds).with_seed(2009).generate();
     let mut sim = Simulator::new(SimConfig::fast(experiment), policy);
     let mut history = TempHistory::new(stack.num_cores());
     let result = sim.run_with_observer(&trace, sim_seconds, |s| history.record(s));

@@ -53,11 +53,7 @@ pub fn sparkline(series: &[f64]) -> String {
     series
         .iter()
         .map(|&v| {
-            let idx = if span > 0.0 {
-                (((v - lo) / span) * 7.0).round() as usize
-            } else {
-                0
-            };
+            let idx = if span > 0.0 { (((v - lo) / span) * 7.0).round() as usize } else { 0 };
             LEVELS[idx.min(7)]
         })
         .collect()
@@ -83,10 +79,7 @@ pub fn downsample(series: &[f64], max_points: usize) -> Vec<f64> {
         return series.to_vec();
     }
     let chunk = series.len().div_ceil(max_points);
-    series
-        .chunks(chunk)
-        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
-        .collect()
+    series.chunks(chunk).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
 }
 
 #[cfg(test)]

@@ -105,10 +105,7 @@ fn transient_converges_to_steady_state() {
     }
     let reached = transient.block_temperatures_c();
     for (i, (a, b)) in steady.iter().zip(&reached).enumerate() {
-        assert!(
-            (a - b).abs() < 0.3,
-            "block {i}: transient {b} °C never reached steady {a} °C"
-        );
+        assert!((a - b).abs() < 0.3, "block {i}: transient {b} °C never reached steady {a} °C");
     }
 }
 
@@ -138,10 +135,7 @@ fn step_size_does_not_change_the_answer() {
 fn four_layer_stacks_run_hotter_than_two_layer() {
     let p2 = peak(&busy_steady(Experiment::Exp2));
     let p4 = peak(&busy_steady(Experiment::Exp4));
-    assert!(
-        p4 > p2 + 10.0,
-        "stacking four active layers must cost well over 10 °C: {p2} vs {p4}"
-    );
+    assert!(p4 > p2 + 10.0, "stacking four active layers must cost well over 10 °C: {p2} vs {p4}");
     let p1 = peak(&busy_steady(Experiment::Exp1));
     let p3 = peak(&busy_steady(Experiment::Exp3));
     assert!(p3 > p1 + 10.0, "split config: {p1} vs {p3}");
@@ -181,16 +175,12 @@ fn core_orientation_changes_the_thermal_picture() {
     let near = Experiment::Exp1.stack_with_order(StackOrder::CoresNearSink);
     let run = |stack: &therm3d_floorplan::Stack3d| {
         let mut model = ThermalModel::new(stack, fast_thermal());
-        let power =
-            PowerModel::new(stack, PowerParams::paper_default(), VfTable::paper_default());
+        let power = PowerModel::new(stack, PowerParams::paper_default(), VfTable::paper_default());
         let busy = vec![CorePowerInput::busy(); stack.num_cores()];
         let temps = vec![45.0; stack.num_blocks()];
         let p = power.block_powers(&busy, &temps);
         let t = model.initialize_steady_state(&p);
-        stack
-            .core_ids()
-            .map(|c| t[stack.core_block_index(c)])
-            .fold(f64::NEG_INFINITY, f64::max)
+        stack.core_ids().map(|c| t[stack.core_block_index(c)]).fold(f64::NEG_INFINITY, f64::max)
     };
     let hot_far = run(&far);
     let hot_near = run(&near);
@@ -231,8 +221,7 @@ fn finer_grids_converge() {
         .map(|s| if s.kind == therm3d_floorplan::UnitKind::Core { 3.0 } else { 1.0 })
         .collect();
     let peak_at = |rows, cols| {
-        let mut m =
-            ThermalModel::new(&stack, ThermalConfig::paper_default().with_grid(rows, cols));
+        let mut m = ThermalModel::new(&stack, ThermalConfig::paper_default().with_grid(rows, cols));
         peak(&m.initialize_steady_state(&powers))
     };
     let p8 = peak_at(8, 8);
@@ -286,9 +275,8 @@ fn vertical_gradients_stay_within_a_few_degrees() {
 
     let exp = Experiment::Exp3;
     let stack = exp.stack();
-    let trace = TraceConfig::new(Benchmark::WebHigh, stack.num_cores(), 20.0)
-        .with_seed(7)
-        .generate();
+    let trace =
+        TraceConfig::new(Benchmark::WebHigh, stack.num_cores(), 20.0).with_seed(7).generate();
     let policy = PolicyKind::Default.build(&stack, 1);
     let r = Simulator::new(SimConfig::paper_default(exp), policy).run(&trace, 20.0);
     assert!(r.vertical_peak_c > 0.0, "vertically adjacent blocks cannot be isothermal");

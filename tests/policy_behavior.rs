@@ -153,11 +153,8 @@ fn adapt3d_steers_load_toward_the_sink_side_layer() {
             ticks += 1;
         });
         let per_layer = |layer: usize| {
-            let cores: Vec<usize> = stack
-                .core_ids()
-                .filter(|&c| stack.core_layer(c) == layer)
-                .map(|c| c.0)
-                .collect();
+            let cores: Vec<usize> =
+                stack.core_ids().filter(|&c| stack.core_layer(c) == layer).map(|c| c.0).collect();
             cores.iter().map(|&c| sums[c]).sum::<f64>() / (cores.len() as f64 * ticks as f64)
         };
         (per_layer(1), per_layer(3))
@@ -223,16 +220,10 @@ fn dvfs_flp_derates_hot_prone_cores_statically() {
             *w = (*w).max(v);
         }
     });
-    let near: Vec<usize> = stack
-        .core_ids()
-        .filter(|&c| stack.core_layer(c) == 1)
-        .map(|c| worst[c.0])
-        .collect();
-    let far: Vec<usize> = stack
-        .core_ids()
-        .filter(|&c| stack.core_layer(c) == 3)
-        .map(|c| worst[c.0])
-        .collect();
+    let near: Vec<usize> =
+        stack.core_ids().filter(|&c| stack.core_layer(c) == 1).map(|c| worst[c.0]).collect();
+    let far: Vec<usize> =
+        stack.core_ids().filter(|&c| stack.core_layer(c) == 3).map(|c| worst[c.0]).collect();
     let near_mean = near.iter().sum::<usize>() as f64 / near.len() as f64;
     let far_mean = far.iter().sum::<usize>() as f64 / far.len() as f64;
     assert!(
@@ -248,10 +239,8 @@ fn sleeping_cores_wake_for_work() {
     let exp = Experiment::Exp1;
     let stack = exp.stack();
     let secs = 20.0;
-    let trace = TraceConfig::new(Benchmark::Gzip, 8, secs)
-        .with_seed(13)
-        .with_burstiness(0.8)
-        .generate();
+    let trace =
+        TraceConfig::new(Benchmark::Gzip, 8, secs).with_seed(13).with_burstiness(0.8).generate();
     let policy = PolicyKind::Default.build_with_dpm(&stack, 1, true);
     let mut slept = false;
     let mut sim = Simulator::new(SimConfig::fast(exp), policy);

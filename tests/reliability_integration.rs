@@ -47,9 +47,7 @@ fn dpm_increases_cycling_damage() {
     let without = history(PolicyKind::Default, false, 40.0);
     let with = history(PolicyKind::Default, true, 40.0);
     let damage = |h: &TempHistory| {
-        (0..h.n_cores())
-            .map(|c| cm.damage_per_hour(&h.core_series(c), 0.1))
-            .sum::<f64>()
+        (0..h.n_cores()).map(|c| cm.damage_per_hour(&h.core_series(c), 0.1)).sum::<f64>()
     };
     let d_without = damage(&without);
     let d_with = damage(&with);

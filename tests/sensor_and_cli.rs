@@ -64,7 +64,7 @@ fn cli_run_matches_library_run() {
             .map(str::to_owned),
     )
     .expect("valid command line");
-    let out = therm3d_cli::execute(&cmd);
+    let out = therm3d_cli::execute(&cmd).expect("infallible subcommand");
     let row = out.lines().nth(1).expect("csv row");
 
     let exp = Experiment::Exp1;
