@@ -10,7 +10,7 @@ use therm3d_policies::{AdaptivePolicy, Policy};
 use therm3d_workload::{generate_mix, Benchmark};
 
 fn main() {
-    let sim_seconds = therm3d_sweep::sim_seconds_from_env(240.0);
+    let sim_seconds = therm3d_bench::sim_seconds_or_die(240.0);
     println!("Adapt3D thermal-index ablation ({sim_seconds:.0} s per cell)\n");
     println!(
         "{:<8} {:<22} {:>7} {:>7} {:>7} {:>8}",

@@ -18,7 +18,7 @@ fn run(exp: Experiment, cfg: AdaptiveConfig, sim_seconds: f64) -> therm3d::RunRe
 }
 
 fn main() {
-    let sim_seconds = therm3d_sweep::sim_seconds_from_env(160.0);
+    let sim_seconds = therm3d_bench::sim_seconds_or_die(160.0);
     let exp = Experiment::Exp3;
     println!("Adapt3D β / history-window sweep on {exp} ({sim_seconds:.0} s per cell)\n");
 

@@ -9,7 +9,7 @@ use therm3d_policies::{AdaptiveConfig, AdaptivePolicy};
 use therm3d_workload::{generate_mix, Benchmark};
 
 fn main() {
-    let sim_seconds = therm3d_sweep::sim_seconds_from_env(160.0);
+    let sim_seconds = therm3d_bench::sim_seconds_or_die(160.0);
     for exp in [Experiment::Exp3, Experiment::Exp4] {
         println!("{exp} (Adapt3D, backlog-cutoff sweep, {sim_seconds:.0} s):");
         let stack = exp.stack();

@@ -4,11 +4,11 @@
 //!
 //! The 44-cell grid executes as one parallel sweep.
 
-use therm3d_bench::{format_figure, run_figure, FigureConfig};
+use therm3d_bench::{format_figure, run_figure};
 use therm3d_floorplan::Experiment;
 
 fn main() {
-    let cfg = FigureConfig::paper_default();
+    let cfg = therm3d_bench::figure_config_or_die();
     eprintln!(
         "running {} experiments x {} policies in parallel…",
         Experiment::ALL.len(),

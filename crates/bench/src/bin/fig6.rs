@@ -4,11 +4,11 @@
 //!
 //! The 22-cell grid executes as one parallel sweep.
 
-use therm3d_bench::{format_figure, run_figure, FigureConfig};
+use therm3d_bench::{format_figure, run_figure};
 use therm3d_floorplan::Experiment;
 
 fn main() {
-    let cfg = FigureConfig::paper_default();
+    let cfg = therm3d_bench::figure_config_or_die();
     let experiments = [Experiment::Exp1, Experiment::Exp3];
     eprintln!("running {} experiments with DPM in parallel…", experiments.len());
     let results = run_figure(&cfg, &experiments, true);

@@ -32,7 +32,7 @@ fn dynamic(exp: Experiment, order: StackOrder, sim_seconds: f64) -> RunResult {
 }
 
 fn main() {
-    let sim_seconds = therm3d_sweep::sim_seconds_from_env(120.0);
+    let sim_seconds = therm3d_bench::sim_seconds_or_die(120.0);
     println!("stack-orientation study: which die touches the spreader?\n");
     println!("all-cores-busy steady peak core temperature, °C:");
     println!("{:>8} {:>16} {:>16} {:>8}", "config", "cores far (dflt)", "cores near sink", "delta");

@@ -1,13 +1,13 @@
 //! Quick thermal-regime probe (not a paper figure): prints hot-spot and
 //! peak statistics for Default/Adapt3D on EXP-1 and EXP-3.
 
-use therm3d_bench::{run_cell, FigureConfig};
+use therm3d_bench::run_cell;
 use therm3d_floorplan::Experiment;
 use therm3d_policies::PolicyKind;
 
 fn main() {
-    let mut cfg = FigureConfig::paper_default();
-    cfg.sim_seconds = therm3d_sweep::sim_seconds_from_env(120.0);
+    let mut cfg = therm3d_bench::figure_config_or_die();
+    cfg.sim_seconds = therm3d_bench::sim_seconds_or_die(120.0);
     for exp in [Experiment::Exp1, Experiment::Exp3] {
         for kind in [PolicyKind::Default, PolicyKind::Adapt3d, PolicyKind::DvfsTt] {
             let t0 = std::time::Instant::now();

@@ -23,7 +23,7 @@ fn run(kind: PolicyKind, sensor: SensorModel, sim_seconds: f64) -> therm3d::RunR
 }
 
 fn main() {
-    let sim_seconds = therm3d_sweep::sim_seconds_from_env(160.0);
+    let sim_seconds = therm3d_bench::sim_seconds_or_die(160.0);
     println!("sensor-imperfection study on EXP-3 ({sim_seconds:.0} s per cell)\n");
     println!("{:<18} {:<26} {:>7} {:>8} {:>8}", "policy", "sensor", "hot%", "peak°C", "turn_s");
 

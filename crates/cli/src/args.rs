@@ -70,8 +70,17 @@ pub enum Command {
     Run { sim: SimOptions, policy: PolicyKind, csv: bool },
     /// Run all eleven policies on one experiment and tabulate.
     Sweep { sim: SimOptions, csv: bool },
-    /// Execute a declarative sweep spec (TOML) on the parallel engine.
-    SweepFile { path: String, threads: Option<usize>, format: SweepFormat },
+    /// Execute a declarative sweep spec (TOML) on the parallel engine,
+    /// optionally memoizing results in a persistent cache directory.
+    SweepFile {
+        path: String,
+        threads: Option<usize>,
+        format: SweepFormat,
+        /// Result-cache directory (`--cache-dir`); `None` = no cache.
+        cache_dir: Option<String>,
+        /// Print hit/miss counters to stderr (`--cache-stats`).
+        cache_stats: bool,
+    },
     /// Print the all-cores-busy steady-state profile.
     Steady { exp: Experiment, grid: usize },
     /// Generate and dump a workload trace.
@@ -102,6 +111,7 @@ USAGE:
   therm3d run         [--exp E] [--policy P] [--benchmark B] [-t SECS] [--dpm] [--seed N] [--grid N] [--csv]
   therm3d sweep       [--exp E] [-t SECS] [--dpm] [--seed N] [--grid N] [--csv]
   therm3d sweep       SPEC.toml [--threads N] [--format table|csv|json] [--csv]
+                      [--cache-dir DIR] [--no-cache] [--cache-stats]
   therm3d steady      [--exp E] [--grid N]
   therm3d trace       [--benchmark B] [--cores N] [-t SECS] [--seed N] [--csv]
   therm3d reliability [--exp E] [--policy P] [-t SECS] [--dpm] [--seed N] [--grid N]
@@ -113,7 +123,12 @@ USAGE:
   With a SPEC.toml, `sweep` expands the spec's experiment x policy x DPM
   x seed cross-product and executes it on all cores (deterministic for
   any --threads). Keys: name, experiments, policies, dpm, benchmarks,
-  seeds, sim_seconds, grid, policy_seed, threads.";
+  seeds, sim_seconds, grid, policy_seed, threads.
+
+  --cache-dir DIR memoizes results by content-addressed cell key:
+  re-running a grown spec only simulates the new cells, and the report
+  is byte-identical to a cold run. --no-cache ignores --cache-dir;
+  --cache-stats prints a `cache:` counters line to stderr.";
 
 struct Tokens {
     items: Vec<String>,
@@ -176,6 +191,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
                     | "--cores"
                     | "--threads"
                     | "--format"
+                    | "--cache-dir"
             )
         };
         let mut i = 1;
@@ -198,6 +214,9 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
     let mut benchmark = Benchmark::Gcc;
     let mut threads: Option<usize> = None;
     let mut format: Option<SweepFormat> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
+    let mut cache_stats = false;
     let mut sim_flags: Vec<String> = Vec::new();
 
     while t.pos + 1 < t.items.len() {
@@ -233,6 +252,9 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             "--cores" => cores = parse_num("--cores", &t.next_value("--cores")?)?,
             "--threads" => threads = Some(parse_num("--threads", &t.next_value("--threads")?)?),
             "--format" => format = Some(parse_num("--format", &t.next_value("--format")?)?),
+            "--cache-dir" => cache_dir = Some(t.next_value("--cache-dir")?),
+            "--no-cache" => no_cache = true,
+            "--cache-stats" => cache_stats = true,
             "--dpm" => sim.dpm = true,
             "--csv" => csv = true,
             other => return Err(ParseCliError(format!("unknown flag `{other}`"))),
@@ -250,6 +272,26 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
         return Err(ParseCliError(
             "`--threads` and `--format` only apply to `sweep SPEC.toml`".into(),
         ));
+    }
+    if (cache_dir.is_some() || no_cache || cache_stats) && !(sub == "sweep" && spec_path.is_some())
+    {
+        return Err(ParseCliError(
+            "`--cache-dir`, `--no-cache` and `--cache-stats` only apply to `sweep SPEC.toml`"
+                .into(),
+        ));
+    }
+    // `--no-cache` wins over `--cache-dir` (handy for forcing a
+    // re-simulation without editing a shell alias), but stats over a
+    // disabled cache would always read 0/0 — reject the combination.
+    if no_cache {
+        cache_dir = None;
+    }
+    if cache_stats && cache_dir.is_none() {
+        return Err(ParseCliError(if no_cache {
+            "`--cache-stats` is meaningless with `--no-cache`".into()
+        } else {
+            "`--cache-stats` requires `--cache-dir DIR`".into()
+        }));
     }
     if format.is_some() && csv && spec_path.is_some() {
         return Err(ParseCliError(
@@ -278,6 +320,8 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
                     } else {
                         SweepFormat::Table
                     }),
+                    cache_dir,
+                    cache_stats,
                 })
             }
             None => Ok(Command::Sweep { sim, csv }),
@@ -382,7 +426,9 @@ mod tests {
             Command::SweepFile {
                 path: "campaign.toml".into(),
                 threads: Some(4),
-                format: SweepFormat::Json
+                format: SweepFormat::Json,
+                cache_dir: None,
+                cache_stats: false
             }
         );
     }
@@ -397,7 +443,9 @@ mod tests {
             Command::SweepFile {
                 path: "campaign.toml".into(),
                 threads: Some(4),
-                format: SweepFormat::Json
+                format: SweepFormat::Json,
+                cache_dir: None,
+                cache_stats: false
             }
         );
         let cmd = parse(argv("sweep --threads 2 campaign.toml --csv")).unwrap();
@@ -406,7 +454,9 @@ mod tests {
             Command::SweepFile {
                 path: "campaign.toml".into(),
                 threads: Some(2),
-                format: SweepFormat::Csv
+                format: SweepFormat::Csv,
+                cache_dir: None,
+                cache_stats: false
             }
         );
     }
@@ -419,7 +469,9 @@ mod tests {
             Command::SweepFile {
                 path: "campaign.toml".into(),
                 threads: None,
-                format: SweepFormat::Table
+                format: SweepFormat::Table,
+                cache_dir: None,
+                cache_stats: false
             }
         );
         let cmd = parse(argv("sweep campaign.toml --csv")).unwrap();
@@ -428,7 +480,9 @@ mod tests {
             Command::SweepFile {
                 path: "campaign.toml".into(),
                 threads: None,
-                format: SweepFormat::Csv
+                format: SweepFormat::Csv,
+                cache_dir: None,
+                cache_stats: false
             }
         );
     }
@@ -447,6 +501,42 @@ mod tests {
             let err = parse(argv(line)).unwrap_err().0;
             assert!(err.contains("sweep SPEC.toml"), "{line}: {err}");
         }
+    }
+
+    #[test]
+    fn cache_flags_parse_on_spec_file_sweeps() {
+        let cmd = parse(argv("sweep s.toml --cache-dir /tmp/c --cache-stats")).unwrap();
+        match cmd {
+            Command::SweepFile { cache_dir, cache_stats, .. } => {
+                assert_eq!(cache_dir.as_deref(), Some("/tmp/c"));
+                assert!(cache_stats);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // The positional scan must not mistake the directory for the spec.
+        let cmd = parse(argv("sweep --cache-dir cachedir s.toml")).unwrap();
+        assert!(matches!(&cmd, Command::SweepFile { path, .. } if path == "s.toml"), "{cmd:?}");
+    }
+
+    #[test]
+    fn no_cache_overrides_cache_dir() {
+        let cmd = parse(argv("sweep s.toml --cache-dir /tmp/c --no-cache")).unwrap();
+        assert!(matches!(&cmd, Command::SweepFile { cache_dir: None, .. }), "{cmd:?}");
+    }
+
+    #[test]
+    fn cache_flag_misuse_is_rejected() {
+        // Cache flags outside `sweep SPEC.toml` would be silently dropped.
+        for line in ["run --cache-dir /tmp/c", "sweep --no-cache", "trace --cache-stats"] {
+            let err = parse(argv(line)).unwrap_err().0;
+            assert!(err.contains("sweep SPEC.toml"), "{line}: {err}");
+        }
+        // Stats over a disabled or absent cache always read zero.
+        let err = parse(argv("sweep s.toml --cache-stats")).unwrap_err().0;
+        assert!(err.contains("--cache-dir"), "{err}");
+        let err =
+            parse(argv("sweep s.toml --cache-dir /tmp/c --no-cache --cache-stats")).unwrap_err().0;
+        assert!(err.contains("--no-cache"), "{err}");
     }
 
     #[test]

@@ -53,24 +53,45 @@ pub fn csv_row(r: &RunResult, dpm: bool) -> String {
 }
 
 /// Loads, expands and executes a sweep-spec file, rendering the report
-/// in the requested format.
+/// in the requested format. With a cache directory, results are
+/// memoized by content-addressed cell key — the rendered report is
+/// byte-identical whatever the hit/miss mix. With `cache_stats`, one
+/// `cache:` counters line goes to *stderr* (never stdout: the CSV and
+/// JSON streams must stay machine-parseable).
+///
+/// Returns `(report, Option<stats line>)` so tests can assert on the
+/// counters without capturing stderr; [`execute`] routes them.
 fn run_sweep_file(
     path: &str,
     threads: Option<usize>,
     format: SweepFormat,
-) -> Result<String, String> {
+    cache_dir: Option<&str>,
+    cache_stats: bool,
+) -> Result<(String, Option<String>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let mut spec =
         therm3d_sweep::from_toml(&text).map_err(|e| format!("invalid sweep spec `{path}`: {e}"))?;
     if let Some(threads) = threads {
         spec = spec.with_threads(threads);
     }
-    let report = therm3d_sweep::run(&spec).map_err(|e| format!("sweep failed: {e}"))?;
-    Ok(match format {
+    let mut store = match cache_dir {
+        Some(dir) => {
+            Some(therm3d_sweep::CacheStore::open(std::path::Path::new(dir)).map_err(String::from)?)
+        }
+        None => None,
+    };
+    let report = therm3d_sweep::run_with_cache(&spec, store.as_mut())
+        .map_err(|e| format!("sweep failed: {e}"))?;
+    let out = match format {
         SweepFormat::Table => report.render(),
         SweepFormat::Csv => report.csv(),
         SweepFormat::Json => report.json(),
-    })
+    };
+    let stats = match (&store, cache_stats) {
+        (Some(store), true) => Some(store.summary()),
+        _ => None,
+    };
+    Ok((out, stats))
 }
 
 fn steady_report(exp: Experiment, grid: usize) -> String {
@@ -160,8 +181,13 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 }
             }
         }
-        Command::SweepFile { path, threads, format } => {
-            out.push_str(&run_sweep_file(path, *threads, *format)?);
+        Command::SweepFile { path, threads, format, cache_dir, cache_stats } => {
+            let (report, stats) =
+                run_sweep_file(path, *threads, *format, cache_dir.as_deref(), *cache_stats)?;
+            out.push_str(&report);
+            if let Some(stats) = stats {
+                eprintln!("{stats}");
+            }
         }
         Command::Steady { exp, grid } => out.push_str(&steady_report(*exp, *grid)),
         Command::Trace { benchmark, cores, seconds, seed, csv } => {
@@ -297,6 +323,8 @@ mod tests {
             path: path.clone(),
             threads: None,
             format: SweepFormat::Table,
+            cache_dir: None,
+            cache_stats: false,
         })
         .unwrap();
         assert!(table.contains("sweep 'cli-test': 4 cells"), "{table}");
@@ -306,17 +334,75 @@ mod tests {
             path: path.clone(),
             threads: Some(1),
             format: SweepFormat::Csv,
+            cache_dir: None,
+            cache_stats: false,
         })
         .unwrap();
         let mut lines = csv.lines();
-        assert_eq!(lines.next(), Some(format!("cell,trace_seed,{}", csv_header()).as_str()));
+        assert_eq!(
+            lines.next(),
+            Some(format!("cell,trace_seed,cell_key,{}", csv_header()).as_str())
+        );
         assert_eq!(lines.count(), 4);
 
-        let json =
-            execute(&Command::SweepFile { path, threads: Some(2), format: SweepFormat::Json })
-                .unwrap();
+        let json = execute(&Command::SweepFile {
+            path,
+            threads: Some(2),
+            format: SweepFormat::Json,
+            cache_dir: None,
+            cache_stats: false,
+        })
+        .unwrap();
         assert!(json.contains("\"name\": \"cli-test\""), "{json}");
         assert_eq!(json.matches("\"cell\":").count(), 4);
+    }
+
+    #[test]
+    fn sweep_file_cached_rerun_simulates_nothing_and_matches() {
+        let spec_path = std::env::temp_dir().join("therm3d_cli_cached_sweep.toml");
+        std::fs::write(
+            &spec_path,
+            "name = \"cli-cache\"\n\
+             experiments = [\"exp1\"]\n\
+             policies = [\"Default\", \"Adapt3D\"]\n\
+             benchmarks = [\"gzip\"]\n\
+             sim_seconds = 3.0\n\
+             grid = 4\n",
+        )
+        .unwrap();
+        let cache_dir =
+            std::env::temp_dir().join(format!("therm3d_cli_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let cached = || {
+            run_sweep_file(
+                spec_path.to_str().unwrap(),
+                Some(2),
+                SweepFormat::Csv,
+                Some(cache_dir.to_str().unwrap()),
+                true,
+            )
+            .unwrap()
+        };
+
+        let (cold, cold_stats) = cached();
+        assert!(cold_stats.unwrap().starts_with("cache: 0 hits, 2 misses, 2 inserted"));
+        let (warm, warm_stats) = cached();
+        assert!(warm_stats.unwrap().starts_with("cache: 2 hits, 0 misses, 0 inserted"));
+
+        // The stdout report never carries the stats line and is
+        // byte-identical across cold, warm and uncached runs.
+        assert_eq!(cold, warm);
+        assert!(!cold.contains("cache:"), "{cold}");
+        let uncached = execute(&Command::SweepFile {
+            path: spec_path.to_str().unwrap().into(),
+            threads: Some(1),
+            format: SweepFormat::Csv,
+            cache_dir: None,
+            cache_stats: false,
+        })
+        .unwrap();
+        assert_eq!(uncached, warm);
+        let _ = std::fs::remove_dir_all(&cache_dir);
     }
 
     #[test]
@@ -325,6 +411,8 @@ mod tests {
             path: "/nonexistent/spec.toml".into(),
             threads: None,
             format: SweepFormat::Table,
+            cache_dir: None,
+            cache_stats: false,
         })
         .unwrap_err();
         assert!(err.starts_with("cannot read"), "{err}");
@@ -335,6 +423,8 @@ mod tests {
             path: bad.to_str().unwrap().into(),
             threads: None,
             format: SweepFormat::Table,
+            cache_dir: None,
+            cache_stats: false,
         })
         .unwrap_err();
         assert!(err.starts_with("invalid sweep spec"), "{err}");

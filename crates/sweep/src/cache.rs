@@ -1,0 +1,595 @@
+//! Persistent, content-addressed memoization of sweep results.
+//!
+//! Every [`SweepCell`] is a pure function of its fully-resolved
+//! descriptor — experiment, policy, DPM setting, benchmark mix, trace
+//! seed, derived policy seed, simulated duration and thermal grid — so
+//! a `RunResult` computed once is valid forever *for the same engine
+//! version*. This module derives a stable [`CellKey`] from that
+//! descriptor and persists results in a [`CacheStore`]: an
+//! append-friendly, line-oriented store under a cache directory.
+//!
+//! # Layout
+//!
+//! A cache directory holds one file, `results.tsv`, with one entry per
+//! line:
+//!
+//! ```text
+//! therm3d-cache-v1 <TAB> <key-hex> <TAB> <descriptor> <TAB> <result fields...> <TAB> <checksum>
+//! ```
+//!
+//! Floats are written in Rust's shortest round-trip form, so a decoded
+//! `RunResult` is bit-identical to the one simulated — reports built
+//! from cache hits are byte-identical to cold runs. The trailing
+//! checksum (FNV-64 of everything before it) rejects *any* partial or
+//! bit-flipped line, including truncation inside the final numeric
+//! field, which plain field counting would miss.
+//!
+//! # Key derivation and invalidation
+//!
+//! The key is a 64-bit FNV-1a hash of the canonical descriptor string,
+//! which embeds [`ENGINE_VERSION`] as a salt. Invalidation rules:
+//!
+//! * changing any axis value, the benchmark mix, `sim_seconds` or the
+//!   grid changes the descriptor, hence the key — a grown spec only
+//!   misses on its new cells;
+//! * bumping [`ENGINE_VERSION`] (required whenever simulator semantics
+//!   change) changes every descriptor, so stale results are never
+//!   served — old lines simply stop matching and are ignored;
+//! * a corrupted or truncated line is counted in
+//!   [`CacheStats::corrupt`] and treated as a miss (the cell re-runs
+//!   and appends a fresh entry);
+//! * on lookup the stored descriptor must match exactly, so even an
+//!   (astronomically unlikely) hash collision cannot serve the wrong
+//!   cell's numbers.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use therm3d::metrics::PerformanceStats;
+use therm3d::RunResult;
+use therm3d_floorplan::Experiment;
+
+use crate::error::SweepError;
+use crate::matrix::SweepCell;
+use crate::spec::SweepSpec;
+
+/// Cache-format + simulation-semantics version salt. Bump whenever the
+/// simulator, trace generator or policy implementations change observed
+/// numbers; every existing cache entry is invalidated by the bump.
+pub const ENGINE_VERSION: &str = "therm3d-sweep-cache/v1";
+
+/// File name of the result store inside a cache directory.
+pub const STORE_FILE: &str = "results.tsv";
+
+const LINE_TAG: &str = "therm3d-cache-v1";
+
+/// The content-addressed identity of one sweep cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellKey {
+    hash: u64,
+    descriptor: String,
+}
+
+impl CellKey {
+    /// The 16-hex-digit key (the report's `cell_key` column).
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+
+    /// The canonical descriptor the key hashes.
+    #[must_use]
+    pub fn descriptor(&self) -> &str {
+        &self.descriptor
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` (stable across platforms and builds; the
+/// std hasher is neither).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Derives the content-addressed key for `cell` of `spec` under the
+/// current [`ENGINE_VERSION`].
+#[must_use]
+pub fn cell_key(spec: &SweepSpec, cell: &SweepCell) -> CellKey {
+    cell_key_salted(spec, cell, ENGINE_VERSION)
+}
+
+/// [`cell_key`] with an explicit engine-version salt. Exposed so tests
+/// (and future migration tooling) can demonstrate that a version bump
+/// invalidates every entry; production code uses [`cell_key`].
+#[must_use]
+pub fn cell_key_salted(spec: &SweepSpec, cell: &SweepCell, salt: &str) -> CellKey {
+    let benchmarks: Vec<&str> = spec.benchmarks.iter().map(|b| b.name()).collect();
+    // Everything the simulation depends on, fully resolved; the spec
+    // name, thread count and cell index are deliberately absent, so
+    // renaming or reordering a campaign still reuses its cells.
+    let descriptor = format!(
+        "engine={salt};experiment={};policy={};dpm={};benchmarks={};trace_seed={};\
+         policy_seed={};sim_seconds={:?};grid={}x{}",
+        cell.experiment,
+        cell.policy.label(),
+        cell.dpm,
+        benchmarks.join(","),
+        cell.trace_seed,
+        cell.policy_seed,
+        spec.sim_seconds,
+        spec.grid.0,
+        spec.grid.1,
+    );
+    CellKey { hash: fnv1a64(descriptor.as_bytes()), descriptor }
+}
+
+/// Hit/miss/write counters for one [`CacheStore`] session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the store.
+    pub hits: u64,
+    /// Lookups that found no matching entry.
+    pub misses: u64,
+    /// Results appended this session.
+    pub inserted: u64,
+    /// Lines skipped while loading (corrupted/truncated/foreign).
+    pub corrupt: u64,
+}
+
+/// A persistent store of `RunResult`s keyed by [`CellKey`].
+#[derive(Debug)]
+pub struct CacheStore {
+    path: PathBuf,
+    entries: HashMap<u64, (String, RunResult)>,
+    stats: CacheStats,
+    /// Append handle, opened once on first insert and reused (a cold
+    /// 500-cell sweep should not open the file 500 times).
+    appender: Option<std::fs::File>,
+    /// A crashed writer can leave the file without a trailing newline;
+    /// appending straight onto that partial line would corrupt the next
+    /// entry too, so the first insert of this session starts fresh.
+    needs_leading_newline: bool,
+}
+
+impl CacheStore {
+    /// Opens (creating if needed) the store under `dir`, loading every
+    /// intact entry of `dir/results.tsv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Cache`] when the directory cannot be
+    /// created or the store file exists but cannot be read.
+    pub fn open(dir: &Path) -> Result<Self, SweepError> {
+        let io_err = |path: &Path, e: &std::io::Error| SweepError::Cache {
+            path: path.display().to_string(),
+            cause: e.to_string(),
+        };
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+        let path = dir.join(STORE_FILE);
+        let mut entries = HashMap::new();
+        let mut stats = CacheStats::default();
+        let mut needs_leading_newline = false;
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                needs_leading_newline = !text.is_empty() && !text.ends_with('\n');
+                for line in text.lines() {
+                    if line.is_empty() {
+                        continue;
+                    }
+                    match decode_entry(line) {
+                        // Later lines win: a re-inserted cell (e.g. after
+                        // an interrupted write) shadows its older entry.
+                        Some((hash, descriptor, result)) => {
+                            entries.insert(hash, (descriptor, result));
+                        }
+                        None => stats.corrupt += 1,
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(&path, &e)),
+        }
+        Ok(Self { path, entries, stats, appender: None, needs_leading_newline })
+    }
+
+    /// Looks up `key`, counting a hit or miss. A stored entry only hits
+    /// when its full descriptor matches (collision-proof).
+    pub fn lookup(&mut self, key: &CellKey) -> Option<RunResult> {
+        match self.entries.get(&key.hash) {
+            Some((descriptor, result)) if *descriptor == key.descriptor => {
+                self.stats.hits += 1;
+                Some(result.clone())
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Appends `result` under `key` (durable immediately: the line goes
+    /// out in one `write_all` before the call returns). The append
+    /// handle is opened once and reused across inserts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Cache`] when the store file cannot be
+    /// opened or appended to.
+    pub fn insert(&mut self, key: &CellKey, result: &RunResult) -> Result<(), SweepError> {
+        let io_err = |path: &Path, e: &std::io::Error| SweepError::Cache {
+            path: path.display().to_string(),
+            cause: e.to_string(),
+        };
+        if self.appender.is_none() {
+            self.appender = Some(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)
+                    .map_err(|e| io_err(&self.path, &e))?,
+            );
+        }
+        let lead = if std::mem::take(&mut self.needs_leading_newline) { "\n" } else { "" };
+        let line = format!("{lead}{}\n", encode_entry(key, result));
+        let file = self.appender.as_mut().expect("appender opened above");
+        file.write_all(line.as_bytes()).map_err(|e| io_err(&self.path, &e))?;
+        self.entries.insert(key.hash, (key.descriptor.clone(), result.clone()));
+        self.stats.inserted += 1;
+        Ok(())
+    }
+
+    /// Counters for this session (loading, lookups, inserts).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// One human-readable counters line, shared by every surface that
+    /// reports cache activity (the CLI's `--cache-stats`, the figure
+    /// binaries' stderr note) so the formats cannot drift.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let s = self.stats;
+        format!(
+            "cache: {} hits, {} misses, {} inserted, {} corrupt ({})",
+            s.hits,
+            s.misses,
+            s.inserted,
+            s.corrupt,
+            self.path.display()
+        )
+    }
+
+    /// Number of distinct entries currently loaded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the store holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The store file's path (`<dir>/results.tsv`).
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Serializes one entry line. Floats use `{:?}` (shortest form that
+/// parses back to the identical bits), so decode ∘ encode is identity.
+/// The trailing field is an FNV-64 checksum of everything before it:
+/// field counting alone cannot detect a line truncated *inside* its
+/// final number, and serving such an entry would silently report a
+/// wrong value.
+fn encode_entry(key: &CellKey, r: &RunResult) -> String {
+    let body = encode_body(key, r);
+    format!("{body}\t{:016x}", fnv1a64(body.as_bytes()))
+}
+
+fn encode_body(key: &CellKey, r: &RunResult) -> String {
+    format!(
+        "{LINE_TAG}\t{}\t{}\t{}\t{}\t{:?}\t{:?}\t{:?}\t{:?}\t{:?}\t{:?}\t{:?}\t{}\t{:?}\t{:?}\t{:?}\t{:?}\t{:?}\t{}\t{}",
+        key.hex(),
+        escape(&key.descriptor),
+        escape(&r.policy),
+        r.experiment,
+        r.duration_s,
+        r.hotspot_pct,
+        r.gradient_pct,
+        r.cycle_pct,
+        r.vertical_peak_c,
+        r.vertical_mean_c,
+        r.peak_temp_c,
+        r.perf.completed,
+        r.perf.mean_turnaround_s,
+        r.perf.max_turnaround_s,
+        r.perf.total_turnaround_s,
+        r.energy_j,
+        r.mean_power_w,
+        r.migrations,
+        r.unfinished,
+    )
+}
+
+/// Parses one entry line; `None` for anything malformed, partial or
+/// bit-flipped (the trailing checksum must match the body).
+fn decode_entry(line: &str) -> Option<(u64, String, RunResult)> {
+    let (body, checksum) = line.rsplit_once('\t')?;
+    if u64::from_str_radix(checksum, 16) != Ok(fnv1a64(body.as_bytes())) {
+        return None;
+    }
+    let fields: Vec<&str> = body.split('\t').collect();
+    let [tag, key_hex, descriptor, policy, experiment, rest @ ..] = &fields[..] else {
+        return None;
+    };
+    if *tag != LINE_TAG || rest.len() != 15 {
+        return None;
+    }
+    let hash = u64::from_str_radix(key_hex, 16).ok()?;
+    let descriptor = unescape(descriptor)?;
+    if hash != fnv1a64(descriptor.as_bytes()) {
+        return None; // truncated/edited line
+    }
+    let f = |i: usize| rest[i].parse::<f64>().ok();
+    let result = RunResult {
+        policy: unescape(policy)?,
+        experiment: experiment.parse::<Experiment>().ok()?,
+        duration_s: f(0)?,
+        hotspot_pct: f(1)?,
+        gradient_pct: f(2)?,
+        cycle_pct: f(3)?,
+        vertical_peak_c: f(4)?,
+        vertical_mean_c: f(5)?,
+        peak_temp_c: f(6)?,
+        perf: PerformanceStats {
+            completed: rest[7].parse().ok()?,
+            mean_turnaround_s: f(8)?,
+            max_turnaround_s: f(9)?,
+            total_turnaround_s: f(10)?,
+        },
+        energy_j: f(11)?,
+        mean_power_w: f(12)?,
+        migrations: rest[13].parse().ok()?,
+        unfinished: rest[14].parse().ok()?,
+    };
+    Some((hash, descriptor, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::expand;
+    use therm3d_floorplan::Experiment;
+    use therm3d_policies::PolicyKind;
+    use therm3d_workload::Benchmark;
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new("cache-unit")
+            .with_experiments(&[Experiment::Exp1, Experiment::Exp2])
+            .with_policies(&[PolicyKind::Default, PolicyKind::Adapt3d])
+            .with_benchmarks(&[Benchmark::Gzip, Benchmark::WebMed])
+            .with_sim_seconds(4.0)
+            .with_grid(4, 4)
+    }
+
+    fn result(policy: &str) -> RunResult {
+        RunResult {
+            policy: policy.to_owned(),
+            experiment: Experiment::Exp2,
+            duration_s: 4.0 + f64::EPSILON,
+            hotspot_pct: 0.1 + 0.2, // deliberately non-representable (0.30000000000000004)
+            gradient_pct: 3.0,
+            cycle_pct: 1e-17,
+            vertical_peak_c: 4.5,
+            vertical_mean_c: 2.25,
+            peak_temp_c: 91.125,
+            perf: PerformanceStats::from_turnarounds(&[0.5, 0.7, 1.9]),
+            energy_j: 1234.5678901234567,
+            mean_power_w: 51.3,
+            migrations: 42,
+            unfinished: 1,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("therm3d_cache_unit_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn keys_are_stable_and_axis_sensitive() {
+        let spec = spec();
+        let cells = expand(&spec);
+        let a = cell_key(&spec, &cells[0]);
+        assert_eq!(a, cell_key(&spec, &cells[0]), "same cell, same key");
+        // Every cell of the matrix gets a distinct key.
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &cells {
+            assert!(seen.insert(cell_key(&spec, c).hex()), "duplicate key for {c:?}");
+        }
+        // Non-physical spec fields do not change the key…
+        let mut renamed = spec.clone().with_threads(7);
+        renamed.name = "other-name".into();
+        assert_eq!(a, cell_key(&renamed, &cells[0]));
+        // …but every physical knob does.
+        for changed in [
+            spec.clone().with_sim_seconds(5.0),
+            spec.clone().with_grid(8, 8),
+            spec.clone().with_benchmarks(&[Benchmark::Gzip]),
+        ] {
+            assert_ne!(a, cell_key(&changed, &cells[0]), "{changed:?}");
+        }
+    }
+
+    #[test]
+    fn version_salt_invalidates_keys() {
+        let spec = spec();
+        let cell = &expand(&spec)[0];
+        assert_ne!(
+            cell_key_salted(&spec, cell, ENGINE_VERSION),
+            cell_key_salted(&spec, cell, "therm3d-sweep-cache/v0"),
+        );
+    }
+
+    #[test]
+    fn entry_round_trip_is_bit_exact() {
+        let spec = spec();
+        let key = cell_key(&spec, &expand(&spec)[0]);
+        let r = result("Adapt3D&DVFS_TT+DPM");
+        let (hash, descriptor, decoded) = decode_entry(&encode_entry(&key, &r)).unwrap();
+        assert_eq!(hash, key.hash);
+        assert_eq!(descriptor, key.descriptor);
+        assert_eq!(decoded, r, "every f64 must survive exactly");
+    }
+
+    #[test]
+    fn truncation_inside_the_final_number_is_rejected() {
+        // Field counting alone would accept "…\t12" cut from "…\t1234";
+        // the trailing checksum must catch it.
+        let spec = spec();
+        let key = cell_key(&spec, &expand(&spec)[0]);
+        let mut r = result("Default");
+        r.unfinished = 1234;
+        let line = encode_entry(&key, &r);
+        assert!(decode_entry(&line).is_some());
+        // Rebuild a "crashed mid-append" line: drop the checksum field
+        // and two digits of the last number, then re-count fields.
+        let body = line.rsplit_once('\t').unwrap().0;
+        let cut = &body[..body.len() - 2];
+        assert!(decode_entry(cut).is_none(), "truncated body must not decode");
+        // Even re-attaching a stale checksum fails (checksum of the
+        // original body, body now shorter).
+        let stale = format!("{cut}\t{}", line.rsplit_once('\t').unwrap().1);
+        assert!(decode_entry(&stale).is_none());
+    }
+
+    #[test]
+    fn summary_reports_all_counters_and_the_path() {
+        let dir = tmp_dir("summary");
+        let spec = spec();
+        let key = cell_key(&spec, &expand(&spec)[0]);
+        let mut store = CacheStore::open(&dir).unwrap();
+        assert_eq!(store.lookup(&key), None);
+        store.insert(&key, &result("Default")).unwrap();
+        let _ = store.lookup(&key);
+        let line = store.summary();
+        assert!(line.starts_with("cache: 1 hits, 1 misses, 1 inserted, 0 corrupt"), "{line}");
+        assert!(line.contains(STORE_FILE), "{line}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_round_trip_and_stats() {
+        let dir = tmp_dir("roundtrip");
+        let spec = spec();
+        let cells = expand(&spec);
+        let key = cell_key(&spec, &cells[0]);
+        let r = result("Default");
+        {
+            let mut store = CacheStore::open(&dir).unwrap();
+            assert!(store.is_empty());
+            assert_eq!(store.lookup(&key), None);
+            store.insert(&key, &r).unwrap();
+            assert_eq!(store.lookup(&key), Some(r.clone()));
+            assert_eq!(store.stats(), CacheStats { hits: 1, misses: 1, inserted: 1, corrupt: 0 });
+        }
+        // Re-opened store serves the persisted entry.
+        let mut store = CacheStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.lookup(&key), Some(r));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_lines_are_skipped_not_served() {
+        let dir = tmp_dir("corrupt");
+        let spec = spec();
+        let cells = expand(&spec);
+        let (k0, k1) = (cell_key(&spec, &cells[0]), cell_key(&spec, &cells[1]));
+        {
+            let mut store = CacheStore::open(&dir).unwrap();
+            store.insert(&k0, &result("Default")).unwrap();
+            store.insert(&k1, &result("Adapt3D")).unwrap();
+        }
+        // Truncate the second entry mid-line (a crashed writer).
+        let path = dir.join(STORE_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep = text.lines().next().unwrap();
+        let half = &text.lines().nth(1).unwrap()[..40];
+        std::fs::write(&path, format!("{keep}\n{half}\n")).unwrap();
+
+        let mut store = CacheStore::open(&dir).unwrap();
+        assert_eq!(store.stats().corrupt, 1);
+        assert!(store.lookup(&k0).is_some(), "intact entry still hits");
+        assert!(store.lookup(&k1).is_none(), "truncated entry is a miss");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_version_bump_turns_hits_into_misses() {
+        let dir = tmp_dir("version");
+        let spec = spec();
+        let cell = &expand(&spec)[0];
+        let old = cell_key_salted(&spec, cell, "therm3d-sweep-cache/v0");
+        let mut store = CacheStore::open(&dir).unwrap();
+        store.insert(&old, &result("Default")).unwrap();
+        // The same physical cell under the current version misses.
+        assert_eq!(store.lookup(&cell_key(&spec, cell)), None);
+        assert_eq!(store.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escape_round_trips_awkward_strings() {
+        for s in ["plain", "tab\there", "line\nbreak", "back\\slash", "cr\rlf", ""] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s));
+        }
+        assert_eq!(unescape("bad\\x"), None);
+        assert_eq!(unescape("trailing\\"), None);
+    }
+}

@@ -17,7 +17,18 @@
 //!    seed) and shared read-only;
 //! 4. [`SweepReport`] — typed aggregation with CSV/JSON export and
 //!    paper-style text tables; results are bit-identical for any thread
-//!    count.
+//!    count;
+//! 5. [`cache`] — persistent, content-addressed memoization: every cell
+//!    resolves to a stable [`cell_key`] (FNV-64 of its fully-resolved
+//!    descriptor plus an engine-version salt), and [`run_with_cache`]
+//!    looks results up in a [`CacheStore`] before simulating, so
+//!    re-running a grown spec only simulates the new cells. Reports are
+//!    byte-identical for any hit/miss mix; see the [`cache`] module
+//!    docs for the store layout and invalidation rules.
+//!
+//! Failures are typed ([`SweepError`]): an invalid spec, a cell whose
+//! simulation panicked (named, instead of poisoning the whole
+//! campaign), or a cache I/O problem.
 //!
 //! The figure binaries (`fig3`..`fig6`) and the `therm3d sweep`
 //! subcommand are thin layers over this crate.
@@ -41,14 +52,18 @@
 //! println!("{}", report.render());
 //! ```
 
+pub mod cache;
+pub mod error;
 pub mod matrix;
 pub mod report;
 pub mod runner;
 pub mod spec;
 pub mod toml;
 
+pub use cache::{cell_key, CacheStats, CacheStore, CellKey, ENGINE_VERSION};
+pub use error::SweepError;
 pub use matrix::{derive_policy_seed, expand, SweepCell};
 pub use report::{csv_header, csv_row, SweepReport, SweepRow, CSV_HEADER};
-pub use runner::{effective_threads, run, run_cell, sim_config};
-pub use spec::{sim_seconds_from_env, SweepSpec};
+pub use runner::{effective_threads, run, run_cell, run_with_cache, sim_config};
+pub use spec::{parse_sim_seconds, sim_seconds_from_env, SweepSpec};
 pub use toml::{from_toml, to_toml};

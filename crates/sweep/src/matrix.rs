@@ -34,6 +34,22 @@ pub struct SweepCell {
     pub policy_seed: u16,
 }
 
+impl SweepCell {
+    /// A one-line human-readable descriptor, used by error reports to
+    /// name the exact cell that failed.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!(
+            "cell #{} ({}, {}, dpm={}, trace_seed={})",
+            self.index,
+            self.experiment,
+            self.policy.label(),
+            self.dpm,
+            self.trace_seed,
+        )
+    }
+}
+
 /// Derives the per-cell policy seed. Pure: depends only on the base
 /// seed and the seed-axis position, not on scheduling.
 #[must_use]

@@ -44,6 +44,11 @@ pub fn csv_row(r: &RunResult, dpm: bool) -> String {
 /// One executed cell with its result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow {
+    /// Content-addressed provenance: the 16-hex-digit
+    /// [`cell_key`](crate::cache::cell_key) this cell resolves to in a
+    /// result cache. Deterministic for a given spec — identical whether
+    /// the row was simulated or served from cache.
+    pub key: String,
     /// The cell descriptor (axes + derived seeds).
     pub cell: SweepCell,
     /// The simulation outcome.
@@ -75,18 +80,21 @@ impl SweepReport {
             .collect()
     }
 
-    /// CSV export: `cell,trace_seed,` + [`CSV_HEADER`], one line per
-    /// cell in canonical order. Identical for every thread count.
+    /// CSV export: `cell,trace_seed,cell_key,` + [`CSV_HEADER`], one
+    /// line per cell in canonical order. Identical for every thread
+    /// count and for any cache hit/miss mix (`cell_key` is derived from
+    /// the spec, not from how the row was obtained).
     #[must_use]
     pub fn csv(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "cell,trace_seed,{CSV_HEADER}");
+        let _ = writeln!(out, "cell,trace_seed,cell_key,{CSV_HEADER}");
         for row in &self.rows {
             let _ = writeln!(
                 out,
-                "{},{},{}",
+                "{},{},{},{}",
                 row.cell.index,
                 row.cell.trace_seed,
+                row.key,
                 csv_row(&row.result, row.cell.dpm)
             );
         }
@@ -106,12 +114,14 @@ impl SweepReport {
             let r = &row.result;
             let _ = write!(
                 out,
-                "    {{\"cell\": {}, \"experiment\": {}, \"policy\": {}, \"dpm\": {}, \
+                "    {{\"cell\": {}, \"cell_key\": {}, \"experiment\": {}, \"policy\": {}, \
+                 \"dpm\": {}, \
                  \"trace_seed\": {}, \"hotspot_pct\": {}, \"gradient_pct\": {}, \
                  \"cycle_pct\": {}, \"peak_temp_c\": {}, \"vertical_peak_c\": {}, \
                  \"mean_turnaround_s\": {}, \"completed\": {}, \"energy_j\": {}, \
                  \"mean_power_w\": {}, \"migrations\": {}, \"unfinished\": {}}}",
                 row.cell.index,
+                json_string(&row.key),
                 json_string(&r.experiment.to_string()),
                 json_string(&r.policy),
                 row.cell.dpm,
@@ -229,6 +239,7 @@ mod tests {
         let rows = expand(&spec)
             .into_iter()
             .map(|cell| SweepRow {
+                key: crate::cache::cell_key(&spec, &cell).hex(),
                 result: fake_result(cell.policy.label(), cell.experiment),
                 cell,
             })
@@ -241,8 +252,12 @@ mod tests {
         let report = fake_report();
         let csv = report.csv();
         let mut lines = csv.lines();
-        assert_eq!(lines.next(), Some("cell,trace_seed,policy,experiment,dpm,hot_pct,grad_pct,cycle_pct,peak_c,vertical_peak_c,mean_turnaround_s,energy_j,migrations,unfinished"));
+        assert_eq!(lines.next(), Some("cell,trace_seed,cell_key,policy,experiment,dpm,hot_pct,grad_pct,cycle_pct,peak_c,vertical_peak_c,mean_turnaround_s,energy_j,migrations,unfinished"));
         assert_eq!(lines.count(), report.rows.len());
+        // Every data row carries its 16-hex-digit provenance key.
+        for (line, row) in csv.lines().skip(1).zip(&report.rows) {
+            assert_eq!(line.split(',').nth(2), Some(row.key.as_str()), "{line}");
+        }
     }
 
     #[test]

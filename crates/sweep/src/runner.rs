@@ -1,17 +1,34 @@
-//! Parallel execution of a sweep's run matrix.
+//! Parallel execution of a sweep's run matrix, with optional
+//! content-addressed result caching.
 //!
 //! Traces are generated once per (core-count, seed) pair and shared
 //! read-only across workers; each worker builds its own [`Simulator`]
 //! per cell, so no simulation state crosses threads and the aggregated
 //! results are bit-identical for any thread count.
+//!
+//! With a [`CacheStore`] attached ([`run_with_cache`]), every cell is
+//! looked up by its [`cell_key`](crate::cache::cell_key) *before* any
+//! simulator is built: hits skip simulation entirely, misses execute
+//! and are written back in canonical order. Because a cached result is
+//! decoded bit-exactly and rows are assembled in matrix order either
+//! way, the report is byte-identical for any hit/miss mix and any
+//! thread count.
+//!
+//! A cell whose simulation panics no longer aborts the whole campaign
+//! via a poisoned `expect`: the panic is caught on the worker, and the
+//! run returns [`SweepError::CellFailed`] naming the first failed cell
+//! in canonical order. Failed cells are never written to the cache.
 
 use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use therm3d::{RunResult, SimConfig, Simulator};
 use therm3d_workload::{generate_mix, JobTrace};
 
+use crate::cache::{cell_key, CacheStore};
+use crate::error::SweepError;
 use crate::matrix::{expand, SweepCell};
 use crate::report::{SweepReport, SweepRow};
 use crate::spec::SweepSpec;
@@ -46,6 +63,24 @@ fn run_cell_with_trace(spec: &SweepSpec, cell: &SweepCell, trace: &JobTrace) -> 
     sim.run(trace, spec.sim_seconds)
 }
 
+/// [`run_cell_with_trace`] with panics converted to an error message,
+/// so one exploding cell reports itself instead of killing its worker.
+fn try_run_cell(spec: &SweepSpec, cell: &SweepCell, trace: &JobTrace) -> Result<RunResult, String> {
+    std::panic::catch_unwind(AssertUnwindSafe(|| run_cell_with_trace(spec, cell, trace)))
+        .map_err(|payload| panic_message(payload.as_ref()))
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("simulation panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("simulation panicked: {s}")
+    } else {
+        "simulation panicked (non-string payload)".to_owned()
+    }
+}
+
 /// Resolves the effective worker count for `jobs` cells.
 #[must_use]
 pub fn effective_threads(requested: usize, jobs: usize) -> usize {
@@ -59,40 +94,72 @@ pub fn effective_threads(requested: usize, jobs: usize) -> usize {
 ///
 /// # Errors
 ///
-/// Returns the validation message for an invalid spec.
-pub fn run(spec: &SweepSpec) -> Result<SweepReport, String> {
-    spec.validate()?;
-    let cells = expand(spec);
-    let threads = effective_threads(spec.threads, cells.len());
+/// [`SweepError::InvalidSpec`] for a spec that fails validation, or
+/// [`SweepError::CellFailed`] when a cell's simulation panics.
+pub fn run(spec: &SweepSpec) -> Result<SweepReport, SweepError> {
+    run_with_cache(spec, None)
+}
 
-    // One trace per (core-count, seed): generated up front, shared
-    // read-only by every worker.
+/// [`run`] with an optional persistent result cache: cells whose key is
+/// already in `cache` skip simulation, the rest execute in parallel and
+/// are written back. The report (rows, CSV, JSON, tables) is
+/// byte-identical whatever the hit/miss mix or thread count.
+///
+/// # Errors
+///
+/// [`SweepError::InvalidSpec`] for a spec that fails validation,
+/// [`SweepError::CellFailed`] when a cell's simulation panics (the
+/// failed cell is named; nothing is cached for it), or
+/// [`SweepError::Cache`] when the store cannot be appended to.
+pub fn run_with_cache(
+    spec: &SweepSpec,
+    mut cache: Option<&mut CacheStore>,
+) -> Result<SweepReport, SweepError> {
+    spec.validate().map_err(SweepError::InvalidSpec)?;
+    let cells = expand(spec);
+    let keys: Vec<_> = cells.iter().map(|cell| cell_key(spec, cell)).collect();
+
+    // Lookup-before-simulate: hits fill their slot immediately, misses
+    // form the pending work list for the workers.
+    let mut results: Vec<Option<Result<RunResult, String>>> = vec![None; cells.len()];
+    if let Some(store) = cache.as_deref_mut() {
+        for (slot, key) in results.iter_mut().zip(&keys) {
+            *slot = store.lookup(key).map(Ok);
+        }
+    }
+    let pending: Vec<usize> = (0..cells.len()).filter(|&i| results[i].is_none()).collect();
+    let threads = effective_threads(spec.threads, pending.len());
+
+    // One trace per (core-count, seed): generated up front for the
+    // pending cells only, shared read-only by every worker.
     let mut traces: BTreeMap<(usize, u64), JobTrace> = BTreeMap::new();
-    for cell in &cells {
+    for &i in &pending {
+        let cell = &cells[i];
         let key = (cell.experiment.num_cores(), cell.trace_seed);
         traces
             .entry(key)
             .or_insert_with(|| generate_mix(&spec.benchmarks, key.0, spec.sim_seconds, key.1));
     }
 
-    let mut results: Vec<Option<RunResult>> = vec![None; cells.len()];
     if threads == 1 {
-        for (cell, slot) in cells.iter().zip(&mut results) {
+        for &i in &pending {
+            let cell = &cells[i];
             let trace = &traces[&(cell.experiment.num_cores(), cell.trace_seed)];
-            *slot = Some(run_cell_with_trace(spec, cell, trace));
+            results[i] = Some(try_run_cell(spec, cell, trace));
         }
     } else {
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
-        let (next, cells_ref, traces_ref) = (&next, &cells, &traces);
+        let (tx, rx) = mpsc::channel::<(usize, Result<RunResult, String>)>();
+        let (next, pending_ref, cells_ref, traces_ref) = (&next, &pending, &cells, &traces);
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let tx = tx.clone();
                 scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells_ref.get(i) else { break };
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = pending_ref.get(slot) else { break };
+                    let cell = &cells_ref[i];
                     let trace = &traces_ref[&(cell.experiment.num_cores(), cell.trace_seed)];
-                    let result = run_cell_with_trace(spec, cell, trace);
+                    let result = try_run_cell(spec, cell, trace);
                     if tx.send((i, result)).is_err() {
                         break;
                     }
@@ -105,15 +172,42 @@ pub fn run(spec: &SweepSpec) -> Result<SweepReport, String> {
         });
     }
 
-    let rows = cells
-        .into_iter()
-        .zip(results)
-        .map(|(cell, result)| SweepRow {
-            result: result.expect("every cell executed exactly once"),
-            cell,
-        })
-        .collect();
-    Ok(SweepReport { name: spec.name.clone(), rows })
+    // Write-back and assembly in canonical order. A failed cell makes
+    // the run fail with the *first* failure (deterministic by matrix
+    // order), but only after every successfully simulated cell has been
+    // written back — one poisoned cell in a long campaign must not
+    // discard hours of good work from the cache.
+    let mut rows = Vec::with_capacity(cells.len());
+    let mut first_failure: Option<SweepError> = None;
+    let pending_set: std::collections::BTreeSet<usize> = pending.into_iter().collect();
+    for ((cell, key), slot) in cells.into_iter().zip(keys).zip(results) {
+        let fresh = pending_set.contains(&cell.index);
+        let result = match slot {
+            Some(Ok(result)) => result,
+            Some(Err(cause)) => {
+                first_failure
+                    .get_or_insert(SweepError::CellFailed { cell: cell.describe(), cause });
+                continue;
+            }
+            None => {
+                first_failure.get_or_insert(SweepError::CellFailed {
+                    cell: cell.describe(),
+                    cause: "worker thread died before reporting a result".to_owned(),
+                });
+                continue;
+            }
+        };
+        if fresh {
+            if let Some(store) = cache.as_deref_mut() {
+                store.insert(&key, &result)?;
+            }
+        }
+        rows.push(SweepRow { key: key.hex(), cell, result });
+    }
+    match first_failure {
+        Some(failure) => Err(failure),
+        None => Ok(SweepReport { name: spec.name.clone(), rows }),
+    }
 }
 
 #[cfg(test)]
@@ -142,13 +236,15 @@ mod tests {
         for (i, row) in report.rows.iter().enumerate() {
             assert_eq!(row.cell.index, i);
             assert_eq!(row.result.experiment, Experiment::Exp1);
+            assert_eq!(row.key.len(), 16, "cell_key is 16 hex digits: {}", row.key);
         }
     }
 
     #[test]
     fn invalid_spec_is_reported() {
         let err = run(&tiny_spec(1).with_policies(&[])).unwrap_err();
-        assert!(err.contains("policies"), "{err}");
+        assert!(matches!(err, SweepError::InvalidSpec(_)), "{err}");
+        assert!(err.to_string().contains("policies"), "{err}");
     }
 
     #[test]
@@ -157,5 +253,15 @@ mod tests {
         assert_eq!(effective_threads(2, 100), 2);
         assert!(effective_threads(0, 100) >= 1);
         assert_eq!(effective_threads(1, 0), 1);
+    }
+
+    #[test]
+    fn panic_payloads_become_messages() {
+        let caught = std::panic::catch_unwind(|| panic!("boom at t={:.1}", 3.0)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "simulation panicked: boom at t=3.0");
+        let caught = std::panic::catch_unwind(|| panic!("plain")).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "simulation panicked: plain");
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(7u32)).unwrap_err();
+        assert!(panic_message(caught.as_ref()).contains("non-string payload"));
     }
 }

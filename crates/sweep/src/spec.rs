@@ -65,8 +65,10 @@ impl SweepSpec {
     /// eleven policies, DPM off, the full Table I benchmark rotation,
     /// trace seed 2009, 240 s per cell on an 8×8 grid.
     ///
-    /// `sim_seconds` honours the `THERM3D_SIM_SECONDS` environment
-    /// variable (unparsable or non-positive values are ignored).
+    /// The builder itself does *not* consult the environment; callers
+    /// that want `THERM3D_SIM_SECONDS` (the CLI spec loader, the figure
+    /// binaries) apply [`sim_seconds_from_env`] explicitly so a
+    /// malformed value is a reported error, not a silent fallback.
     #[must_use]
     pub fn new(name: &str) -> Self {
         Self {
@@ -76,7 +78,7 @@ impl SweepSpec {
             dpm: vec![false],
             benchmarks: Benchmark::ALL.to_vec(),
             seeds: vec![DEFAULT_TRACE_SEED],
-            sim_seconds: sim_seconds_from_env(DEFAULT_SIM_SECONDS),
+            sim_seconds: DEFAULT_SIM_SECONDS,
             grid: (8, 8),
             policy_seed: DEFAULT_POLICY_SEED,
             threads: 0,
@@ -194,22 +196,53 @@ impl SweepSpec {
     }
 }
 
-/// Reads `THERM3D_SIM_SECONDS`, defensively: missing, unparsable or
-/// non-positive values fall back to `default_s` instead of panicking.
+/// Reads `THERM3D_SIM_SECONDS`: unset means `Ok(default_s)`, a valid
+/// positive finite number means `Ok(that value)`, and anything else —
+/// unparsable text, zero, negative, NaN or infinite — is a hard error.
+///
+/// The old behaviour silently fell back to the default, which meant a
+/// typo'd duration quietly simulated (and *cached*, now that results
+/// are memoized by a key that embeds the resolved duration) something
+/// other than what the operator asked for.
+///
+/// # Errors
+///
+/// A message naming the variable and the offending value.
 ///
 /// # Examples
 ///
 /// ```
-/// let s = therm3d_sweep::sim_seconds_from_env(240.0);
+/// let s = therm3d_sweep::sim_seconds_from_env(240.0).unwrap();
 /// assert!(s > 0.0);
 /// ```
-#[must_use]
-pub fn sim_seconds_from_env(default_s: f64) -> f64 {
-    std::env::var("THERM3D_SIM_SECONDS")
-        .ok()
-        .and_then(|s| s.trim().parse::<f64>().ok())
-        .filter(|&s| s > 0.0 && s.is_finite())
-        .unwrap_or(default_s)
+pub fn sim_seconds_from_env(default_s: f64) -> Result<f64, String> {
+    parse_sim_seconds(std::env::var("THERM3D_SIM_SECONDS").ok().as_deref(), default_s)
+}
+
+/// The pure core of [`sim_seconds_from_env`]: `raw` is the variable's
+/// value, `None` when unset.
+///
+/// # Errors
+///
+/// See [`sim_seconds_from_env`].
+pub fn parse_sim_seconds(raw: Option<&str>, default_s: f64) -> Result<f64, String> {
+    let Some(raw) = raw else {
+        return Ok(default_s);
+    };
+    let reject = |why: &str| {
+        Err(format!(
+            "THERM3D_SIM_SECONDS must be a positive, finite number of simulated seconds, \
+             got `{}` ({why})",
+            raw.trim()
+        ))
+    };
+    match raw.trim().parse::<f64>() {
+        Err(_) => reject("not a number"),
+        Ok(s) if s.is_nan() => reject("NaN"),
+        Ok(s) if s.is_infinite() => reject("infinite"),
+        Ok(s) if s <= 0.0 => reject("not positive"),
+        Ok(s) => Ok(s),
+    }
 }
 
 #[cfg(test)]
@@ -244,14 +277,24 @@ mod tests {
     }
 
     #[test]
-    fn env_parsing_is_defensive() {
-        // No mutation of the real environment (tests run in parallel):
-        // whatever THERM3D_SIM_SECONDS holds, the helper must return a
-        // positive value, and the fallback must apply when it is unset.
-        let value = sim_seconds_from_env(123.0);
-        assert!(value > 0.0 && value.is_finite());
-        if std::env::var("THERM3D_SIM_SECONDS").is_err() {
-            assert_eq!(value, 123.0);
+    fn env_parsing_accepts_only_sane_durations() {
+        // The pure core is tested exhaustively; no mutation of the real
+        // environment (tests run in parallel).
+        assert_eq!(parse_sim_seconds(None, 123.0), Ok(123.0));
+        assert_eq!(parse_sim_seconds(Some("20"), 123.0), Ok(20.0));
+        assert_eq!(parse_sim_seconds(Some("  0.5 "), 123.0), Ok(0.5));
+        for bad in ["abc", "0", "0.0", "-3", "NaN", "nan", "inf", "-inf", ""] {
+            let err = parse_sim_seconds(Some(bad), 123.0).unwrap_err();
+            assert!(err.contains("THERM3D_SIM_SECONDS"), "{bad}: {err}");
+            assert!(err.contains(bad.trim()), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn env_wrapper_matches_the_pure_core() {
+        // Whatever THERM3D_SIM_SECONDS holds right now, the wrapper and
+        // the pure parser must agree.
+        let raw = std::env::var("THERM3D_SIM_SECONDS").ok();
+        assert_eq!(sim_seconds_from_env(77.0), parse_sim_seconds(raw.as_deref(), 77.0));
     }
 }

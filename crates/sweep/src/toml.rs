@@ -22,10 +22,11 @@
 //! threads = 0                  # 0 = one per CPU
 //! ```
 //!
-//! Omitted keys keep the [`SweepSpec::new`] defaults. Note that the
-//! default for `sim_seconds` honours the `THERM3D_SIM_SECONDS`
-//! environment variable (falling back to 240 s), so a spec that pins
-//! its duration should set `sim_seconds` explicitly.
+//! Omitted keys keep the [`SweepSpec::new`] defaults. Note that when
+//! `sim_seconds` is omitted, [`from_toml`] honours the
+//! `THERM3D_SIM_SECONDS` environment variable (falling back to 240 s;
+//! a malformed value is a parse error, never a silent fallback), so a
+//! spec that pins its duration should set `sim_seconds` explicitly.
 
 use std::str::FromStr;
 
@@ -140,6 +141,13 @@ fn numeric(s: &Scalar, key: &str) -> Result<f64, String> {
 fn integer(s: &Scalar, key: &str) -> Result<u64, String> {
     match s {
         Scalar::Int(n) => Ok(*n),
+        // Negative, fractional and > 2^64−1 values all land here (they
+        // parse as floats); name the value so "out of range" is
+        // distinguishable from a type mismatch.
+        Scalar::Num(n) => Err(format!(
+            "`{key}` expects integers in 0..=18446744073709551615, got {n} \
+             (out of range or not an integer)"
+        )),
         other => Err(format!(
             "`{key}` expects non-negative integers that fit in 64 bits, got a {}",
             other.type_name()
@@ -167,6 +175,7 @@ fn scalar_list(value: &Value) -> Vec<Scalar> {
 pub fn from_toml(text: &str) -> Result<SweepSpec, String> {
     let mut spec = SweepSpec::new("sweep");
     let mut seen: Vec<String> = Vec::new();
+    let mut seen_section = false;
     for (i, raw_line) in text.lines().enumerate() {
         let line_no = i + 1;
         let line = strip_comment(raw_line).trim();
@@ -176,7 +185,15 @@ pub fn from_toml(text: &str) -> Result<SweepSpec, String> {
         if let Some(section) = line.strip_prefix('[') {
             let section = section.strip_suffix(']').map(str::trim);
             match section {
-                Some("sweep") => continue,
+                // Real TOML rejects a repeated table header; a second
+                // `[sweep]` is a sign of a careless concatenation.
+                Some("sweep") if seen_section => {
+                    return Err(format!("line {line_no}: duplicate `[sweep]` section"));
+                }
+                Some("sweep") => {
+                    seen_section = true;
+                    continue;
+                }
                 Some(other) => return Err(format!("line {line_no}: unknown section `[{other}]`")),
                 None => return Err(format!("line {line_no}: malformed section `{line}`")),
             }
@@ -193,6 +210,12 @@ pub fn from_toml(text: &str) -> Result<SweepSpec, String> {
         seen.push(key.to_owned());
         let value = parse_value(raw_value, line_no)?;
         apply_key(&mut spec, key, &value).map_err(|e| format!("line {line_no}: {e}"))?;
+    }
+    // A spec that omits its duration honours THERM3D_SIM_SECONDS; a
+    // malformed value must fail the parse (a silent fallback would
+    // simulate — and cache — a different duration than requested).
+    if !seen.iter().any(|k| k == "sim_seconds") {
+        spec.sim_seconds = crate::spec::sim_seconds_from_env(crate::spec::DEFAULT_SIM_SECONDS)?;
     }
     spec.validate()?;
     Ok(spec)
@@ -386,6 +409,49 @@ mod tests {
             .unwrap_err();
         assert!(err.contains("duplicate key `policies`"), "{err}");
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_section_is_rejected() {
+        let err = from_toml("[sweep]\nname = \"a\"\n[sweep]\nthreads = 2\n").unwrap_err();
+        assert!(err.contains("duplicate `[sweep]` section"), "{err}");
+        assert!(err.contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_seeds_are_hard_errors() {
+        // Negative: must not wrap to a huge unsigned seed.
+        let err = from_toml("seeds = [-1]\n").unwrap_err();
+        assert!(err.contains("seeds") && err.contains("-1"), "{err}");
+        // Fractional: must not truncate.
+        let err = from_toml("seeds = [1.5]\n").unwrap_err();
+        assert!(err.contains("seeds") && err.contains("1.5"), "{err}");
+        // policy_seed beyond 16 bits: must not wrap.
+        let err = from_toml("policy_seed = 70000\n").unwrap_err();
+        assert!(err.contains("policy_seed") && err.contains("70000"), "{err}");
+    }
+
+    #[test]
+    fn canonical_toml_has_no_duplicate_keys() {
+        // to_toml output must always satisfy the duplicate-key check it
+        // is parsed back through (the round-trip guarantee's other half).
+        let text = to_toml(&SweepSpec::new("dup-check").with_sim_seconds(1.0));
+        let mut keys: Vec<&str> =
+            text.lines().filter_map(|l| l.split_once('=').map(|(k, _)| k.trim())).collect();
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "{text}");
+    }
+
+    #[test]
+    fn extreme_seeds_round_trip() {
+        let spec = SweepSpec::new("extremes")
+            .with_seeds(&[0, 1, u64::MAX])
+            .with_sim_seconds(1.0)
+            .with_policy_seed(u16::MAX);
+        let parsed = from_toml(&to_toml(&spec)).unwrap();
+        assert_eq!(parsed, spec);
     }
 
     #[test]
