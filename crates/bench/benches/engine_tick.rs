@@ -1,0 +1,41 @@
+//! Criterion bench for a full coupled engine tick: workload → policy →
+//! scheduler → power (leakage feedback) → thermal → sensors → metrics.
+//!
+//! Each iteration simulates ten seconds (one hundred 100 ms ticks) of
+//! the EXP-2 system under the Adapt3D policy on the fast 4×4 grid,
+//! under both transient integrators — long enough to amortize the
+//! implicit path's one-time factorization exactly as a real campaign
+//! does. Divide the printed per-iteration time by one hundred for the
+//! per-tick cost. Part of the CI smoke-bench regression tripwire
+//! (`THERM3D_BENCH_SMOKE=1`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use therm3d::{SimConfig, Simulator};
+use therm3d_floorplan::Experiment;
+use therm3d_policies::PolicyKind;
+use therm3d_thermal::Integrator;
+use therm3d_workload::{Benchmark, TraceConfig};
+
+fn bench_engine_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_10s_100ticks");
+    group.sample_size(therm3d_bench::smoke_samples(8));
+    let exp = Experiment::Exp2;
+    let stack = exp.stack();
+    let trace = TraceConfig::new(Benchmark::WebMed, stack.num_cores(), 10.0).generate();
+    for integ in Integrator::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(integ), &integ, |b, &integ| {
+            b.iter_batched(
+                || {
+                    let cfg = SimConfig::fast(exp).with_integrator(integ);
+                    Simulator::new(cfg, PolicyKind::Adapt3d.build(&stack, 7))
+                },
+                |mut sim| sim.run(&trace, 10.0),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_second);
+criterion_main!(benches);

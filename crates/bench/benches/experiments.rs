@@ -13,7 +13,7 @@ fn bench_simulated_second(c: &mut Criterion) {
     // One simulated second (10 ticks) of the coupled loop per experiment,
     // paper-default 8×8 grid, Adapt3D under a server mix.
     let mut group = c.benchmark_group("simulate_one_second");
-    group.sample_size(20);
+    group.sample_size(therm3d_bench::smoke_samples(20));
     for exp in Experiment::ALL {
         let stack = exp.stack();
         let trace = generate_mix(&Benchmark::ALL, exp.num_cores(), 1.0, 2009);
@@ -37,7 +37,7 @@ fn bench_figure_cell(c: &mut Criterion) {
     // One full (experiment, policy) figure cell at the quick duration —
     // the unit of work behind every bar of Figures 3–6.
     let mut group = c.benchmark_group("figure_cell_quick");
-    group.sample_size(10);
+    group.sample_size(therm3d_bench::smoke_samples(10));
     let cfg = FigureConfig::quick();
     for kind in [PolicyKind::Default, PolicyKind::Adapt3d, PolicyKind::Adapt3dDvfsTt] {
         group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {

@@ -36,6 +36,7 @@ fn bench_control_tick(c: &mut Criterion) {
     let idle = vec![0.0f64; n];
 
     let mut group = c.benchmark_group("control_tick_16_cores");
+    group.sample_size(therm3d_bench::smoke_samples(30));
     for kind in PolicyKind::ALL {
         let mut policy = kind.build(&stack, 0xACE1);
         group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
@@ -59,6 +60,7 @@ fn bench_place_job(c: &mut Criterion) {
     let job = Job::new(1, 100.0, 0.5, 0.4, Benchmark::WebMed);
 
     let mut group = c.benchmark_group("place_job_16_cores");
+    group.sample_size(therm3d_bench::smoke_samples(30));
     for kind in [
         PolicyKind::Default,
         PolicyKind::Migr,

@@ -4,6 +4,7 @@ use std::fmt;
 
 use therm3d_floorplan::Experiment;
 use therm3d_policies::PolicyKind;
+use therm3d_thermal::Integrator;
 use therm3d_workload::Benchmark;
 
 /// Options shared by the simulation-driving subcommands.
@@ -21,6 +22,8 @@ pub struct SimOptions {
     pub seed: u64,
     /// Thermal grid resolution per layer (N×N).
     pub grid: usize,
+    /// Thermal transient integrator (default: pre-factored implicit).
+    pub integrator: Integrator,
 }
 
 impl Default for SimOptions {
@@ -32,6 +35,7 @@ impl Default for SimOptions {
             dpm: false,
             seed: 2009,
             grid: 8,
+            integrator: Integrator::default(),
         }
     }
 }
@@ -108,16 +112,18 @@ pub const USAGE: &str = "\
 therm3d — 3D multicore dynamic thermal management simulator (DATE 2009 reproduction)
 
 USAGE:
-  therm3d run         [--exp E] [--policy P] [--benchmark B] [-t SECS] [--dpm] [--seed N] [--grid N] [--csv]
-  therm3d sweep       [--exp E] [-t SECS] [--dpm] [--seed N] [--grid N] [--csv]
+  therm3d run         [--exp E] [--policy P] [--benchmark B] [-t SECS] [--dpm] [--seed N] [--grid N] [--integrator I] [--csv]
+  therm3d sweep       [--exp E] [-t SECS] [--dpm] [--seed N] [--grid N] [--integrator I] [--csv]
   therm3d sweep       SPEC.toml [--threads N] [--format table|csv|json] [--csv]
                       [--cache-dir DIR] [--no-cache] [--cache-stats]
   therm3d steady      [--exp E] [--grid N]
   therm3d trace       [--benchmark B] [--cores N] [-t SECS] [--seed N] [--csv]
-  therm3d reliability [--exp E] [--policy P] [-t SECS] [--dpm] [--seed N] [--grid N]
+  therm3d reliability [--exp E] [--policy P] [-t SECS] [--dpm] [--seed N] [--grid N] [--integrator I]
   therm3d help
 
   E = exp1..exp4   P = figure label (Default, CGate, DVFS_TT, Adapt3D, ...)
+  I = implicit-cn (pre-factored implicit transient solver, the default)
+      or explicit-rk4 (the stability-bounded golden reference)
   B = Table I name (web-med, web-high, database, web-db, gcc, gzip, mplayer, mplayer-web)
 
   With a SPEC.toml, `sweep` expands the spec's experiment x policy x DPM
@@ -188,6 +194,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
                     | "--seconds"
                     | "--seed"
                     | "--grid"
+                    | "--integrator"
                     | "--cores"
                     | "--threads"
                     | "--format"
@@ -233,6 +240,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
                 | "--seconds"
                 | "--seed"
                 | "--grid"
+                | "--integrator"
                 | "--cores"
                 | "--dpm"
         ) {
@@ -249,6 +257,9 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             "-t" | "--seconds" => sim.seconds = parse_num(&key, &t.next_value(&key)?)?,
             "--seed" => sim.seed = parse_num("--seed", &t.next_value("--seed")?)?,
             "--grid" => sim.grid = parse_num("--grid", &t.next_value("--grid")?)?,
+            "--integrator" => {
+                sim.integrator = parse_num("--integrator", &t.next_value("--integrator")?)?;
+            }
             "--cores" => cores = parse_num("--cores", &t.next_value("--cores")?)?,
             "--threads" => threads = Some(parse_num("--threads", &t.next_value("--threads")?)?),
             "--format" => format = Some(parse_num("--format", &t.next_value("--format")?)?),
@@ -379,6 +390,33 @@ mod tests {
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn integrator_flag_parses_and_defaults() {
+        assert_eq!(
+            parse(argv("run")).map(|c| match c {
+                Command::Run { sim, .. } => sim.integrator,
+                other => panic!("wrong command: {other:?}"),
+            }),
+            Ok(Integrator::ImplicitCn)
+        );
+        let cmd = parse(argv("run --integrator explicit-rk4")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Run { sim: SimOptions { integrator: Integrator::ExplicitRk4, .. }, .. }
+        ));
+        // Short aliases work, garbage is rejected with the flag named.
+        let cmd = parse(argv("sweep --integrator rk4")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Sweep { sim: SimOptions { integrator: Integrator::ExplicitRk4, .. }, .. }
+        ));
+        assert!(parse(argv("run --integrator euler")).unwrap_err().0.contains("--integrator"));
+        // A spec file owns the integrator axis; the ad-hoc flag must not
+        // silently apply to it.
+        let err = parse(argv("sweep s.toml --integrator rk4")).unwrap_err().0;
+        assert!(err.contains("--integrator") && err.contains("s.toml"), "{err}");
     }
 
     #[test]

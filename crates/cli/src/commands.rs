@@ -17,7 +17,7 @@ use crate::args::{Command, SimOptions, SweepFormat, USAGE};
 impl SimOptions {
     fn config(&self) -> SimConfig {
         let mut cfg = SimConfig::paper_default(self.exp);
-        cfg.thermal = cfg.thermal.with_grid(self.grid, self.grid);
+        cfg.thermal = cfg.thermal.with_grid(self.grid, self.grid).with_integrator(self.integrator);
         cfg
     }
 
@@ -341,7 +341,7 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next(),
-            Some(format!("cell,trace_seed,cell_key,{}", csv_header()).as_str())
+            Some(format!("cell,trace_seed,integrator,cell_key,{}", csv_header()).as_str())
         );
         assert_eq!(lines.count(), 4);
 

@@ -2,7 +2,7 @@
 
 use therm3d_floorplan::{Experiment, StackOrder};
 use therm3d_power::{PowerParams, VfTable};
-use therm3d_thermal::ThermalConfig;
+use therm3d_thermal::{Integrator, ThermalConfig};
 
 use crate::sensor::SensorModel;
 
@@ -93,6 +93,16 @@ impl SimConfig {
         cfg
     }
 
+    /// Returns the configuration with a different thermal transient
+    /// integrator (shorthand for setting `thermal.integrator`; the
+    /// default is the pre-factored implicit scheme, with
+    /// [`Integrator::ExplicitRk4`] retained as the golden reference).
+    #[must_use]
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.thermal = self.thermal.with_integrator(integrator);
+        self
+    }
+
     /// Validates cross-field consistency.
     ///
     /// # Panics
@@ -128,6 +138,17 @@ mod tests {
         let cfg = SimConfig::fast(Experiment::Exp1);
         assert_eq!((cfg.thermal.grid_rows, cfg.thermal.grid_cols), (4, 4));
         assert_eq!(cfg.hotspot_threshold_c, 85.0, "thresholds unchanged");
+    }
+
+    #[test]
+    fn with_integrator_threads_through_to_the_thermal_config() {
+        let cfg = SimConfig::fast(Experiment::Exp1).with_integrator(Integrator::ExplicitRk4);
+        assert_eq!(cfg.thermal.integrator, Integrator::ExplicitRk4);
+        assert_eq!(
+            SimConfig::paper_default(Experiment::Exp1).thermal.integrator,
+            Integrator::ImplicitCn,
+            "the implicit solver is the workspace-wide default"
+        );
     }
 
     #[test]

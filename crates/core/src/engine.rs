@@ -164,19 +164,35 @@ impl Simulator {
         let mut cursor = trace.cursor();
         let deadline = duration_s + self.config.drain_max_s;
 
+        // Persistent per-tick buffers: the loop below runs ten times per
+        // simulated second for minutes of simulated time, so the hot
+        // path reuses these instead of allocating each tick.
+        let mut temps_c: Vec<f64> = Vec::new();
+        let mut core_true: Vec<f64> = Vec::with_capacity(n_cores);
+        let mut core_temps: Vec<f64> = Vec::with_capacity(n_cores);
+        let mut commands: Vec<therm3d_policies::CoreCommand> = Vec::with_capacity(n_cores);
+        let mut queue_len: Vec<usize> = Vec::with_capacity(n_cores);
+        let mut queued_work: Vec<f64> = Vec::with_capacity(n_cores);
+        let mut inputs: Vec<CorePowerInput> = Vec::with_capacity(n_cores);
+        let mut temps_after: Vec<f64> = Vec::new();
+        let mut core_after: Vec<f64> = Vec::with_capacity(n_cores);
+        let mut vf_index: Vec<usize> = Vec::with_capacity(n_cores);
+        let mut asleep: Vec<bool> = Vec::with_capacity(n_cores);
+
         while self.now_s < duration_s
             || (self.queues.in_flight() > 0 && self.now_s < deadline)
             || (cursor.remaining() > 0 && self.now_s < deadline)
         {
             // 1. Sensor readings + scheduler statistics for the policy.
             // The policy sees *sensor* readings; metrics use true temps.
-            let temps_c = self.thermal.block_temperatures_c();
-            let core_true: Vec<f64> = self.core_sites.iter().map(|&s| temps_c[s]).collect();
-            let core_temps: Vec<f64> = self.sensor.read(&core_true);
-            let queue_len: Vec<usize> =
-                (0..n_cores).map(|c| self.queues.queue_len(CoreId(c))).collect();
-            let queued_work: Vec<f64> =
-                (0..n_cores).map(|c| self.queues.queued_work_s(CoreId(c))).collect();
+            self.thermal.block_temperatures_c_into(&mut temps_c);
+            core_true.clear();
+            core_true.extend(self.core_sites.iter().map(|&s| temps_c[s]));
+            self.sensor.read_into(&core_true, &mut core_temps);
+            queue_len.clear();
+            queue_len.extend((0..n_cores).map(|c| self.queues.queue_len(CoreId(c))));
+            queued_work.clear();
+            queued_work.extend((0..n_cores).map(|c| self.queues.queued_work_s(CoreId(c))));
 
             // 2. Control decision from the policy.
             let decision = {
@@ -191,11 +207,12 @@ impl Simulator {
                 };
                 self.policy.control(&obs)
             };
-            let mut commands = if decision.commands.is_empty() {
-                vec![therm3d_policies::CoreCommand::run(); n_cores]
+            commands.clear();
+            if decision.commands.is_empty() {
+                commands.resize(n_cores, therm3d_policies::CoreCommand::run());
             } else {
-                decision.commands.clone()
-            };
+                commands.extend_from_slice(&decision.commands);
+            }
             assert_eq!(commands.len(), n_cores, "policy returned wrong command count");
 
             // 3. Migrations requested by the policy.
@@ -203,12 +220,16 @@ impl Simulator {
                 self.queues.migrate(from, to);
             }
 
-            // 4. Job arrivals, placed one at a time with fresh queue state.
-            for job in cursor.take_until(self.now_s).to_vec() {
-                let queued_work: Vec<f64> =
-                    (0..n_cores).map(|c| self.queues.queued_work_s(CoreId(c))).collect();
-                let queue_len: Vec<usize> =
-                    (0..n_cores).map(|c| self.queues.queue_len(CoreId(c))).collect();
+            // 4. Job arrivals, placed one at a time with fresh queue state
+            // (each enqueue changes the statistics, so the buffers are
+            // refilled per job, still without reallocating; the arrival
+            // slice borrows the trace, not the simulator, and `Job` is
+            // `Copy`).
+            for &job in cursor.take_until(self.now_s) {
+                queued_work.clear();
+                queued_work.extend((0..n_cores).map(|c| self.queues.queued_work_s(CoreId(c))));
+                queue_len.clear();
+                queue_len.extend((0..n_cores).map(|c| self.queues.queue_len(CoreId(c))));
                 let target = {
                     let obs = Observation {
                         now_s: self.now_s,
@@ -236,7 +257,7 @@ impl Simulator {
             }
 
             // 6. Execute each core for the tick.
-            let mut inputs = Vec::with_capacity(n_cores);
+            inputs.clear();
             for (c, &cmd) in commands.iter().enumerate() {
                 let freq = if cmd.asleep || cmd.gated {
                     0.0
@@ -268,13 +289,18 @@ impl Simulator {
             self.thermal.step(tick);
 
             // 8. Metrics on the post-step temperature field.
-            let temps_after = self.thermal.block_temperatures_c();
-            let core_after: Vec<f64> = self.core_sites.iter().map(|&s| temps_after[s]).collect();
+            self.thermal.block_temperatures_c_into(&mut temps_after);
+            core_after.clear();
+            core_after.extend(self.core_sites.iter().map(|&s| temps_after[s]));
             hotspots.record(&core_after);
             gradients.record(max_layer_gradient(&temps_after, &self.layer_of_block));
             vertical.record(max_vertical_gradient(&temps_after, &self.vertical_pairs));
             cycles.record(&core_after);
 
+            vf_index.clear();
+            vf_index.extend(commands.iter().map(|c| c.vf_index));
+            asleep.clear();
+            asleep.extend(commands.iter().map(|c| c.asleep));
             observer(&TickSample {
                 now_s: self.now_s,
                 tick_s: tick,
@@ -283,8 +309,8 @@ impl Simulator {
                 layer_of_block: &self.layer_of_block,
                 utilization: &self.utilization,
                 chip_power_w: powers.iter().sum(),
-                vf_index: commands.iter().map(|c| c.vf_index).collect(),
-                asleep: commands.iter().map(|c| c.asleep).collect(),
+                vf_index: &vf_index,
+                asleep: &asleep,
             });
 
             self.now_s += tick;
@@ -333,9 +359,9 @@ pub struct TickSample<'a> {
     /// Total chip power over the tick, W.
     pub chip_power_w: f64,
     /// V/f level index each core ran at.
-    pub vf_index: Vec<usize>,
+    pub vf_index: &'a [usize],
     /// Whether each core slept through the tick.
-    pub asleep: Vec<bool>,
+    pub asleep: &'a [bool],
 }
 
 #[cfg(test)]

@@ -106,19 +106,25 @@ impl SensorModel {
     /// state.
     #[must_use]
     pub fn read(&mut self, true_temps_c: &[f64]) -> Vec<f64> {
-        true_temps_c
-            .iter()
-            .map(|&t| {
-                let mut r = t + self.offset_c;
-                if self.noise_sigma_c > 0.0 {
-                    r += self.noise_sigma_c * self.next_gaussian();
-                }
-                if self.quantization_c > 0.0 {
-                    r = (r / self.quantization_c).round() * self.quantization_c;
-                }
-                r
-            })
-            .collect()
+        let mut out = Vec::with_capacity(true_temps_c.len());
+        self.read_into(true_temps_c, &mut out);
+        out
+    }
+
+    /// In-place variant of [`read`](Self::read): clears and refills
+    /// `out`, so the engine's tick loop can reuse one buffer.
+    pub fn read_into(&mut self, true_temps_c: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for &t in true_temps_c {
+            let mut r = t + self.offset_c;
+            if self.noise_sigma_c > 0.0 {
+                r += self.noise_sigma_c * self.next_gaussian();
+            }
+            if self.quantization_c > 0.0 {
+                r = (r / self.quantization_c).round() * self.quantization_c;
+            }
+            out.push(r);
+        }
     }
 }
 

@@ -57,7 +57,9 @@ use crate::spec::SweepSpec;
 /// Cache-format + simulation-semantics version salt. Bump whenever the
 /// simulator, trace generator or policy implementations change observed
 /// numbers; every existing cache entry is invalidated by the bump.
-pub const ENGINE_VERSION: &str = "therm3d-sweep-cache/v1";
+/// (v2: the default thermal integrator switched from explicit RK4 to
+/// the pre-factored implicit scheme, which perturbs every trajectory.)
+pub const ENGINE_VERSION: &str = "therm3d-sweep-cache/v2";
 
 /// File name of the result store inside a cache directory.
 pub const STORE_FILE: &str = "results.tsv";
@@ -114,9 +116,10 @@ pub fn cell_key_salted(spec: &SweepSpec, cell: &SweepCell, salt: &str) -> CellKe
     // name, thread count and cell index are deliberately absent, so
     // renaming or reordering a campaign still reuses its cells.
     let descriptor = format!(
-        "engine={salt};experiment={};policy={};dpm={};benchmarks={};trace_seed={};\
-         policy_seed={};sim_seconds={:?};grid={}x{}",
+        "engine={salt};experiment={};integrator={};policy={};dpm={};benchmarks={};\
+         trace_seed={};policy_seed={};sim_seconds={:?};grid={}x{}",
         cell.experiment,
+        cell.integrator,
         cell.policy.label(),
         cell.dpm,
         benchmarks.join(","),

@@ -1,13 +1,14 @@
 //! Deterministic expansion of a [`SweepSpec`] into a run matrix.
 //!
 //! The canonical cell order is row-major over the axes as listed in the
-//! spec: seeds (outermost), then experiments, then DPM, then policies
-//! (innermost). Every cell is a *pure function* of the spec — its seeds
+//! spec: seeds (outermost), then experiments, then integrators, then
+//! DPM, then policies (innermost). Every cell is a *pure function* of the spec — its seeds
 //! are derived from the axis values, never from scheduling order — so a
 //! sweep produces identical results whatever the thread count.
 
 use therm3d_floorplan::Experiment;
 use therm3d_policies::PolicyKind;
+use therm3d_thermal::Integrator;
 
 use crate::spec::SweepSpec;
 
@@ -20,6 +21,8 @@ pub struct SweepCell {
     pub seed_index: usize,
     /// The 3D system.
     pub experiment: Experiment,
+    /// The thermal transient integrator this cell simulates with.
+    pub integrator: Integrator,
     /// The DTM policy.
     pub policy: PolicyKind,
     /// Whether the policy is wrapped in fixed-timeout DPM.
@@ -40,9 +43,10 @@ impl SweepCell {
     #[must_use]
     pub fn describe(&self) -> String {
         format!(
-            "cell #{} ({}, {}, dpm={}, trace_seed={})",
+            "cell #{} ({}, {}, {}, dpm={}, trace_seed={})",
             self.index,
             self.experiment,
+            self.integrator,
             self.policy.label(),
             self.dpm,
             self.trace_seed,
@@ -77,17 +81,20 @@ pub fn expand(spec: &SweepSpec) -> Vec<SweepCell> {
     for (seed_index, &trace_seed) in spec.seeds.iter().enumerate() {
         let policy_seed = derive_policy_seed(spec.policy_seed, seed_index);
         for &experiment in &spec.experiments {
-            for &dpm in &spec.dpm {
-                for &policy in &spec.policies {
-                    cells.push(SweepCell {
-                        index: cells.len(),
-                        seed_index,
-                        experiment,
-                        policy,
-                        dpm,
-                        trace_seed,
-                        policy_seed,
-                    });
+            for &integrator in &spec.integrators {
+                for &dpm in &spec.dpm {
+                    for &policy in &spec.policies {
+                        cells.push(SweepCell {
+                            index: cells.len(),
+                            seed_index,
+                            experiment,
+                            integrator,
+                            policy,
+                            dpm,
+                            trace_seed,
+                            policy_seed,
+                        });
+                    }
                 }
             }
         }
@@ -118,6 +125,22 @@ mod tests {
             .all(|c| { c.experiment == Experiment::Exp1 && !c.dpm && c.trace_seed == 7 }));
         // Outermost axis is the seed: the second half uses seed 8.
         assert!(cells[12..].iter().all(|c| c.trace_seed == 8));
+    }
+
+    #[test]
+    fn integrator_axis_expands_between_experiments_and_dpm() {
+        let spec = SweepSpec::new("x")
+            .with_experiments(&[Experiment::Exp1])
+            .with_integrators(&[Integrator::ImplicitCn, Integrator::ExplicitRk4])
+            .with_policies(&[PolicyKind::Default, PolicyKind::Adapt3d])
+            .with_dpm(&[false, true]);
+        let cells = expand(&spec);
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        // First half is the implicit default, second half RK4.
+        assert!(cells[..4].iter().all(|c| c.integrator == Integrator::ImplicitCn));
+        assert!(cells[4..].iter().all(|c| c.integrator == Integrator::ExplicitRk4));
+        // The descriptor names the integrator, so failures are traceable.
+        assert!(cells[4].describe().contains("explicit-rk4"), "{}", cells[4].describe());
     }
 
     #[test]

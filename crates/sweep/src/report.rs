@@ -67,6 +67,10 @@ pub struct SweepReport {
 impl SweepReport {
     /// The results for one (experiment, dpm, seed-axis position) group,
     /// in the spec's policy order — the shape one figure column needs.
+    ///
+    /// Rows of every integrator on the spec's axis are included; the
+    /// figure sweeps all use the single default integrator, and
+    /// integrator-comparison campaigns filter `rows` directly.
     #[must_use]
     pub fn group(&self, experiment: Experiment, dpm: bool, seed_index: usize) -> Vec<&RunResult> {
         self.rows
@@ -80,20 +84,22 @@ impl SweepReport {
             .collect()
     }
 
-    /// CSV export: `cell,trace_seed,cell_key,` + [`CSV_HEADER`], one
-    /// line per cell in canonical order. Identical for every thread
-    /// count and for any cache hit/miss mix (`cell_key` is derived from
-    /// the spec, not from how the row was obtained).
+    /// CSV export: `cell,trace_seed,integrator,cell_key,` +
+    /// [`CSV_HEADER`], one line per cell in canonical order. Identical
+    /// for every thread count and for any cache hit/miss mix
+    /// (`cell_key` is derived from the spec, not from how the row was
+    /// obtained).
     #[must_use]
     pub fn csv(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "cell,trace_seed,cell_key,{CSV_HEADER}");
+        let _ = writeln!(out, "cell,trace_seed,integrator,cell_key,{CSV_HEADER}");
         for row in &self.rows {
             let _ = writeln!(
                 out,
-                "{},{},{},{}",
+                "{},{},{},{},{}",
                 row.cell.index,
                 row.cell.trace_seed,
+                row.cell.integrator,
                 row.key,
                 csv_row(&row.result, row.cell.dpm)
             );
@@ -115,7 +121,7 @@ impl SweepReport {
             let _ = write!(
                 out,
                 "    {{\"cell\": {}, \"cell_key\": {}, \"experiment\": {}, \"policy\": {}, \
-                 \"dpm\": {}, \
+                 \"dpm\": {}, \"integrator\": {}, \
                  \"trace_seed\": {}, \"hotspot_pct\": {}, \"gradient_pct\": {}, \
                  \"cycle_pct\": {}, \"peak_temp_c\": {}, \"vertical_peak_c\": {}, \
                  \"mean_turnaround_s\": {}, \"completed\": {}, \"energy_j\": {}, \
@@ -125,6 +131,7 @@ impl SweepReport {
                 json_string(&r.experiment.to_string()),
                 json_string(&r.policy),
                 row.cell.dpm,
+                json_string(row.cell.integrator.name()),
                 row.cell.trace_seed,
                 json_f64(r.hotspot_pct),
                 json_f64(r.gradient_pct),
@@ -151,19 +158,39 @@ impl SweepReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "sweep '{}': {} cells", self.name, self.rows.len());
-        let mut groups: Vec<(Experiment, bool, usize, u64)> = Vec::new();
+        let multi_integrator =
+            self.rows.iter().any(|r| r.cell.integrator != self.rows[0].cell.integrator);
+        let mut groups: Vec<(Experiment, therm3d_thermal::Integrator, bool, usize, u64)> =
+            Vec::new();
         for row in &self.rows {
-            let key = (row.cell.experiment, row.cell.dpm, row.cell.seed_index, row.cell.trace_seed);
+            let key = (
+                row.cell.experiment,
+                row.cell.integrator,
+                row.cell.dpm,
+                row.cell.seed_index,
+                row.cell.trace_seed,
+            );
             if !groups.contains(&key) {
                 groups.push(key);
             }
         }
-        for (experiment, dpm, seed_index, trace_seed) in groups {
-            let runs = self.group(experiment, dpm, seed_index);
+        for (experiment, integrator, dpm, seed_index, trace_seed) in groups {
+            let runs: Vec<&RunResult> = self
+                .rows
+                .iter()
+                .filter(|r| {
+                    r.cell.experiment == experiment
+                        && r.cell.integrator == integrator
+                        && r.cell.dpm == dpm
+                        && r.cell.seed_index == seed_index
+                })
+                .map(|r| &r.result)
+                .collect();
             let _ = writeln!(
                 out,
-                "\n== {experiment}{} (trace seed {trace_seed})",
+                "\n== {experiment}{}{} (trace seed {trace_seed})",
                 if dpm { " +DPM" } else { "" },
+                if multi_integrator { format!(" [{integrator}]") } else { String::new() },
             );
             let _ = writeln!(out, "{}", RunResult::table_header());
             let baseline = runs.first().copied();
@@ -252,11 +279,12 @@ mod tests {
         let report = fake_report();
         let csv = report.csv();
         let mut lines = csv.lines();
-        assert_eq!(lines.next(), Some("cell,trace_seed,cell_key,policy,experiment,dpm,hot_pct,grad_pct,cycle_pct,peak_c,vertical_peak_c,mean_turnaround_s,energy_j,migrations,unfinished"));
+        assert_eq!(lines.next(), Some("cell,trace_seed,integrator,cell_key,policy,experiment,dpm,hot_pct,grad_pct,cycle_pct,peak_c,vertical_peak_c,mean_turnaround_s,energy_j,migrations,unfinished"));
         assert_eq!(lines.count(), report.rows.len());
         // Every data row carries its 16-hex-digit provenance key.
         for (line, row) in csv.lines().skip(1).zip(&report.rows) {
-            assert_eq!(line.split(',').nth(2), Some(row.key.as_str()), "{line}");
+            assert_eq!(line.split(',').nth(2), Some("implicit-cn"), "{line}");
+            assert_eq!(line.split(',').nth(3), Some(row.key.as_str()), "{line}");
         }
     }
 

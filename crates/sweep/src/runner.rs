@@ -37,7 +37,7 @@ use crate::spec::SweepSpec;
 #[must_use]
 pub fn sim_config(spec: &SweepSpec, cell: &SweepCell) -> SimConfig {
     let mut cfg = SimConfig::paper_default(cell.experiment);
-    cfg.thermal = cfg.thermal.with_grid(spec.grid.0, spec.grid.1);
+    cfg.thermal = cfg.thermal.with_grid(spec.grid.0, spec.grid.1).with_integrator(cell.integrator);
     cfg
 }
 

@@ -3,6 +3,7 @@
 
 use therm3d_floorplan::Experiment;
 use therm3d_policies::PolicyKind;
+use therm3d_thermal::Integrator;
 use therm3d_workload::Benchmark;
 
 /// Default simulated seconds per cell (the figure binaries' default).
@@ -38,6 +39,10 @@ pub struct SweepSpec {
     pub name: String,
     /// 3D systems to simulate (EXP-1..4).
     pub experiments: Vec<Experiment>,
+    /// Thermal transient integrators to run (default: the implicit
+    /// pre-factored scheme only; add `explicit-rk4` to sweep the golden
+    /// reference alongside it, e.g. for accuracy/performance studies).
+    pub integrators: Vec<Integrator>,
     /// DTM policies to evaluate.
     pub policies: Vec<PolicyKind>,
     /// Dynamic power management on/off axis.
@@ -74,6 +79,7 @@ impl SweepSpec {
         Self {
             name: name.to_owned(),
             experiments: Experiment::ALL.to_vec(),
+            integrators: vec![Integrator::default()],
             policies: PolicyKind::ALL.to_vec(),
             dpm: vec![false],
             benchmarks: Benchmark::ALL.to_vec(),
@@ -89,6 +95,13 @@ impl SweepSpec {
     #[must_use]
     pub fn with_experiments(mut self, experiments: &[Experiment]) -> Self {
         self.experiments = experiments.to_vec();
+        self
+    }
+
+    /// Sets the integrator axis.
+    #[must_use]
+    pub fn with_integrators(mut self, integrators: &[Integrator]) -> Self {
+        self.integrators = integrators.to_vec();
         self
     }
 
@@ -151,7 +164,11 @@ impl SweepSpec {
     /// Number of cells the spec expands to.
     #[must_use]
     pub fn cell_count(&self) -> usize {
-        self.experiments.len() * self.policies.len() * self.dpm.len() * self.seeds.len()
+        self.experiments.len()
+            * self.integrators.len()
+            * self.policies.len()
+            * self.dpm.len()
+            * self.seeds.len()
     }
 
     /// Validates the spec.
@@ -180,6 +197,7 @@ impl SweepSpec {
             return Err(format!("`name` must not contain quotes or line breaks: {:?}", self.name));
         }
         no_dupes(&self.experiments, "experiments")?;
+        no_dupes(&self.integrators, "integrators")?;
         no_dupes(&self.policies, "policies")?;
         no_dupes(&self.dpm, "dpm")?;
         no_dupes(&self.seeds, "seeds")?;
@@ -256,6 +274,17 @@ mod tests {
         assert_eq!(spec.policies.len(), 11);
         assert_eq!(spec.cell_count(), 44);
         spec.validate().unwrap();
+    }
+
+    #[test]
+    fn integrator_axis_multiplies_cells_and_rejects_duplicates() {
+        let spec = SweepSpec::new("x")
+            .with_integrators(&[Integrator::ImplicitCn, Integrator::ExplicitRk4]);
+        assert_eq!(spec.cell_count(), 2 * 44);
+        spec.validate().unwrap();
+        let dup =
+            SweepSpec::new("x").with_integrators(&[Integrator::ImplicitCn, Integrator::ImplicitCn]);
+        assert!(dup.validate().unwrap_err().contains("integrators"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! [sweep]                      # optional section header
 //! name = "quick"
 //! experiments = ["exp1", "exp3"]           # exp1..exp4
+//! integrators = ["implicit-cn"]            # or explicit-rk4 (golden reference)
 //! policies = ["Default", "Adapt3D"]        # figure labels
 //! dpm = [false, true]
 //! benchmarks = ["web-med", "gzip"]         # Table I names
@@ -32,6 +33,7 @@ use std::str::FromStr;
 
 use therm3d_floorplan::Experiment;
 use therm3d_policies::PolicyKind;
+use therm3d_thermal::Integrator;
 use therm3d_workload::Benchmark;
 
 use crate::spec::SweepSpec;
@@ -233,6 +235,12 @@ fn apply_key(spec: &mut SweepSpec, key: &str, value: &Value) -> Result<(), Strin
                 .map(|s| typed::<Experiment>(s, key))
                 .collect::<Result<_, _>>()?;
         }
+        "integrators" => {
+            spec.integrators = scalar_list(value)
+                .iter()
+                .map(|s| typed::<Integrator>(s, key))
+                .collect::<Result<_, _>>()?;
+        }
         "policies" => {
             spec.policies = scalar_list(value)
                 .iter()
@@ -311,6 +319,8 @@ pub fn to_toml(spec: &SweepSpec) -> String {
         "experiments = {}",
         string_array(&spec.experiments, |e| e.to_string().to_ascii_lowercase())
     );
+    let _ =
+        writeln!(out, "integrators = {}", string_array(&spec.integrators, |i| i.name().to_owned()));
     let _ = writeln!(out, "policies = {}", string_array(&spec.policies, |p| p.label().to_owned()));
     let _ = writeln!(
         out,

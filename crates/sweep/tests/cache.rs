@@ -157,6 +157,63 @@ fn engine_version_bump_invalidates_the_whole_store() {
 }
 
 #[test]
+fn v1_salted_entries_miss_under_the_v2_engine() {
+    // PR 3 switched the default thermal integrator, which perturbs every
+    // trajectory: ENGINE_VERSION moved from v1 to v2, and anything a
+    // pre-bump binary persisted must be dead on arrival.
+    assert_eq!(cache::ENGINE_VERSION, "therm3d-sweep-cache/v2");
+    let dir = tmp_dir("v1_salt");
+    let spec = small_spec(&[PolicyKind::Default, PolicyKind::Adapt3d], 1);
+    let report = run(&spec).unwrap();
+    let mut store = CacheStore::open(&dir).unwrap();
+    for row in &report.rows {
+        let old_key = cache::cell_key_salted(&spec, &row.cell, "therm3d-sweep-cache/v1");
+        store.insert(&old_key, &row.result).unwrap();
+    }
+    drop(store);
+
+    let mut store = CacheStore::open(&dir).unwrap();
+    assert_eq!(store.len(), spec.cell_count(), "old entries load intact...");
+    let warm = run_with_cache(&spec, Some(&mut store)).unwrap();
+    let s = store.stats();
+    assert_eq!(s.hits, 0, "...but the v1 salt must never satisfy a v2 lookup");
+    assert_eq!(s.misses, spec.cell_count() as u64);
+    assert_eq!(s.inserted, spec.cell_count() as u64, "fresh v2 entries are written back");
+    assert_eq!(warm.csv(), report.csv(), "re-simulation reproduces the uncached report");
+
+    // A third run is fully warm under the new salt.
+    let mut store = CacheStore::open(&dir).unwrap();
+    run_with_cache(&spec, Some(&mut store)).unwrap();
+    assert_eq!(store.stats().misses, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cell_keys_distinguish_integrators() {
+    // The descriptor embeds the integrator axis: an RK4 golden-reference
+    // cell can never be served an implicit cell's numbers or vice versa.
+    use therm3d_thermal::Integrator;
+    let spec = small_spec(&[PolicyKind::Default], 1)
+        .with_integrators(&[Integrator::ImplicitCn, Integrator::ExplicitRk4]);
+    let cells = expand(&spec);
+    let twin = cells
+        .iter()
+        .find(|c| {
+            c.integrator == Integrator::ExplicitRk4
+                && c.experiment == cells[0].experiment
+                && c.policy == cells[0].policy
+                && c.dpm == cells[0].dpm
+                && c.trace_seed == cells[0].trace_seed
+        })
+        .expect("an RK4 twin of the first cell exists");
+    let a = cache::cell_key(&spec, &cells[0]);
+    let b = cache::cell_key(&spec, twin);
+    assert_ne!(a.hex(), b.hex());
+    assert!(a.descriptor().contains("integrator=implicit-cn"), "{}", a.descriptor());
+    assert!(b.descriptor().contains("integrator=explicit-rk4"), "{}", b.descriptor());
+}
+
+#[test]
 fn report_key_column_matches_cell_key_derivation() {
     let dir = tmp_dir("key_column");
     let spec = small_spec(&[PolicyKind::Default], 1);

@@ -1,8 +1,64 @@
 //! Thermal model configuration (paper Table II plus HotSpot-like package
 //! defaults).
 
+use std::fmt;
+use std::str::FromStr;
+
 use crate::material::Material;
 use crate::tsv::TsvSpec;
+
+/// Transient time-integration scheme for [`ThermalModel::step`].
+///
+/// [`ThermalModel::step`]: crate::ThermalModel::step
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Integrator {
+    /// Implicit Crank–Nicolson-based stepping (the default): the
+    /// one-step TR-BDF2 composite — a trapezoidal (CN) stage followed
+    /// by a BDF2 stage — whose two stages share one pre-factored
+    /// `α·C + G` system per step size. L-stable, second order, and
+    /// O(nnz) per tick however stiff the RC network is.
+    #[default]
+    ImplicitCn,
+    /// Classic explicit RK4 with stability-bounded substeps — thousands
+    /// of substeps per 100 ms tick on the paper's stacks. Retained as
+    /// the golden reference the implicit path is cross-checked against.
+    ExplicitRk4,
+}
+
+impl Integrator {
+    /// Every supported integrator, in canonical order.
+    pub const ALL: [Integrator; 2] = [Integrator::ImplicitCn, Integrator::ExplicitRk4];
+
+    /// Canonical name, as accepted by [`FromStr`] and written by sweep
+    /// specs (`implicit-cn`, `explicit-rk4`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Integrator::ImplicitCn => "implicit-cn",
+            Integrator::ExplicitRk4 => "explicit-rk4",
+        }
+    }
+}
+
+impl fmt::Display for Integrator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Integrator {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "implicit-cn" | "implicit" | "cn" => Ok(Integrator::ImplicitCn),
+            "explicit-rk4" | "rk4" | "explicit" => Ok(Integrator::ExplicitRk4),
+            other => {
+                Err(format!("unknown integrator `{other}` (expected implicit-cn or explicit-rk4)"))
+            }
+        }
+    }
+}
 
 /// Parameters of the RC thermal model.
 ///
@@ -66,6 +122,8 @@ pub struct ThermalConfig {
     pub grid_rows: usize,
     /// Grid columns per layer.
     pub grid_cols: usize,
+    /// Transient integration scheme (default: pre-factored implicit).
+    pub integrator: Integrator,
 }
 
 impl ThermalConfig {
@@ -93,6 +151,7 @@ impl ThermalConfig {
             convection_capacitance_jk: 140.0,
             grid_rows: 8,
             grid_cols: 8,
+            integrator: Integrator::default(),
         }
     }
 
@@ -115,6 +174,14 @@ impl ThermalConfig {
     #[must_use]
     pub fn with_interlayer(mut self, interlayer: Material) -> Self {
         self.interlayer = interlayer;
+        self
+    }
+
+    /// Returns the configuration with a different transient integrator
+    /// (e.g. [`Integrator::ExplicitRk4`] for golden-reference runs).
+    #[must_use]
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
         self
     }
 
@@ -177,5 +244,24 @@ mod tests {
     #[test]
     fn default_is_paper_default() {
         assert_eq!(ThermalConfig::default(), ThermalConfig::paper_default());
+    }
+
+    #[test]
+    fn implicit_is_the_default_integrator() {
+        assert_eq!(ThermalConfig::paper_default().integrator, Integrator::ImplicitCn);
+        let rk4 = ThermalConfig::paper_default().with_integrator(Integrator::ExplicitRk4);
+        assert_eq!(rk4.integrator, Integrator::ExplicitRk4);
+    }
+
+    #[test]
+    fn integrator_names_round_trip() {
+        for integ in Integrator::ALL {
+            assert_eq!(integ.name().parse::<Integrator>(), Ok(integ));
+            assert_eq!(integ.to_string(), integ.name());
+        }
+        // Short aliases are accepted case-insensitively.
+        assert_eq!("RK4".parse::<Integrator>(), Ok(Integrator::ExplicitRk4));
+        assert_eq!("Implicit".parse::<Integrator>(), Ok(Integrator::ImplicitCn));
+        assert!("euler".parse::<Integrator>().unwrap_err().contains("euler"));
     }
 }

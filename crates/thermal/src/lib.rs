@@ -8,8 +8,12 @@
 //! vertical conductances, inter-die heat flows through the TSV-adjusted
 //! interface material, and the package (TIM, copper spreader, heat sink,
 //! convection to ambient) closes the path using the paper's Table II
-//! parameters. Steady states are solved with preconditioned conjugate
-//! gradients; transients with stability-controlled RK4.
+//! parameters. Steady states are solved directly through a sparse LDLᵀ
+//! factorization of the conductance matrix; transients default to an
+//! implicit pre-factored integrator ([`Integrator::ImplicitCn`]) that
+//! advances a full 100 ms tick in a couple of triangular solves, with
+//! stability-controlled explicit RK4 retained as the golden reference
+//! ([`Integrator::ExplicitRk4`]).
 //!
 //! # Quick start
 //!
@@ -38,7 +42,7 @@ pub mod tsv;
 pub mod units;
 
 pub use block_model::BlockThermalModel;
-pub use config::ThermalConfig;
+pub use config::{Integrator, ThermalConfig};
 pub use material::Material;
 pub use model::ThermalModel;
 pub use network::RcNetwork;

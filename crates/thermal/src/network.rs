@@ -293,6 +293,21 @@ impl RcNetwork {
         self.block_nodes[site].iter().map(|&(n, w)| node_temps[n] * w).sum()
     }
 
+    /// Assembles the shifted system `α·C + G` (as a fresh CSR matrix)
+    /// — the left-hand side of one implicit integration stage with
+    /// `α = shift/h`. SPD for any `α ≥ 0` since `G` is and every
+    /// capacitance is positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative or not finite.
+    #[must_use]
+    pub fn shifted_system(&self, alpha: f64) -> CsrMatrix {
+        assert!(alpha.is_finite() && alpha >= 0.0, "shift must be non-negative, got {alpha}");
+        let diag: Vec<f64> = self.capacitance.iter().map(|&c| alpha * c).collect();
+        self.conductance.with_added_diagonal(&diag)
+    }
+
     /// A conservative upper bound on the stiffest eigenvalue of
     /// `C⁻¹·G` (Gershgorin), used to pick a stable explicit step.
     #[must_use]
@@ -381,6 +396,22 @@ mod tests {
         // With the paper geometry the stiffest time constant is around a
         // millisecond; the bound should sit in a physically plausible range.
         assert!(s > 100.0 && s < 1e6, "stiffness bound {s}");
+    }
+
+    #[test]
+    fn shifted_system_adds_scaled_capacitance_to_the_diagonal() {
+        let n = net(Experiment::Exp1, 4, 4);
+        let alpha = 34.142;
+        let shifted = n.shifted_system(alpha);
+        assert_eq!(shifted.dim(), n.node_count());
+        let g_diag = n.conductance().diagonal();
+        for (i, d) in shifted.diagonal().iter().enumerate() {
+            let expect = g_diag[i] + alpha * n.capacitance()[i];
+            assert!((d - expect).abs() < 1e-9 * expect.abs().max(1.0), "node {i}");
+        }
+        // Off-diagonals are untouched.
+        assert!((shifted.get(0, 1) - n.conductance().get(0, 1)).abs() < 1e-12);
+        assert!(shifted.is_symmetric(1e-9));
     }
 
     #[test]

@@ -1,10 +1,16 @@
-//! Minimal sparse linear algebra: symmetric CSR matrices and a
-//! Jacobi-preconditioned conjugate-gradient solver.
+//! Minimal sparse linear algebra: symmetric CSR matrices, a
+//! Jacobi-preconditioned conjugate-gradient solver, and a sparse LDLᵀ
+//! direct factorization ([`factor`]).
 //!
 //! The thermal network's conductance matrix is a weighted graph Laplacian
 //! plus positive diagonal terms for the ambient connection, hence symmetric
-//! positive definite — exactly the setting where CG shines and an external
-//! linear-algebra dependency would be overkill.
+//! positive definite — exactly the setting where CG and Cholesky-style
+//! factorizations shine and an external linear-algebra dependency would be
+//! overkill. Iterative CG remains available for huge or one-off systems;
+//! the [`factor`] module provides the pre-factored direct path the
+//! transient integrator leans on.
+
+pub mod factor;
 
 use std::fmt;
 
@@ -172,6 +178,42 @@ impl CsrMatrix {
             }
         }
         d
+    }
+
+    /// Iterates the stored entries of row `r` as `(col, value)` pairs,
+    /// in ascending column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(r < self.n, "row {r} out of bounds for n={}", self.n);
+        self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+            .iter()
+            .zip(&self.values[self.row_ptr[r]..self.row_ptr[r + 1]])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Returns `self + diag(d)` as a new matrix (used to assemble the
+    /// implicit integrator's shifted systems `α·C + G`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != dim()` or any entry is not finite.
+    #[must_use]
+    pub fn with_added_diagonal(&self, d: &[f64]) -> CsrMatrix {
+        assert_eq!(d.len(), self.n, "diagonal length mismatch");
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(self.nnz() + self.n);
+        for r in 0..self.n {
+            for (c, v) in self.row(r) {
+                triplets.push((r, c, v));
+            }
+        }
+        for (i, &v) in d.iter().enumerate() {
+            assert!(v.is_finite(), "diagonal entry {i} must be finite, got {v}");
+            triplets.push((i, i, v));
+        }
+        CsrMatrix::from_triplets(self.n, &triplets)
     }
 
     /// Entry `(row, col)` (zero if not stored).

@@ -249,8 +249,8 @@ mod tests {
             layer_of_block: layers,
             utilization: util,
             chip_power_w: 10.0,
-            vf_index: vec![0; temps.len()],
-            asleep: vec![false; temps.len()],
+            vf_index: &[0, 0],
+            asleep: &[false, false],
         }
     }
 

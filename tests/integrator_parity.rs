@@ -1,0 +1,81 @@
+//! End-to-end parity between the implicit default integrator and the
+//! explicit RK4 golden reference: a fig3-style sweep (experiments ×
+//! policies, no DPM) run on both integrators via the new `integrators`
+//! sweep axis must produce the same headline metrics within stated
+//! tolerances.
+
+use therm3d_floorplan::Experiment;
+use therm3d_policies::PolicyKind;
+use therm3d_sweep::{run, SweepSpec};
+use therm3d_thermal::Integrator;
+use therm3d_workload::Benchmark;
+
+/// Peak-temperature agreement, °C. The integrators track each other to
+/// ~0.01 °C per tick (see `crates/thermal/tests/integrators.rs`); the
+/// looser bound here absorbs rare policy-decision flips when a reading
+/// sits exactly on a threshold.
+const PEAK_TOL_C: f64 = 0.5;
+/// Metric-percentage agreement, percentage points.
+const PCT_TOL: f64 = 2.0;
+/// Relative energy agreement (leakage feedback sees slightly different
+/// temperatures, nothing more).
+const ENERGY_REL_TOL: f64 = 0.01;
+
+#[test]
+fn fig3_style_sweep_agrees_across_integrators() {
+    let spec = SweepSpec::new("integrator-parity")
+        .with_experiments(&[Experiment::Exp2, Experiment::Exp3])
+        .with_integrators(&[Integrator::ImplicitCn, Integrator::ExplicitRk4])
+        .with_policies(&[PolicyKind::Default, PolicyKind::Adapt3d])
+        .with_benchmarks(&[Benchmark::WebMed, Benchmark::Gzip])
+        .with_sim_seconds(8.0)
+        .with_grid(4, 4)
+        .with_threads(0);
+    let report = run(&spec).expect("sweep runs");
+    assert_eq!(report.rows.len(), 2 * 2 * 2);
+
+    let implicit: Vec<_> =
+        report.rows.iter().filter(|r| r.cell.integrator == Integrator::ImplicitCn).collect();
+    let rk4: Vec<_> =
+        report.rows.iter().filter(|r| r.cell.integrator == Integrator::ExplicitRk4).collect();
+    assert_eq!(implicit.len(), rk4.len());
+
+    for (imp, gold) in implicit.iter().zip(&rk4) {
+        // Same (experiment, policy, dpm, seed) — only the integrator
+        // differs within a pair, by the canonical expansion order.
+        assert_eq!(imp.cell.experiment, gold.cell.experiment);
+        assert_eq!(imp.cell.policy, gold.cell.policy);
+        let (a, b) = (&imp.result, &gold.result);
+        let cell = imp.cell.describe();
+
+        assert!(
+            (a.peak_temp_c - b.peak_temp_c).abs() < PEAK_TOL_C,
+            "{cell}: peak {:.3} vs {:.3}",
+            a.peak_temp_c,
+            b.peak_temp_c
+        );
+        for (name, x, y) in [
+            ("hotspot_pct", a.hotspot_pct, b.hotspot_pct),
+            ("gradient_pct", a.gradient_pct, b.gradient_pct),
+            ("cycle_pct", a.cycle_pct, b.cycle_pct),
+        ] {
+            assert!((x - y).abs() < PCT_TOL, "{cell}: {name} {x:.3} vs {y:.3}");
+        }
+        assert!(
+            (a.energy_j - b.energy_j).abs() < ENERGY_REL_TOL * b.energy_j,
+            "{cell}: energy {:.1} J vs {:.1} J",
+            a.energy_j,
+            b.energy_j
+        );
+        assert!(
+            (a.vertical_peak_c - b.vertical_peak_c).abs() < PEAK_TOL_C,
+            "{cell}: vertical peak {:.3} vs {:.3}",
+            a.vertical_peak_c,
+            b.vertical_peak_c
+        );
+        assert_eq!(
+            a.perf.completed, b.perf.completed,
+            "{cell}: throughput must not depend on the integrator"
+        );
+    }
+}

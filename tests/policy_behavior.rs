@@ -216,7 +216,7 @@ fn dvfs_flp_derates_hot_prone_cores_statically() {
     let mut worst = vec![0usize; stack.num_cores()];
     let mut sim = Simulator::new(SimConfig::fast(exp), policy);
     sim.run_with_observer(&trace, secs, |s| {
-        for (w, &v) in worst.iter_mut().zip(&s.vf_index) {
+        for (w, &v) in worst.iter_mut().zip(s.vf_index) {
             *w = (*w).max(v);
         }
     });

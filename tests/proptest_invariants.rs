@@ -9,6 +9,7 @@ use therm3d_metrics::{
     max_layer_gradient, HotSpotTracker, SpatialGradientTracker, ThermalCycleTracker,
 };
 use therm3d_policies::{Lfsr16, MultiQueue};
+use therm3d_thermal::sparse::factor::factor;
 use therm3d_thermal::sparse::{solve_cg, TripletMatrix};
 use therm3d_thermal::{ThermalConfig, ThermalModel};
 use therm3d_workload::{Benchmark, Job, TraceConfig};
@@ -208,6 +209,16 @@ proptest! {
         let r = a.mul(&sol.x);
         for (ri, bi) in r.iter().zip(&b) {
             prop_assert!((ri - bi).abs() < 1e-6, "CG residual too large");
+        }
+        // The direct LDL^T path must agree with CG on the same system
+        // (it backs both the implicit integrator and steady-state init).
+        let direct = factor(&a).expect("random SPD system factors").solve(&b);
+        let r = a.mul(&direct);
+        for (ri, bi) in r.iter().zip(&b) {
+            prop_assert!((ri - bi).abs() < 1e-8, "LDL^T residual too large");
+        }
+        for (xi, yi) in direct.iter().zip(&sol.x) {
+            prop_assert!((xi - yi).abs() < 1e-5, "direct {xi} vs CG {yi}");
         }
     }
 
