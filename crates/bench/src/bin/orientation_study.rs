@@ -1,13 +1,17 @@
 //! Ablation: which die bonds to the heat spreader in the split
 //! (core/cache) configurations? The paper's Figure 1 is ambiguous; this
 //! study quantifies the choice that DESIGN.md documents.
+//!
+//! The dynamic comparison is one declarative sweep over the engine's
+//! `stack_orders` axis (experiments × orientations), executed in
+//! parallel and memoized under `THERM3D_CACHE_DIR` like the figure
+//! binaries — the hand-rolled per-orientation loop is gone.
 
-use therm3d::{RunResult, SimConfig, Simulator};
 use therm3d_floorplan::{Experiment, StackOrder};
 use therm3d_policies::PolicyKind;
 use therm3d_power::{CorePowerInput, PowerModel, PowerParams, VfTable};
+use therm3d_sweep::SweepSpec;
 use therm3d_thermal::{ThermalConfig, ThermalModel};
-use therm3d_workload::{generate_mix, Benchmark};
 
 fn busy_peak(exp: Experiment, order: StackOrder) -> f64 {
     let stack = exp.stack_with_order(order);
@@ -22,15 +26,6 @@ fn busy_peak(exp: Experiment, order: StackOrder) -> f64 {
     stack.core_ids().map(|c| temps[stack.core_block_index(c)]).fold(f64::NEG_INFINITY, f64::max)
 }
 
-fn dynamic(exp: Experiment, order: StackOrder, sim_seconds: f64) -> RunResult {
-    let stack = exp.stack_with_order(order);
-    let policy = PolicyKind::Default.build(&stack, 0xACE1);
-    let trace = generate_mix(&Benchmark::ALL, exp.num_cores(), sim_seconds, 2009);
-    let mut cfg = SimConfig::paper_default(exp);
-    cfg.stack_order = order;
-    Simulator::new(cfg, policy).run(&trace, sim_seconds)
-}
-
 fn main() {
     let sim_seconds = therm3d_bench::sim_seconds_or_die(120.0);
     println!("stack-orientation study: which die touches the spreader?\n");
@@ -42,24 +37,34 @@ fn main() {
         println!("{:>8} {far:>16.1} {near:>16.1} {:>8.1}", exp.to_string(), far - near);
     }
 
+    // Dynamic comparison: one sweep, the orientation as an axis. The
+    // cells, seeds and numbers match the old hand-rolled loop exactly
+    // (paper defaults: trace seed 2009, policy seed 0xACE1, 8×8 grid,
+    // full Table I rotation).
+    let spec = SweepSpec::new("orientation-study")
+        .with_experiments(&[Experiment::Exp1, Experiment::Exp3])
+        .with_stack_orders(&StackOrder::ALL)
+        .with_policies(&[PolicyKind::Default])
+        .with_sim_seconds(sim_seconds);
+    let report = therm3d_bench::run_sweep_cached_or_die(&spec);
+
     println!("\ndynamic comparison (Default policy, Table I rotation):");
     println!(
         "{:>8} {:>12} {:>10} {:>10} {:>12}",
         "config", "orientation", "hot%", "peak°C", "vert_peak°C"
     );
-    for exp in [Experiment::Exp1, Experiment::Exp3] {
-        for (label, order) in
-            [("far", StackOrder::CoresFarFromSink), ("near", StackOrder::CoresNearSink)]
-        {
-            let r = dynamic(exp, order, sim_seconds);
-            println!(
-                "{:>8} {label:>12} {:>10.2} {:>10.1} {:>12.1}",
-                exp.to_string(),
-                r.hotspot_pct,
-                r.peak_temp_c,
-                r.vertical_peak_c
-            );
-        }
+    for row in &report.rows {
+        let label = match row.cell.stack_order {
+            StackOrder::CoresFarFromSink => "far",
+            StackOrder::CoresNearSink => "near",
+        };
+        println!(
+            "{:>8} {label:>12} {:>10.2} {:>10.1} {:>12.1}",
+            row.cell.experiment.to_string(),
+            row.result.hotspot_pct,
+            row.result.peak_temp_c,
+            row.result.vertical_peak_c
+        );
     }
 
     println!(

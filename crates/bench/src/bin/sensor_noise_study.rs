@@ -1,51 +1,60 @@
 //! Ablation: DTM-policy robustness to thermal-sensor imperfection.
 //!
 //! The paper assumes perfect per-core sensors at a 100 ms sampling
-//! interval. This study injects Gaussian noise and quantization into the
-//! readings the policies see (metrics always use true temperatures) and
-//! reports how gracefully each control style degrades: threshold-
+//! interval. This study sweeps the engine's `sensors` axis — Gaussian
+//! noise, quantization and calibration offset injected into the
+//! readings the policies see (metrics always use true temperatures) —
+//! and reports how gracefully each control style degrades: threshold-
 //! triggered policies (DVFS_TT) react to single noisy samples, while the
 //! history-averaged adaptive allocator filters noise by construction.
+//!
+//! The looping is entirely the sweep engine's (policies × sensor
+//! profiles on EXP-3, parallel, memoized under `THERM3D_CACHE_DIR`);
+//! noisy profiles seed their stream from the per-cell trace seed, so
+//! every number here reproduces bit-identically — cached or not.
 
-use therm3d::{SensorModel, SimConfig, Simulator};
+use therm3d::SensorProfile;
 use therm3d_floorplan::Experiment;
 use therm3d_policies::PolicyKind;
-use therm3d_workload::{generate_mix, Benchmark};
+use therm3d_sweep::SweepSpec;
 
-fn run(kind: PolicyKind, sensor: SensorModel, sim_seconds: f64) -> therm3d::RunResult {
-    let exp = Experiment::Exp3;
-    let stack = exp.stack();
-    let policy = kind.build(&stack, 0xACE1);
-    let trace = generate_mix(&Benchmark::ALL, exp.num_cores(), sim_seconds, 2009);
-    let mut cfg = SimConfig::paper_default(exp);
-    cfg.sensor = sensor;
-    Simulator::new(cfg, policy).run(&trace, sim_seconds)
+fn label(profile: SensorProfile) -> &'static str {
+    match profile {
+        SensorProfile::Ideal => "ideal",
+        SensorProfile::Noisy1C => "σ=1°C noise",
+        SensorProfile::Noisy3C => "σ=3°C noise",
+        SensorProfile::Quantized1C => "1°C quantization",
+        SensorProfile::NoisyQuantized => "σ=2°C + 1°C quant",
+        SensorProfile::OffsetCool3C => "−3°C offset (reads cool)",
+    }
 }
 
 fn main() {
     let sim_seconds = therm3d_bench::sim_seconds_or_die(160.0);
+    let policies = [PolicyKind::DvfsTt, PolicyKind::Adapt3d, PolicyKind::Adapt3dDvfsTt];
+    let spec = SweepSpec::new("sensor-noise-study")
+        .with_experiments(&[Experiment::Exp3])
+        .with_sensors(&SensorProfile::ALL)
+        .with_policies(&policies)
+        .with_sim_seconds(sim_seconds);
+    let report = therm3d_bench::run_sweep_cached_or_die(&spec);
+
     println!("sensor-imperfection study on EXP-3 ({sim_seconds:.0} s per cell)\n");
     println!("{:<18} {:<26} {:>7} {:>8} {:>8}", "policy", "sensor", "hot%", "peak°C", "turn_s");
-
-    let sensors: Vec<(&str, SensorModel)> = vec![
-        ("ideal", SensorModel::ideal()),
-        ("σ=1°C noise", SensorModel::ideal().with_noise(1.0, 7)),
-        ("σ=3°C noise", SensorModel::ideal().with_noise(3.0, 7)),
-        ("1°C quantization", SensorModel::ideal().with_quantization(1.0)),
-        ("σ=2°C + 1°C quant", SensorModel::ideal().with_noise(2.0, 7).with_quantization(1.0)),
-        ("−3°C offset (reads cool)", SensorModel::ideal().with_offset(-3.0)),
-    ];
-
-    for kind in [PolicyKind::DvfsTt, PolicyKind::Adapt3d, PolicyKind::Adapt3dDvfsTt] {
-        for (label, sensor) in &sensors {
-            let r = run(kind, sensor.clone(), sim_seconds);
+    for kind in policies {
+        for profile in SensorProfile::ALL {
+            let row = report
+                .rows
+                .iter()
+                .find(|r| r.cell.policy == kind && r.cell.sensor == profile)
+                .expect("every (policy, sensor) cell is in the sweep");
             println!(
                 "{:<18} {:<26} {:>7.2} {:>8.1} {:>8.2}",
                 kind.label(),
-                label,
-                r.hotspot_pct,
-                r.peak_temp_c,
-                r.perf.mean_turnaround_s
+                label(profile),
+                row.result.hotspot_pct,
+                row.result.peak_temp_c,
+                row.result.perf.mean_turnaround_s
             );
         }
         println!();

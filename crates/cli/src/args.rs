@@ -2,9 +2,10 @@
 
 use std::fmt;
 
-use therm3d_floorplan::Experiment;
+use therm3d::SensorProfile;
+use therm3d_floorplan::{Experiment, StackOrder};
 use therm3d_policies::PolicyKind;
-use therm3d_thermal::Integrator;
+use therm3d_thermal::{Integrator, TsvVariant};
 use therm3d_workload::Benchmark;
 
 /// Options shared by the simulation-driving subcommands.
@@ -24,6 +25,12 @@ pub struct SimOptions {
     pub grid: usize,
     /// Thermal transient integrator (default: pre-factored implicit).
     pub integrator: Integrator,
+    /// Stack orientation of the split configurations (`--stack-order`).
+    pub stack_order: StackOrder,
+    /// TSV/interlayer variant the RC network is built from (`--tsv`).
+    pub tsv: TsvVariant,
+    /// Sensor-fidelity profile the policy observes through (`--sensor`).
+    pub sensor: SensorProfile,
 }
 
 impl Default for SimOptions {
@@ -36,6 +43,9 @@ impl Default for SimOptions {
             seed: 2009,
             grid: 8,
             integrator: Integrator::default(),
+            stack_order: StackOrder::default(),
+            tsv: TsvVariant::default(),
+            sensor: SensorProfile::default(),
         }
     }
 }
@@ -91,6 +101,9 @@ pub enum Command {
     Trace { benchmark: Benchmark, cores: usize, seconds: f64, seed: u64, csv: bool },
     /// Run one cell and print per-core reliability reports.
     Reliability { sim: SimOptions, policy: PolicyKind },
+    /// Rewrite a result cache's `results.tsv`, keeping only the newest
+    /// entry per cell key and dropping stale-salt/corrupt lines.
+    CacheCompact { dir: String },
     /// Print usage.
     Help,
 }
@@ -112,29 +125,40 @@ pub const USAGE: &str = "\
 therm3d — 3D multicore dynamic thermal management simulator (DATE 2009 reproduction)
 
 USAGE:
-  therm3d run         [--exp E] [--policy P] [--benchmark B] [-t SECS] [--dpm] [--seed N] [--grid N] [--integrator I] [--csv]
-  therm3d sweep       [--exp E] [-t SECS] [--dpm] [--seed N] [--grid N] [--integrator I] [--csv]
+  therm3d run         [--exp E] [--policy P] [--benchmark B] [-t SECS] [--dpm] [--seed N] [--grid N]
+                      [--integrator I] [--stack-order O] [--tsv V] [--sensor S] [--csv]
+  therm3d sweep       [--exp E] [-t SECS] [--dpm] [--seed N] [--grid N]
+                      [--integrator I] [--stack-order O] [--tsv V] [--sensor S] [--csv]
   therm3d sweep       SPEC.toml [--threads N] [--format table|csv|json] [--csv]
                       [--cache-dir DIR] [--no-cache] [--cache-stats]
   therm3d steady      [--exp E] [--grid N]
   therm3d trace       [--benchmark B] [--cores N] [-t SECS] [--seed N] [--csv]
-  therm3d reliability [--exp E] [--policy P] [-t SECS] [--dpm] [--seed N] [--grid N] [--integrator I]
+  therm3d reliability [--exp E] [--policy P] [-t SECS] [--dpm] [--seed N] [--grid N]
+                      [--integrator I] [--stack-order O] [--tsv V] [--sensor S]
+  therm3d cache       compact --cache-dir DIR
   therm3d help
 
   E = exp1..exp4   P = figure label (Default, CGate, DVFS_TT, Adapt3D, ...)
   I = implicit-cn (pre-factored implicit transient solver, the default)
       or explicit-rk4 (the stability-bounded golden reference)
+  O = cores-far (paper default) or cores-near (logic die on the spreader)
+  V = paper, bare, dense-1pct, dense-2pct, epoxy, epoxy-dense-1pct
+  S = ideal, noisy-1c, noisy-3c, quantized-1c, noisy-2c-quant-1c, offset-cool-3c
   B = Table I name (web-med, web-high, database, web-db, gcc, gzip, mplayer, mplayer-web)
 
-  With a SPEC.toml, `sweep` expands the spec's experiment x policy x DPM
-  x seed cross-product and executes it on all cores (deterministic for
-  any --threads). Keys: name, experiments, policies, dpm, benchmarks,
-  seeds, sim_seconds, grid, policy_seed, threads.
+  With a SPEC.toml, `sweep` expands the spec's experiment x scenario
+  (stack_orders x tsv x sensors) x integrator x policy x DPM x seed
+  cross-product and executes it on all cores (deterministic for any
+  --threads). Keys: name, experiments, stack_orders, tsv, sensors,
+  integrators, policies, dpm, benchmarks, seeds, sim_seconds, grid,
+  policy_seed, threads.
 
   --cache-dir DIR memoizes results by content-addressed cell key:
   re-running a grown spec only simulates the new cells, and the report
   is byte-identical to a cold run. --no-cache ignores --cache-dir;
-  --cache-stats prints a `cache:` counters line to stderr.";
+  --cache-stats prints a `cache:` counters line to stderr.
+  `cache compact` rewrites DIR/results.tsv keeping only the newest
+  entry per cell key and dropping stale-salt and corrupt lines.";
 
 struct Tokens {
     items: Vec<String>,
@@ -180,6 +204,24 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
     let Some(sub) = items.first().cloned() else {
         return Ok(Command::Help);
     };
+    // `cache` takes a verb: `therm3d cache compact --cache-dir DIR`.
+    if sub == "cache" {
+        match items.get(1).map(String::as_str) {
+            Some("compact") => {
+                items.remove(1);
+            }
+            Some(other) => {
+                return Err(ParseCliError(format!(
+                    "unknown cache verb `{other}` (expected `compact`)"
+                )));
+            }
+            None => {
+                return Err(ParseCliError(
+                    "`cache` needs a verb: `therm3d cache compact --cache-dir DIR`".into(),
+                ));
+            }
+        }
+    }
     // `sweep` takes an optional positional spec file anywhere among its
     // flags; skip over tokens that are values of value-taking flags.
     let mut spec_path: Option<String> = None;
@@ -195,6 +237,9 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
                     | "--seed"
                     | "--grid"
                     | "--integrator"
+                    | "--stack-order"
+                    | "--tsv"
+                    | "--sensor"
                     | "--cores"
                     | "--threads"
                     | "--format"
@@ -241,6 +286,9 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
                 | "--seed"
                 | "--grid"
                 | "--integrator"
+                | "--stack-order"
+                | "--tsv"
+                | "--sensor"
                 | "--cores"
                 | "--dpm"
         ) {
@@ -260,6 +308,11 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             "--integrator" => {
                 sim.integrator = parse_num("--integrator", &t.next_value("--integrator")?)?;
             }
+            "--stack-order" => {
+                sim.stack_order = parse_num("--stack-order", &t.next_value("--stack-order")?)?;
+            }
+            "--tsv" => sim.tsv = parse_num("--tsv", &t.next_value("--tsv")?)?,
+            "--sensor" => sim.sensor = parse_num("--sensor", &t.next_value("--sensor")?)?,
             "--cores" => cores = parse_num("--cores", &t.next_value("--cores")?)?,
             "--threads" => threads = Some(parse_num("--threads", &t.next_value("--threads")?)?),
             "--format" => format = Some(parse_num("--format", &t.next_value("--format")?)?),
@@ -284,10 +337,13 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             "`--threads` and `--format` only apply to `sweep SPEC.toml`".into(),
         ));
     }
-    if (cache_dir.is_some() || no_cache || cache_stats) && !(sub == "sweep" && spec_path.is_some())
+    let spec_sweep = sub == "sweep" && spec_path.is_some();
+    if (cache_dir.is_some() && !(spec_sweep || sub == "cache"))
+        || ((no_cache || cache_stats) && !spec_sweep)
     {
         return Err(ParseCliError(
-            "`--cache-dir`, `--no-cache` and `--cache-stats` only apply to `sweep SPEC.toml`"
+            "`--cache-dir` only applies to `sweep SPEC.toml` and `cache compact`; \
+             `--no-cache` and `--cache-stats` only apply to `sweep SPEC.toml`"
                 .into(),
         ));
     }
@@ -337,11 +393,35 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             }
             None => Ok(Command::Sweep { sim, csv }),
         },
-        "steady" => Ok(Command::Steady { exp: sim.exp, grid: sim.grid }),
-        "trace" => {
-            Ok(Command::Trace { benchmark, cores, seconds: sim.seconds, seed: sim.seed, csv })
+        "steady" | "trace" => {
+            // These subcommands cannot honor the scenario flags; reject
+            // them instead of silently profiling the paper default.
+            let dropped: Vec<&String> = sim_flags
+                .iter()
+                .filter(|f| matches!(f.as_str(), "--stack-order" | "--tsv" | "--sensor"))
+                .collect();
+            if let Some(flag) = dropped.first() {
+                return Err(ParseCliError(format!(
+                    "`{flag}` only applies to simulation subcommands (run, sweep, reliability); \
+                     `{sub}` would silently ignore it"
+                )));
+            }
+            if sub == "steady" {
+                Ok(Command::Steady { exp: sim.exp, grid: sim.grid })
+            } else {
+                Ok(Command::Trace { benchmark, cores, seconds: sim.seconds, seed: sim.seed, csv })
+            }
         }
         "reliability" => Ok(Command::Reliability { sim, policy }),
+        "cache" => {
+            if !sim_flags.is_empty() || csv {
+                return Err(ParseCliError("`cache compact` only takes `--cache-dir DIR`".into()));
+            }
+            match cache_dir {
+                Some(dir) => Ok(Command::CacheCompact { dir }),
+                None => Err(ParseCliError("`cache compact` requires `--cache-dir DIR`".into())),
+            }
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseCliError(format!("unknown subcommand `{other}`"))),
     }
@@ -417,6 +497,56 @@ mod tests {
         // silently apply to it.
         let err = parse(argv("sweep s.toml --integrator rk4")).unwrap_err().0;
         assert!(err.contains("--integrator") && err.contains("s.toml"), "{err}");
+    }
+
+    #[test]
+    fn scenario_flags_parse_and_default() {
+        let cmd = parse(argv("run")).unwrap();
+        match cmd {
+            Command::Run { sim, .. } => {
+                assert_eq!(sim.stack_order, StackOrder::CoresFarFromSink);
+                assert_eq!(sim.tsv, TsvVariant::Paper);
+                assert_eq!(sim.sensor, SensorProfile::Ideal);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cmd = parse(argv(
+            "run --exp exp1 --stack-order cores-near --tsv dense-1pct --sensor noisy-1c",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run { sim, .. } => {
+                assert_eq!(sim.stack_order, StackOrder::CoresNearSink);
+                assert_eq!(sim.tsv, TsvVariant::Dense1Pct);
+                assert_eq!(sim.sensor, SensorProfile::Noisy1C);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Garbage names the flag; a spec file owns the scenario axes.
+        assert!(parse(argv("run --tsv liquid")).unwrap_err().0.contains("--tsv"));
+        assert!(parse(argv("run --sensor psychic")).unwrap_err().0.contains("--sensor"));
+        let err = parse(argv("sweep s.toml --stack-order cores-near")).unwrap_err().0;
+        assert!(err.contains("--stack-order") && err.contains("s.toml"), "{err}");
+        // Subcommands that cannot honor a scenario reject the flags
+        // instead of silently profiling the paper default.
+        for line in ["steady --exp exp1 --tsv epoxy", "trace --sensor noisy-1c"] {
+            let err = parse(argv(line)).unwrap_err().0;
+            assert!(err.contains("silently ignore"), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn cache_compact_parses_and_requires_a_dir() {
+        assert_eq!(
+            parse(argv("cache compact --cache-dir /tmp/c")).unwrap(),
+            Command::CacheCompact { dir: "/tmp/c".into() }
+        );
+        assert!(parse(argv("cache compact")).unwrap_err().0.contains("--cache-dir"));
+        assert!(parse(argv("cache")).unwrap_err().0.contains("verb"));
+        assert!(parse(argv("cache evict --cache-dir /tmp/c")).unwrap_err().0.contains("evict"));
+        // Unrelated flags are rejected, not dropped.
+        assert!(parse(argv("cache compact --cache-dir /tmp/c --exp exp1")).is_err());
+        assert!(parse(argv("cache compact --cache-dir /tmp/c --csv")).is_err());
     }
 
     #[test]

@@ -16,7 +16,12 @@ use crate::args::{Command, SimOptions, SweepFormat, USAGE};
 
 impl SimOptions {
     fn config(&self) -> SimConfig {
-        let mut cfg = SimConfig::paper_default(self.exp);
+        let scenario = therm3d::ScenarioConfig::paper_default()
+            .with_stack_order(self.stack_order)
+            .with_tsv(self.tsv)
+            .with_sensor(self.sensor)
+            .with_sensor_seed(therm3d_sweep::derive_sensor_seed(self.seed));
+        let mut cfg = SimConfig::paper_default(self.exp).with_scenario(scenario);
         cfg.thermal = cfg.thermal.with_grid(self.grid, self.grid).with_integrator(self.integrator);
         cfg
     }
@@ -31,7 +36,9 @@ impl SimOptions {
     }
 
     fn run(&self, kind: PolicyKind) -> RunResult {
-        let stack = self.exp.stack();
+        // The policy sees the same stack the engine simulates (Adapt3D's
+        // thermal indices depend on which layer each core sits on).
+        let stack = self.exp.stack_with_order(self.stack_order);
         let policy = kind.build_with_dpm(&stack, 0xACE1, self.dpm);
         let mut sim = Simulator::new(self.config(), policy);
         sim.run(&self.trace(), self.seconds)
@@ -189,6 +196,12 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 eprintln!("{stats}");
             }
         }
+        Command::CacheCompact { dir } => {
+            let mut store =
+                therm3d_sweep::CacheStore::open(std::path::Path::new(dir)).map_err(String::from)?;
+            let stats = store.compact().map_err(String::from)?;
+            let _ = writeln!(out, "cache compact: {stats} ({})", store.path().display());
+        }
         Command::Steady { exp, grid } => out.push_str(&steady_report(*exp, *grid)),
         Command::Trace { benchmark, cores, seconds, seed, csv } => {
             let trace = TraceConfig::new(*benchmark, *cores, *seconds).with_seed(*seed).generate();
@@ -341,7 +354,13 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next(),
-            Some(format!("cell,trace_seed,integrator,cell_key,{}", csv_header()).as_str())
+            Some(
+                format!(
+                    "cell,trace_seed,integrator,stack_order,tsv,sensor,cell_key,{}",
+                    csv_header()
+                )
+                .as_str()
+            )
         );
         assert_eq!(lines.count(), 4);
 
@@ -403,6 +422,66 @@ mod tests {
         .unwrap();
         assert_eq!(uncached, warm);
         let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+
+    #[test]
+    fn sweep_file_with_scenario_axes_runs_and_caches() {
+        let spec_path = std::env::temp_dir().join("therm3d_cli_scenario_sweep.toml");
+        std::fs::write(
+            &spec_path,
+            "name = \"cli-scenario\"\n\
+             experiments = [\"exp1\"]\n\
+             stack_orders = [\"cores-far\", \"cores-near\"]\n\
+             tsv = [\"paper\", \"dense-1pct\"]\n\
+             sensors = [\"ideal\", \"noisy-1c\"]\n\
+             policies = [\"Default\"]\n\
+             benchmarks = [\"gzip\"]\n\
+             sim_seconds = 2.0\n\
+             grid = 4\n",
+        )
+        .unwrap();
+        let cache_dir =
+            std::env::temp_dir().join(format!("therm3d_cli_scenario_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let run = || {
+            run_sweep_file(
+                spec_path.to_str().unwrap(),
+                Some(2),
+                SweepFormat::Csv,
+                Some(cache_dir.to_str().unwrap()),
+                true,
+            )
+            .unwrap()
+        };
+        let (cold, cold_stats) = run();
+        assert!(cold_stats.unwrap().starts_with("cache: 0 hits, 8 misses, 8 inserted"));
+        assert_eq!(cold.lines().count(), 1 + 8, "2x2x2 scenario cells");
+        assert!(cold.contains("cores-near") && cold.contains("dense-1pct"), "{cold}");
+        // Warm rerun simulates nothing — noisy sensor cells included.
+        let (warm, warm_stats) = run();
+        assert!(warm_stats.unwrap().starts_with("cache: 8 hits, 0 misses, 0 inserted"));
+        assert_eq!(cold, warm);
+        // `cache compact` over the fresh store keeps all 8 entries.
+        let out =
+            execute(&Command::CacheCompact { dir: cache_dir.to_str().unwrap().into() }).unwrap();
+        assert!(
+            out.starts_with("cache compact: kept 8, dropped 0 shadowed, 0 stale-salt, 0 corrupt"),
+            "{out}"
+        );
+        let (after, after_stats) = run();
+        assert!(after_stats.unwrap().starts_with("cache: 8 hits, 0 misses"), "still warm");
+        assert_eq!(after, cold);
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+
+    #[test]
+    fn cache_compact_on_a_missing_dir_creates_an_empty_store() {
+        let dir =
+            std::env::temp_dir().join(format!("therm3d_cli_compact_fresh_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = execute(&Command::CacheCompact { dir: dir.to_str().unwrap().into() }).unwrap();
+        assert!(out.contains("kept 0"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,42 +1,55 @@
 //! End-to-end simulation configuration.
 
-use therm3d_floorplan::{Experiment, StackOrder};
+use therm3d_floorplan::Experiment;
 use therm3d_power::{PowerParams, VfTable};
 use therm3d_thermal::{Integrator, ThermalConfig};
 
-use crate::sensor::SensorModel;
+use crate::scenario::ScenarioConfig;
+
+/// Default seed for the noisy sensor profiles when no sweep cell
+/// supplies one (the paper-reproduction trace seed, reused).
+pub const DEFAULT_SENSOR_SEED: u64 = 2009;
 
 /// Everything that defines one simulation run except the policy and the
 /// workload trace.
+///
+/// The physical/sensing scenario — stack orientation, TSV/interlayer
+/// variant, sensor fidelity — lives in [`scenario`](Self::scenario);
+/// the engine builds the die stack, the RC network's interlayer
+/// material and the policy-facing sensor from it, so
+/// `thermal.interlayer` is derived from `scenario.tsv` at simulator
+/// construction.
 ///
 /// # Examples
 ///
 /// ```
 /// use therm3d::SimConfig;
-/// use therm3d_floorplan::{Experiment, StackOrder};
+/// use therm3d_floorplan::Experiment;
 ///
 /// let cfg = SimConfig::paper_default(Experiment::Exp1);
 /// assert_eq!(cfg.tick_s, 0.1);
 /// assert_eq!(cfg.hotspot_threshold_c, 85.0);
+/// assert!(cfg.scenario.is_paper_default());
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Which 3D system to simulate.
     pub experiment: Experiment,
-    /// Vertical orientation of the split configurations (which die bonds
-    /// to the spreader); the default matches [`Experiment::stack`].
-    pub stack_order: StackOrder,
+    /// The physical/sensing scenario: stack orientation, TSV/interlayer
+    /// variant and sensor-fidelity profile.
+    pub scenario: ScenarioConfig,
     /// Thermal sampling / scheduling interval, seconds (paper: 100 ms).
     pub tick_s: f64,
-    /// Thermal model parameters (Table II).
+    /// Thermal model parameters (Table II). The interlayer material is
+    /// resolved from `scenario.tsv` when the simulator is built, unless
+    /// it was explicitly customized via `ThermalConfig::with_interlayer`
+    /// — combining a custom interlayer with a non-default `scenario.tsv`
+    /// fails [`validate`](Self::validate).
     pub thermal: ThermalConfig,
     /// Power model parameters (Section IV-B).
     pub power: PowerParams,
     /// DVFS table (three levels in the paper).
     pub vf: VfTable,
-    /// Thermal-sensor imperfections applied to policy inputs (the paper
-    /// assumes ideal sensors; see `sensor_noise_study`).
-    pub sensor: SensorModel,
     /// Hot-spot threshold, °C (Figures 3–4: 85 °C).
     pub hotspot_threshold_c: f64,
     /// Spatial-gradient threshold, °C (Figure 5: 15 °C).
@@ -69,12 +82,11 @@ impl SimConfig {
     pub fn paper_default(experiment: Experiment) -> Self {
         Self {
             experiment,
-            stack_order: StackOrder::default(),
+            scenario: ScenarioConfig::paper_default(),
             tick_s: 0.1,
             thermal: ThermalConfig::paper_default(),
             power: PowerParams::paper_default(),
             vf: VfTable::paper_default(),
-            sensor: SensorModel::ideal(),
             hotspot_threshold_c: 85.0,
             gradient_threshold_c: 15.0,
             cycle_threshold_c: 20.0,
@@ -103,6 +115,14 @@ impl SimConfig {
         self
     }
 
+    /// Returns the configuration with a different physical/sensing
+    /// scenario (stack orientation, TSV variant, sensor profile).
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: ScenarioConfig) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
     /// Validates cross-field consistency.
     ///
     /// # Panics
@@ -117,6 +137,16 @@ impl SimConfig {
         assert!(self.cycle_threshold_c > 0.0, "cycle threshold must be positive");
         assert!(self.vertical_threshold_c > 0.0, "vertical threshold must be positive");
         assert!(self.drain_max_s >= 0.0, "drain cap must be non-negative");
+        // A hand-set interlayer (`ThermalConfig::with_interlayer`) and a
+        // non-default scenario TSV variant are two competing sources for
+        // the same physical parameter; refuse the ambiguity instead of
+        // letting one silently clobber the other in the engine.
+        assert!(
+            self.scenario.tsv == therm3d_thermal::TsvVariant::default()
+                || self.thermal.interlayer == ThermalConfig::paper_default().interlayer,
+            "conflicting interlayer: both `thermal.with_interlayer(..)` and a non-default \
+             `scenario.tsv` are set; pick one source for the interlayer material"
+        );
         self.thermal.validate();
     }
 }
@@ -149,6 +179,47 @@ mod tests {
             Integrator::ImplicitCn,
             "the implicit solver is the workspace-wide default"
         );
+    }
+
+    #[test]
+    fn with_scenario_carries_every_dimension() {
+        use therm3d_floorplan::StackOrder;
+        use therm3d_thermal::TsvVariant;
+
+        let scenario = ScenarioConfig::paper_default()
+            .with_stack_order(StackOrder::CoresNearSink)
+            .with_tsv(TsvVariant::Dense2Pct)
+            .with_sensor(crate::sensor::SensorProfile::Quantized1C);
+        let cfg = SimConfig::fast(Experiment::Exp3).with_scenario(scenario);
+        assert_eq!(cfg.scenario, scenario);
+        cfg.validate();
+        // The default scenario is the paper's.
+        assert!(SimConfig::paper_default(Experiment::Exp1).scenario.is_paper_default());
+    }
+
+    #[test]
+    fn custom_interlayer_is_allowed_only_with_the_default_tsv_variant() {
+        use therm3d_thermal::{Material, TsvVariant};
+        let custom = Material::from_resistivity(0.8, 4.0e6);
+        // Custom interlayer alone: fine (pre-scenario behaviour kept).
+        let mut cfg = SimConfig::fast(Experiment::Exp1);
+        cfg.thermal = cfg.thermal.with_interlayer(custom);
+        cfg.validate();
+        // Scenario TSV variant alone: fine.
+        SimConfig::fast(Experiment::Exp1)
+            .with_scenario(ScenarioConfig::paper_default().with_tsv(TsvVariant::Dense1Pct))
+            .validate();
+        // Both at once is ambiguous and must be refused.
+        let mut both = SimConfig::fast(Experiment::Exp1)
+            .with_scenario(ScenarioConfig::paper_default().with_tsv(TsvVariant::Dense1Pct));
+        both.thermal = both.thermal.with_interlayer(custom);
+        let err = std::panic::catch_unwind(|| both.validate()).unwrap_err();
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("conflicting interlayer"), "{msg}");
     }
 
     #[test]

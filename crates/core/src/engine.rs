@@ -73,8 +73,19 @@ impl Simulator {
     #[must_use]
     pub fn new(config: SimConfig, policy: Box<dyn Policy>) -> Self {
         config.validate();
-        let stack = config.experiment.stack_with_order(config.stack_order);
-        let mut thermal = ThermalModel::new(&stack, config.thermal.clone());
+        let stack = config.experiment.stack_with_order(config.scenario.stack_order);
+        // The scenario owns the interlayer unless the caller explicitly
+        // overrode `thermal.interlayer`; a custom material combined with
+        // a non-default TSV variant is rejected by `validate` above, so
+        // the two sources can never silently fight.
+        let thermal_cfg = if config.thermal.interlayer
+            == therm3d_thermal::ThermalConfig::paper_default().interlayer
+        {
+            config.thermal.clone().with_tsv(config.scenario.tsv)
+        } else {
+            config.thermal.clone()
+        };
+        let mut thermal = ThermalModel::new(&stack, thermal_cfg);
         let power = PowerModel::new(&stack, config.power.clone(), config.vf.clone());
         let n_cores = stack.num_cores();
         let core_sites: Vec<usize> = stack.core_ids().map(|c| stack.core_block_index(c)).collect();
@@ -95,7 +106,7 @@ impl Simulator {
             utilization: vec![0.0; n_cores],
             idle_time: vec![0.0; n_cores],
             now_s: 0.0,
-            sensor: config.sensor.clone(),
+            sensor: config.scenario.sensor_model(),
             config,
             stack,
             thermal,

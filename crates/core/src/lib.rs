@@ -37,12 +37,14 @@
 pub mod config;
 pub mod engine;
 pub mod result;
+pub mod scenario;
 pub mod sensor;
 
-pub use config::SimConfig;
+pub use config::{SimConfig, DEFAULT_SENSOR_SEED};
 pub use engine::{Simulator, TickSample};
 pub use result::RunResult;
-pub use sensor::SensorModel;
+pub use scenario::ScenarioConfig;
+pub use sensor::{SensorModel, SensorProfile};
 
 pub use therm3d_floorplan as floorplan;
 pub use therm3d_metrics as metrics;

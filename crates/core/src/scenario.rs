@@ -1,0 +1,155 @@
+//! The unified physical-scenario description: everything that varies a
+//! simulation *besides* the experiment, workload and policy.
+//!
+//! The paper evaluates one fixed scenario — caches bonded to the
+//! spreader, 1024 TSVs through the 0.25 m·K/W interface, perfect
+//! sensors. This module names those choices and makes them data:
+//! a [`ScenarioConfig`] flows from the sweep spec through [`SimConfig`]
+//! into the engine, which builds the die stack from the stack order,
+//! the RC network from the TSV variant, and the policy-facing sensor
+//! from the fidelity profile. Every axis the one-off ablation binaries
+//! used to hand-roll (`orientation_study`, `sensor_noise_study`) is
+//! reachable declaratively.
+//!
+//! [`SimConfig`]: crate::SimConfig
+
+use therm3d_floorplan::StackOrder;
+use therm3d_thermal::TsvVariant;
+
+use crate::sensor::{SensorModel, SensorProfile};
+
+/// The physical/sensing scenario of one simulation: stack orientation ×
+/// TSV/interlayer variant × sensor-fidelity profile (plus the seed the
+/// noisy profiles draw from).
+///
+/// # Examples
+///
+/// ```
+/// use therm3d::{ScenarioConfig, SensorProfile};
+/// use therm3d_floorplan::StackOrder;
+/// use therm3d_thermal::TsvVariant;
+///
+/// let paper = ScenarioConfig::paper_default();
+/// assert!(paper.is_paper_default());
+///
+/// let explored = ScenarioConfig::paper_default()
+///     .with_stack_order(StackOrder::CoresNearSink)
+///     .with_tsv(TsvVariant::Dense1Pct)
+///     .with_sensor(SensorProfile::Noisy1C);
+/// assert!(!explored.is_paper_default());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScenarioConfig {
+    /// Which die bonds to the heat-spreader side of the split
+    /// configurations (EXP-2/EXP-4 are orientation-invariant).
+    pub stack_order: StackOrder,
+    /// The TSV population / interlayer material the RC network is built
+    /// from.
+    pub tsv: TsvVariant,
+    /// The sensor-fidelity profile the policies observe through
+    /// (metrics always use true temperatures).
+    pub sensor: SensorProfile,
+    /// Seed for the noisy sensor profiles' deterministic noise stream.
+    /// The sweep runner derives this from the per-cell trace seed so
+    /// noisy cells reproduce bit-identically under the result cache.
+    pub sensor_seed: u64,
+}
+
+impl ScenarioConfig {
+    /// The paper's scenario: cores far from the sink, the 1024-via
+    /// joint interlayer, ideal sensors.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            stack_order: StackOrder::default(),
+            tsv: TsvVariant::default(),
+            sensor: SensorProfile::default(),
+            sensor_seed: crate::config::DEFAULT_SENSOR_SEED,
+        }
+    }
+
+    /// Returns the scenario with a different stack orientation.
+    #[must_use]
+    pub fn with_stack_order(mut self, stack_order: StackOrder) -> Self {
+        self.stack_order = stack_order;
+        self
+    }
+
+    /// Returns the scenario with a different TSV/interlayer variant.
+    #[must_use]
+    pub fn with_tsv(mut self, tsv: TsvVariant) -> Self {
+        self.tsv = tsv;
+        self
+    }
+
+    /// Returns the scenario with a different sensor profile.
+    #[must_use]
+    pub fn with_sensor(mut self, sensor: SensorProfile) -> Self {
+        self.sensor = sensor;
+        self
+    }
+
+    /// Returns the scenario with a different sensor noise seed.
+    #[must_use]
+    pub fn with_sensor_seed(mut self, sensor_seed: u64) -> Self {
+        self.sensor_seed = sensor_seed;
+        self
+    }
+
+    /// `true` when every dimension matches the paper's assumptions
+    /// (the sensor seed is irrelevant under the ideal profile).
+    #[must_use]
+    pub fn is_paper_default(&self) -> bool {
+        self.stack_order == StackOrder::default()
+            && self.tsv == TsvVariant::default()
+            && self.sensor == SensorProfile::default()
+    }
+
+    /// The concrete sensor model this scenario equips the engine with.
+    #[must_use]
+    pub fn sensor_model(&self) -> SensorModel {
+        self.sensor.model(self.sensor_seed)
+    }
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_the_paper_scenario() {
+        let s = ScenarioConfig::paper_default();
+        assert!(s.is_paper_default());
+        assert!(s.sensor_model().is_ideal());
+        assert_eq!(s, ScenarioConfig::default());
+    }
+
+    #[test]
+    fn builders_set_each_dimension() {
+        let s = ScenarioConfig::paper_default()
+            .with_stack_order(StackOrder::CoresNearSink)
+            .with_tsv(TsvVariant::Epoxy)
+            .with_sensor(SensorProfile::Noisy3C)
+            .with_sensor_seed(99);
+        assert_eq!(s.stack_order, StackOrder::CoresNearSink);
+        assert_eq!(s.tsv, TsvVariant::Epoxy);
+        assert_eq!(s.sensor, SensorProfile::Noisy3C);
+        assert_eq!(s.sensor_seed, 99);
+        assert!(!s.is_paper_default());
+        assert_eq!(s.sensor_model().noise_sigma_c, 3.0);
+    }
+
+    #[test]
+    fn sensor_seed_does_not_break_paper_defaultness() {
+        // Only the physical dimensions count; an unused noise seed must
+        // not force a cache split or a different code path.
+        let s = ScenarioConfig::paper_default().with_sensor_seed(123);
+        assert!(s.is_paper_default());
+    }
+}

@@ -5,6 +5,103 @@
 //! ablation). Metrics always use the true temperatures — only the
 //! policies see sensor readings.
 
+use std::fmt;
+use std::str::FromStr;
+
+/// A named sensor-fidelity profile: the values of the sweep engine's
+/// `sensors` axis. Each profile resolves to a concrete [`SensorModel`]
+/// through [`model`](Self::model); the noise seed is supplied by the
+/// caller so sweep cells can derive it from their own cell seed (noisy
+/// cells stay reproducible — and cacheable — for a given spec).
+///
+/// # Examples
+///
+/// ```
+/// use therm3d::SensorProfile;
+///
+/// assert!(SensorProfile::Ideal.model(1).is_ideal());
+/// assert_eq!("noisy-1c".parse::<SensorProfile>(), Ok(SensorProfile::Noisy1C));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum SensorProfile {
+    /// A perfect sensor — the paper's implicit assumption.
+    #[default]
+    Ideal,
+    /// Gaussian noise, σ = 1 °C.
+    Noisy1C,
+    /// Gaussian noise, σ = 3 °C.
+    Noisy3C,
+    /// 1 °C quantization (2009-era thermal-diode granularity).
+    Quantized1C,
+    /// σ = 2 °C noise plus 1 °C quantization.
+    NoisyQuantized,
+    /// A −3 °C calibration offset: the sensor reads cool, the dangerous
+    /// failure mode for threshold-triggered policies.
+    OffsetCool3C,
+}
+
+impl SensorProfile {
+    /// Every profile, ideal first.
+    pub const ALL: [SensorProfile; 6] = [
+        SensorProfile::Ideal,
+        SensorProfile::Noisy1C,
+        SensorProfile::Noisy3C,
+        SensorProfile::Quantized1C,
+        SensorProfile::NoisyQuantized,
+        SensorProfile::OffsetCool3C,
+    ];
+
+    /// Canonical name, as accepted by [`FromStr`] and written by sweep
+    /// specs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SensorProfile::Ideal => "ideal",
+            SensorProfile::Noisy1C => "noisy-1c",
+            SensorProfile::Noisy3C => "noisy-3c",
+            SensorProfile::Quantized1C => "quantized-1c",
+            SensorProfile::NoisyQuantized => "noisy-2c-quant-1c",
+            SensorProfile::OffsetCool3C => "offset-cool-3c",
+        }
+    }
+
+    /// Builds the concrete sensor model. `seed` feeds the noise stream
+    /// of the noisy profiles (ignored by the deterministic ones).
+    #[must_use]
+    pub fn model(self, seed: u64) -> SensorModel {
+        match self {
+            SensorProfile::Ideal => SensorModel::ideal(),
+            SensorProfile::Noisy1C => SensorModel::ideal().with_noise(1.0, seed),
+            SensorProfile::Noisy3C => SensorModel::ideal().with_noise(3.0, seed),
+            SensorProfile::Quantized1C => SensorModel::ideal().with_quantization(1.0),
+            SensorProfile::NoisyQuantized => {
+                SensorModel::ideal().with_noise(2.0, seed).with_quantization(1.0)
+            }
+            SensorProfile::OffsetCool3C => SensorModel::ideal().with_offset(-3.0),
+        }
+    }
+}
+
+impl fmt::Display for SensorProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SensorProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lowered = s.to_ascii_lowercase();
+        SensorProfile::ALL.into_iter().find(|p| p.name() == lowered).ok_or_else(|| {
+            format!(
+                "unknown sensor profile `{s}` (expected one of ideal, noisy-1c, noisy-3c, \
+                 quantized-1c, noisy-2c-quant-1c, offset-cool-3c)"
+            )
+        })
+    }
+}
+
 /// Per-core temperature sensor imperfections applied to policy inputs.
 ///
 /// Readings are deterministic for a given seed: the same run reproduces
@@ -184,5 +281,34 @@ mod tests {
     #[should_panic(expected = "noise sigma")]
     fn negative_sigma_rejected() {
         let _ = SensorModel::ideal().with_noise(-1.0, 1);
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in SensorProfile::ALL {
+            assert_eq!(p.name().parse::<SensorProfile>(), Ok(p));
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!("IDEAL".parse::<SensorProfile>(), Ok(SensorProfile::Ideal));
+        assert!("psychic".parse::<SensorProfile>().unwrap_err().contains("psychic"));
+    }
+
+    #[test]
+    fn profiles_resolve_to_the_expected_models() {
+        assert!(SensorProfile::Ideal.model(7).is_ideal());
+        let noisy = SensorProfile::Noisy3C.model(7);
+        assert_eq!(noisy.noise_sigma_c, 3.0);
+        let nq = SensorProfile::NoisyQuantized.model(7);
+        assert_eq!((nq.noise_sigma_c, nq.quantization_c), (2.0, 1.0));
+        assert_eq!(SensorProfile::OffsetCool3C.model(7).offset_c, -3.0);
+        // Noisy profiles honour the seed (reproducible, seed-sensitive).
+        let read = |seed| SensorProfile::Noisy1C.model(seed).read(&[70.0; 16]);
+        assert_eq!(read(3), read(3));
+        assert_ne!(read(3), read(4));
+        // Deterministic profiles ignore it.
+        assert_eq!(
+            SensorProfile::Quantized1C.model(1).read(&[70.3]),
+            SensorProfile::Quantized1C.model(2).read(&[70.3])
+        );
     }
 }

@@ -16,7 +16,11 @@ use crate::stack::Stack3d;
 /// configuration) — while [`CoresNearSink`](StackOrder::CoresNearSink)
 /// gives the logic the best cooling path and is provided for
 /// design-space exploration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+///
+/// Orders have canonical names (`cores-far`, `cores-near`) accepted by
+/// [`FromStr`] and written by sweep specs, so the orientation is a
+/// first-class sweep axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub enum StackOrder {
     /// Cache layers bond to the spreader; core layers stack above
     /// (the default; see [`Experiment::stack`]).
@@ -24,6 +28,41 @@ pub enum StackOrder {
     CoresFarFromSink,
     /// Core layers bond to the spreader; cache layers stack above.
     CoresNearSink,
+}
+
+impl StackOrder {
+    /// Both orientations, default first.
+    pub const ALL: [StackOrder; 2] = [StackOrder::CoresFarFromSink, StackOrder::CoresNearSink];
+
+    /// Canonical name, as accepted by [`FromStr`] and written by sweep
+    /// specs (`cores-far`, `cores-near`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StackOrder::CoresFarFromSink => "cores-far",
+            StackOrder::CoresNearSink => "cores-near",
+        }
+    }
+}
+
+impl fmt::Display for StackOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for StackOrder {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "cores-far" | "far" | "cores-far-from-sink" => Ok(StackOrder::CoresFarFromSink),
+            "cores-near" | "near" | "cores-near-sink" => Ok(StackOrder::CoresNearSink),
+            other => {
+                Err(format!("unknown stack order `{other}` (expected cores-far or cores-near)"))
+            }
+        }
+    }
 }
 
 /// One of the paper's four experimental 3D configurations.
@@ -287,6 +326,17 @@ mod tests {
             assert_eq!(parsed, exp);
         }
         assert!("exp9".parse::<Experiment>().is_err());
+    }
+
+    #[test]
+    fn stack_order_names_round_trip() {
+        for order in StackOrder::ALL {
+            assert_eq!(order.name().parse::<StackOrder>(), Ok(order));
+            assert_eq!(order.to_string(), order.name());
+        }
+        assert_eq!("near".parse::<StackOrder>(), Ok(StackOrder::CoresNearSink));
+        assert_eq!("FAR".parse::<StackOrder>(), Ok(StackOrder::CoresFarFromSink));
+        assert!("sideways".parse::<StackOrder>().unwrap_err().contains("sideways"));
     }
 
     #[test]

@@ -58,8 +58,11 @@ use crate::spec::SweepSpec;
 /// simulator, trace generator or policy implementations change observed
 /// numbers; every existing cache entry is invalidated by the bump.
 /// (v2: the default thermal integrator switched from explicit RK4 to
-/// the pre-factored implicit scheme, which perturbs every trajectory.)
-pub const ENGINE_VERSION: &str = "therm3d-sweep-cache/v2";
+/// the pre-factored implicit scheme, which perturbs every trajectory.
+/// v3: the scenario axes — stack order, TSV/interlayer variant, sensor
+/// profile — joined the cell descriptor, and noisy sensor seeds are now
+/// derived from the per-cell trace seed; v2 entries miss cleanly.)
+pub const ENGINE_VERSION: &str = "therm3d-sweep-cache/v3";
 
 /// File name of the result store inside a cache directory.
 pub const STORE_FILE: &str = "results.tsv";
@@ -112,13 +115,19 @@ pub fn cell_key(spec: &SweepSpec, cell: &SweepCell) -> CellKey {
 #[must_use]
 pub fn cell_key_salted(spec: &SweepSpec, cell: &SweepCell, salt: &str) -> CellKey {
     let benchmarks: Vec<&str> = spec.benchmarks.iter().map(|b| b.name()).collect();
-    // Everything the simulation depends on, fully resolved; the spec
-    // name, thread count and cell index are deliberately absent, so
-    // renaming or reordering a campaign still reuses its cells.
+    // Everything the simulation depends on, fully resolved — including
+    // the scenario (stack order, TSV variant, sensor profile; the
+    // sensor noise seed is a pure function of the trace seed, so it is
+    // implied). The spec name, thread count and cell index are
+    // deliberately absent, so renaming or reordering a campaign still
+    // reuses its cells.
     let descriptor = format!(
-        "engine={salt};experiment={};integrator={};policy={};dpm={};benchmarks={};\
-         trace_seed={};policy_seed={};sim_seconds={:?};grid={}x{}",
+        "engine={salt};experiment={};stack_order={};tsv={};sensor={};integrator={};policy={};\
+         dpm={};benchmarks={};trace_seed={};policy_seed={};sim_seconds={:?};grid={}x{}",
         cell.experiment,
+        cell.stack_order,
+        cell.tsv,
+        cell.sensor,
         cell.integrator,
         cell.policy.label(),
         cell.dpm,
@@ -285,6 +294,111 @@ impl CacheStore {
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Rewrites `results.tsv` keeping only the newest entry per cell
+    /// key and dropping lines salted with an engine version other than
+    /// the current [`ENGINE_VERSION`] (stale entries can never hit
+    /// again) as well as corrupted lines. The rewrite is atomic (temp
+    /// file + rename) and the in-memory store is reloaded from the
+    /// compacted file, so lookups after compaction serve exactly what
+    /// survived.
+    ///
+    /// Long-lived caches grow one appended line per simulated cell
+    /// forever — across engine bumps and re-runs most of those lines
+    /// are dead weight this reclaims.
+    ///
+    /// **Do not compact while another process is appending to the same
+    /// store.** The rename replaces the file under the writer's open
+    /// append handle, so its subsequent inserts land in the orphaned
+    /// old inode and are lost when it exits. Compact between
+    /// campaigns (e.g. after merging distributed-sweep shards), never
+    /// concurrently with one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Cache`] when the store file cannot be
+    /// read, the temp file cannot be written, or the rename fails.
+    pub fn compact(&mut self) -> Result<CompactStats, SweepError> {
+        let io_err = |path: &Path, e: &std::io::Error| SweepError::Cache {
+            path: path.display().to_string(),
+            cause: e.to_string(),
+        };
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(io_err(&self.path, &e)),
+        };
+
+        let mut stats = CompactStats::default();
+        let current_salt = format!("engine={ENGINE_VERSION};");
+        // Newest-wins per key, preserving first-seen order so compaction
+        // output is deterministic and diffs stay small.
+        let mut order: Vec<u64> = Vec::new();
+        let mut newest: HashMap<u64, (String, RunResult)> = HashMap::new();
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            match decode_entry(line) {
+                Some((hash, descriptor, result)) => {
+                    if newest.insert(hash, (descriptor, result)).is_some() {
+                        stats.dropped_shadowed += 1;
+                    } else {
+                        order.push(hash);
+                    }
+                }
+                None => stats.dropped_corrupt += 1,
+            }
+        }
+
+        let mut out = String::new();
+        for &hash in &order {
+            let (descriptor, result) = &newest[&hash];
+            if !descriptor.starts_with(&current_salt) {
+                stats.dropped_stale += 1;
+                continue;
+            }
+            let key = CellKey { hash, descriptor: descriptor.clone() };
+            out.push_str(&encode_entry(&key, result));
+            out.push('\n');
+            stats.kept += 1;
+        }
+
+        let tmp = self.path.with_extension("tsv.compact");
+        std::fs::write(&tmp, &out).map_err(|e| io_err(&tmp, &e))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| io_err(&self.path, &e))?;
+
+        // The old append handle points at the replaced inode; drop it so
+        // the next insert reopens the compacted file, and reload the
+        // entry map to exactly what survived.
+        self.appender = None;
+        self.needs_leading_newline = false;
+        self.entries = newest
+            .into_iter()
+            .filter(|(_, (descriptor, _))| descriptor.starts_with(&current_salt))
+            .collect();
+        Ok(stats)
+    }
+}
+
+/// What [`CacheStore::compact`] kept and dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactStats {
+    /// Entries surviving compaction (newest per key, current salt).
+    pub kept: u64,
+    /// Older duplicates shadowed by a newer entry for the same key.
+    pub dropped_shadowed: u64,
+    /// Entries salted with a non-current engine version.
+    pub dropped_stale: u64,
+    /// Corrupted/truncated/foreign lines discarded.
+    pub dropped_corrupt: u64,
+}
+
+impl std::fmt::Display for CompactStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kept {}, dropped {} shadowed, {} stale-salt, {} corrupt",
+            self.kept, self.dropped_shadowed, self.dropped_stale, self.dropped_corrupt
+        )
     }
 }
 
@@ -585,6 +699,79 @@ mod tests {
         assert_eq!(store.lookup(&cell_key(&spec, cell)), None);
         assert_eq!(store.stats().misses, 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_keeps_newest_drops_stale_and_shadowed() {
+        let dir = tmp_dir("compact");
+        let spec = spec();
+        let cells = expand(&spec);
+        let (k0, k1) = (cell_key(&spec, &cells[0]), cell_key(&spec, &cells[1]));
+        let stale = cell_key_salted(&spec, &cells[2], "therm3d-sweep-cache/v2");
+        let mut store = CacheStore::open(&dir).unwrap();
+        store.insert(&k0, &result("Old")).unwrap();
+        store.insert(&k1, &result("Adapt3D")).unwrap();
+        store.insert(&stale, &result("Stale")).unwrap();
+        store.insert(&k0, &result("New")).unwrap(); // shadows the first line
+                                                    // Plus one corrupted line a crashed writer left behind.
+        drop(store);
+        let path = dir.join(STORE_FILE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("therm3d-cache-v1\tgarbage\n");
+        std::fs::write(&path, text).unwrap();
+
+        let mut store = CacheStore::open(&dir).unwrap();
+        let stats = store.compact().unwrap();
+        assert_eq!(
+            stats,
+            CompactStats { kept: 2, dropped_shadowed: 1, dropped_stale: 1, dropped_corrupt: 1 },
+            "{stats}"
+        );
+        // The file holds exactly the survivors, newest value wins, and
+        // the store still serves them — before and after a reopen.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text}");
+        assert_eq!(store.lookup(&k0).unwrap().policy, "New");
+        assert!(store.lookup(&k1).is_some());
+        assert_eq!(store.lookup(&cell_key(&spec, &cells[2])), None, "stale salt gone");
+        // Inserts after compaction land in the new file, not the old inode.
+        store.insert(&cell_key(&spec, &cells[3]), &result("Fresh")).unwrap();
+        let mut reopened = CacheStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(reopened.stats().corrupt, 0, "compacted store is fully clean");
+        assert_eq!(reopened.lookup(&k0).unwrap().policy, "New");
+        // A second compaction is a no-op.
+        let again = reopened.compact().unwrap();
+        assert_eq!(again, CompactStats { kept: 3, ..CompactStats::default() });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_on_a_missing_store_is_empty_not_an_error() {
+        let dir = tmp_dir("compact_empty");
+        let mut store = CacheStore::open(&dir).unwrap();
+        assert_eq!(store.compact().unwrap(), CompactStats::default());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_axes_are_in_the_descriptor_and_split_keys() {
+        let spec = spec();
+        let cells = expand(&spec);
+        let base = cell_key(&spec, &cells[0]);
+        for part in ["stack_order=cores-far", "tsv=paper", "sensor=ideal"] {
+            assert!(base.descriptor().contains(part), "{}", base.descriptor());
+        }
+        // Each scenario dimension alone changes the key.
+        let mut near = cells[0].clone();
+        near.stack_order = therm3d_floorplan::StackOrder::CoresNearSink;
+        let mut dense = cells[0].clone();
+        dense.tsv = therm3d_thermal::TsvVariant::Dense1Pct;
+        let mut noisy = cells[0].clone();
+        noisy.sensor = therm3d::SensorProfile::Noisy1C;
+        for twin in [&near, &dense, &noisy] {
+            assert_ne!(base, cell_key(&spec, twin));
+        }
     }
 
     #[test]

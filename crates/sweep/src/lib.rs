@@ -8,7 +8,9 @@
 //!
 //! 1. [`SweepSpec`] — a declarative scenario description (builder API,
 //!    or a TOML file via [`from_toml`]/[`to_toml`]) with axes over
-//!    experiments, policies, DPM, benchmarks and trace seeds;
+//!    experiments, stack orders, TSV/interlayer variants,
+//!    sensor-fidelity profiles, integrators, policies, DPM, benchmarks
+//!    and trace seeds;
 //! 2. [`expand`] — deterministic cross-product expansion into a run
 //!    matrix of [`SweepCell`]s, each a pure function of the spec (seeds
 //!    derived per cell, never from scheduling order);
@@ -60,9 +62,9 @@ pub mod runner;
 pub mod spec;
 pub mod toml;
 
-pub use cache::{cell_key, CacheStats, CacheStore, CellKey, ENGINE_VERSION};
+pub use cache::{cell_key, CacheStats, CacheStore, CellKey, CompactStats, ENGINE_VERSION};
 pub use error::SweepError;
-pub use matrix::{derive_policy_seed, expand, SweepCell};
+pub use matrix::{derive_policy_seed, derive_sensor_seed, expand, SweepCell};
 pub use report::{csv_header, csv_row, SweepReport, SweepRow, CSV_HEADER};
 pub use runner::{effective_threads, run, run_cell, run_with_cache, sim_config};
 pub use spec::{parse_sim_seconds, sim_seconds_from_env, SweepSpec};

@@ -1,14 +1,17 @@
 //! Deterministic expansion of a [`SweepSpec`] into a run matrix.
 //!
 //! The canonical cell order is row-major over the axes as listed in the
-//! spec: seeds (outermost), then experiments, then integrators, then
-//! DPM, then policies (innermost). Every cell is a *pure function* of the spec — its seeds
-//! are derived from the axis values, never from scheduling order — so a
-//! sweep produces identical results whatever the thread count.
+//! spec: seeds (outermost), then experiments, then the scenario axes
+//! (stack orders, then TSV variants, then sensor profiles), then
+//! integrators, then DPM, then policies (innermost). Every cell is a
+//! *pure function* of the spec — its seeds are derived from the axis
+//! values, never from scheduling order — so a sweep produces identical
+//! results whatever the thread count.
 
-use therm3d_floorplan::Experiment;
+use therm3d::SensorProfile;
+use therm3d_floorplan::{Experiment, StackOrder};
 use therm3d_policies::PolicyKind;
-use therm3d_thermal::Integrator;
+use therm3d_thermal::{Integrator, TsvVariant};
 
 use crate::spec::SweepSpec;
 
@@ -21,6 +24,12 @@ pub struct SweepCell {
     pub seed_index: usize,
     /// The 3D system.
     pub experiment: Experiment,
+    /// Which die bonds to the spreader in the split configurations.
+    pub stack_order: StackOrder,
+    /// The TSV/interlayer variant the RC network is built from.
+    pub tsv: TsvVariant,
+    /// The sensor-fidelity profile the policy observes through.
+    pub sensor: SensorProfile,
     /// The thermal transient integrator this cell simulates with.
     pub integrator: Integrator,
     /// The DTM policy.
@@ -43,14 +52,27 @@ impl SweepCell {
     #[must_use]
     pub fn describe(&self) -> String {
         format!(
-            "cell #{} ({}, {}, {}, dpm={}, trace_seed={})",
+            "cell #{} ({}, {}, {}, tsv={}, sensor={}, {}, dpm={}, trace_seed={})",
             self.index,
             self.experiment,
+            self.stack_order,
             self.integrator,
+            self.tsv,
+            self.sensor,
             self.policy.label(),
             self.dpm,
             self.trace_seed,
         )
+    }
+
+    /// The sensor noise seed this cell's noisy profiles draw from: a
+    /// pure function of the trace seed (see [`derive_sensor_seed`]), so
+    /// every policy in one (experiment, seed) group reads through the
+    /// *same* imperfect sensor — policies stay comparable, and a cached
+    /// noisy cell reproduces bit-identically.
+    #[must_use]
+    pub fn sensor_seed(&self) -> u64 {
+        derive_sensor_seed(self.trace_seed)
     }
 }
 
@@ -61,6 +83,18 @@ pub fn derive_policy_seed(base: u16, seed_index: usize) -> u16 {
     // Golden-ratio stride keeps replica streams well separated; the
     // LFSR remaps an accidental 0 internally.
     base ^ (seed_index as u16).wrapping_mul(0x9E37)
+}
+
+/// Derives the sensor noise seed from a cell's trace seed (splitmix64
+/// finalizer over a domain-separated input, so sensor and trace streams
+/// never correlate even though one seeds the other). Pure and
+/// scheduling-independent, like every other per-cell seed.
+#[must_use]
+pub fn derive_sensor_seed(trace_seed: u64) -> u64 {
+    let mut z = trace_seed ^ 0x5E45_0E5E_ED00_2009; // "sensor seed" domain tag
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Expands `spec` into its canonical run matrix.
@@ -81,19 +115,28 @@ pub fn expand(spec: &SweepSpec) -> Vec<SweepCell> {
     for (seed_index, &trace_seed) in spec.seeds.iter().enumerate() {
         let policy_seed = derive_policy_seed(spec.policy_seed, seed_index);
         for &experiment in &spec.experiments {
-            for &integrator in &spec.integrators {
-                for &dpm in &spec.dpm {
-                    for &policy in &spec.policies {
-                        cells.push(SweepCell {
-                            index: cells.len(),
-                            seed_index,
-                            experiment,
-                            integrator,
-                            policy,
-                            dpm,
-                            trace_seed,
-                            policy_seed,
-                        });
+            for &stack_order in &spec.stack_orders {
+                for &tsv in &spec.tsv {
+                    for &sensor in &spec.sensors {
+                        for &integrator in &spec.integrators {
+                            for &dpm in &spec.dpm {
+                                for &policy in &spec.policies {
+                                    cells.push(SweepCell {
+                                        index: cells.len(),
+                                        seed_index,
+                                        experiment,
+                                        stack_order,
+                                        tsv,
+                                        sensor,
+                                        integrator,
+                                        policy,
+                                        dpm,
+                                        trace_seed,
+                                        policy_seed,
+                                    });
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -149,6 +192,48 @@ mod tests {
         for (i, c) in cells.iter().enumerate() {
             assert_eq!(c.index, i);
         }
+    }
+
+    #[test]
+    fn scenario_axes_expand_between_experiments_and_integrators() {
+        let spec = SweepSpec::new("x")
+            .with_experiments(&[Experiment::Exp1])
+            .with_stack_orders(&StackOrder::ALL)
+            .with_tsv(&[TsvVariant::Paper, TsvVariant::Dense1Pct])
+            .with_sensors(&[SensorProfile::Ideal, SensorProfile::Noisy1C])
+            .with_policies(&[PolicyKind::Default]);
+        let cells = expand(&spec);
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        // Sensor is the innermost of the scenario axes…
+        assert_eq!(cells[0].sensor, SensorProfile::Ideal);
+        assert_eq!(cells[1].sensor, SensorProfile::Noisy1C);
+        // …then TSV…
+        assert!(cells[..2].iter().all(|c| c.tsv == TsvVariant::Paper));
+        assert!(cells[2..4].iter().all(|c| c.tsv == TsvVariant::Dense1Pct));
+        // …then the stack order outermost of the three.
+        assert!(cells[..4].iter().all(|c| c.stack_order == StackOrder::CoresFarFromSink));
+        assert!(cells[4..].iter().all(|c| c.stack_order == StackOrder::CoresNearSink));
+        // The descriptor names every scenario dimension.
+        let d = cells[7].describe();
+        assert!(
+            d.contains("cores-near")
+                && d.contains("tsv=dense-1pct")
+                && d.contains("sensor=noisy-1c"),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn sensor_seeds_are_derived_not_scheduled() {
+        let spec = SweepSpec::new("x").with_seeds(&[5, 6]);
+        let cells = expand(&spec);
+        for c in &cells {
+            assert_eq!(c.sensor_seed(), derive_sensor_seed(c.trace_seed));
+        }
+        // Distinct trace seeds give decorrelated sensor streams; the
+        // derivation itself never collides with the trace seed.
+        assert_ne!(derive_sensor_seed(5), derive_sensor_seed(6));
+        assert_ne!(derive_sensor_seed(5), 5);
     }
 
     #[test]

@@ -68,9 +68,13 @@ impl SweepReport {
     /// The results for one (experiment, dpm, seed-axis position) group,
     /// in the spec's policy order — the shape one figure column needs.
     ///
-    /// Rows of every integrator on the spec's axis are included; the
-    /// figure sweeps all use the single default integrator, and
-    /// integrator-comparison campaigns filter `rows` directly.
+    /// Rows of every integrator **and every scenario combination**
+    /// (stack order × TSV variant × sensor profile) on the spec's axes
+    /// are included: the figure sweeps all use single-valued scenario
+    /// and integrator axes, and multi-scenario campaigns (like the
+    /// ported ablation binaries) filter `rows` directly — calling
+    /// `group` on such a report would interleave scenarios into one
+    /// column.
     #[must_use]
     pub fn group(&self, experiment: Experiment, dpm: bool, seed_index: usize) -> Vec<&RunResult> {
         self.rows
@@ -84,7 +88,8 @@ impl SweepReport {
             .collect()
     }
 
-    /// CSV export: `cell,trace_seed,integrator,cell_key,` +
+    /// CSV export:
+    /// `cell,trace_seed,integrator,stack_order,tsv,sensor,cell_key,` +
     /// [`CSV_HEADER`], one line per cell in canonical order. Identical
     /// for every thread count and for any cache hit/miss mix
     /// (`cell_key` is derived from the spec, not from how the row was
@@ -92,14 +97,20 @@ impl SweepReport {
     #[must_use]
     pub fn csv(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "cell,trace_seed,integrator,cell_key,{CSV_HEADER}");
+        let _ = writeln!(
+            out,
+            "cell,trace_seed,integrator,stack_order,tsv,sensor,cell_key,{CSV_HEADER}"
+        );
         for row in &self.rows {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{}",
                 row.cell.index,
                 row.cell.trace_seed,
                 row.cell.integrator,
+                row.cell.stack_order,
+                row.cell.tsv,
+                row.cell.sensor,
                 row.key,
                 csv_row(&row.result, row.cell.dpm)
             );
@@ -122,6 +133,7 @@ impl SweepReport {
                 out,
                 "    {{\"cell\": {}, \"cell_key\": {}, \"experiment\": {}, \"policy\": {}, \
                  \"dpm\": {}, \"integrator\": {}, \
+                 \"stack_order\": {}, \"tsv\": {}, \"sensor\": {}, \
                  \"trace_seed\": {}, \"hotspot_pct\": {}, \"gradient_pct\": {}, \
                  \"cycle_pct\": {}, \"peak_temp_c\": {}, \"vertical_peak_c\": {}, \
                  \"mean_turnaround_s\": {}, \"completed\": {}, \"energy_j\": {}, \
@@ -132,6 +144,9 @@ impl SweepReport {
                 json_string(&r.policy),
                 row.cell.dpm,
                 json_string(row.cell.integrator.name()),
+                json_string(row.cell.stack_order.name()),
+                json_string(row.cell.tsv.name()),
+                json_string(row.cell.sensor.name()),
                 row.cell.trace_seed,
                 json_f64(r.hotspot_pct),
                 json_f64(r.gradient_pct),
@@ -152,19 +167,40 @@ impl SweepReport {
     }
 
     /// Paper-style text rendering: one fixed-width table per
-    /// (experiment, DPM, seed) group, rows in the spec's policy order,
-    /// with throughput normalized to each group's first policy.
+    /// (experiment, scenario, integrator, DPM, seed) group, rows in the
+    /// spec's policy order, with throughput normalized to each group's
+    /// first policy. Scenario and integrator qualifiers appear in the
+    /// group heading only when the respective axis actually varies, so
+    /// single-scenario sweeps render exactly as before.
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "sweep '{}': {} cells", self.name, self.rows.len());
-        let multi_integrator =
-            self.rows.iter().any(|r| r.cell.integrator != self.rows[0].cell.integrator);
-        let mut groups: Vec<(Experiment, therm3d_thermal::Integrator, bool, usize, u64)> =
-            Vec::new();
+        let first = match self.rows.first() {
+            Some(row) => &row.cell,
+            None => return out,
+        };
+        let multi_integrator = self.rows.iter().any(|r| r.cell.integrator != first.integrator);
+        let multi_order = self.rows.iter().any(|r| r.cell.stack_order != first.stack_order);
+        let multi_tsv = self.rows.iter().any(|r| r.cell.tsv != first.tsv);
+        let multi_sensor = self.rows.iter().any(|r| r.cell.sensor != first.sensor);
+        type GroupKey = (
+            Experiment,
+            therm3d_floorplan::StackOrder,
+            therm3d_thermal::TsvVariant,
+            therm3d::SensorProfile,
+            therm3d_thermal::Integrator,
+            bool,
+            usize,
+            u64,
+        );
+        let mut groups: Vec<GroupKey> = Vec::new();
         for row in &self.rows {
             let key = (
                 row.cell.experiment,
+                row.cell.stack_order,
+                row.cell.tsv,
+                row.cell.sensor,
                 row.cell.integrator,
                 row.cell.dpm,
                 row.cell.seed_index,
@@ -174,23 +210,43 @@ impl SweepReport {
                 groups.push(key);
             }
         }
-        for (experiment, integrator, dpm, seed_index, trace_seed) in groups {
+        for (experiment, stack_order, tsv, sensor, integrator, dpm, seed_index, trace_seed) in
+            groups
+        {
             let runs: Vec<&RunResult> = self
                 .rows
                 .iter()
                 .filter(|r| {
                     r.cell.experiment == experiment
+                        && r.cell.stack_order == stack_order
+                        && r.cell.tsv == tsv
+                        && r.cell.sensor == sensor
                         && r.cell.integrator == integrator
                         && r.cell.dpm == dpm
                         && r.cell.seed_index == seed_index
                 })
                 .map(|r| &r.result)
                 .collect();
+            let mut qualifiers = String::new();
+            if multi_order {
+                let _ = write!(qualifiers, " {stack_order}");
+            }
+            if multi_tsv {
+                let _ = write!(qualifiers, " tsv={tsv}");
+            }
+            if multi_sensor {
+                let _ = write!(qualifiers, " sensor={sensor}");
+            }
+            if multi_integrator {
+                let _ = write!(qualifiers, " {integrator}");
+            }
+            if !qualifiers.is_empty() {
+                qualifiers = format!(" [{}]", qualifiers.trim_start());
+            }
             let _ = writeln!(
                 out,
-                "\n== {experiment}{}{} (trace seed {trace_seed})",
+                "\n== {experiment}{}{qualifiers} (trace seed {trace_seed})",
                 if dpm { " +DPM" } else { "" },
-                if multi_integrator { format!(" [{integrator}]") } else { String::new() },
             );
             let _ = writeln!(out, "{}", RunResult::table_header());
             let baseline = runs.first().copied();
@@ -279,13 +335,45 @@ mod tests {
         let report = fake_report();
         let csv = report.csv();
         let mut lines = csv.lines();
-        assert_eq!(lines.next(), Some("cell,trace_seed,integrator,cell_key,policy,experiment,dpm,hot_pct,grad_pct,cycle_pct,peak_c,vertical_peak_c,mean_turnaround_s,energy_j,migrations,unfinished"));
+        assert_eq!(lines.next(), Some("cell,trace_seed,integrator,stack_order,tsv,sensor,cell_key,policy,experiment,dpm,hot_pct,grad_pct,cycle_pct,peak_c,vertical_peak_c,mean_turnaround_s,energy_j,migrations,unfinished"));
         assert_eq!(lines.count(), report.rows.len());
-        // Every data row carries its 16-hex-digit provenance key.
+        // Every data row carries its scenario columns and its
+        // 16-hex-digit provenance key.
         for (line, row) in csv.lines().skip(1).zip(&report.rows) {
             assert_eq!(line.split(',').nth(2), Some("implicit-cn"), "{line}");
-            assert_eq!(line.split(',').nth(3), Some(row.key.as_str()), "{line}");
+            assert_eq!(line.split(',').nth(3), Some("cores-far"), "{line}");
+            assert_eq!(line.split(',').nth(4), Some("paper"), "{line}");
+            assert_eq!(line.split(',').nth(5), Some("ideal"), "{line}");
+            assert_eq!(line.split(',').nth(6), Some(row.key.as_str()), "{line}");
         }
+    }
+
+    #[test]
+    fn render_qualifies_groups_only_when_a_scenario_axis_varies() {
+        use therm3d::SensorProfile;
+        use therm3d_floorplan::StackOrder;
+
+        // Single-scenario report: headings carry no qualifier block.
+        let plain = fake_report().render();
+        assert!(!plain.contains('['), "{plain}");
+
+        // A report whose stack-order and sensor axes vary names them.
+        let spec = SweepSpec::new("multi")
+            .with_experiments(&[Experiment::Exp1])
+            .with_stack_orders(&StackOrder::ALL)
+            .with_sensors(&[SensorProfile::Ideal, SensorProfile::Noisy1C])
+            .with_policies(&[PolicyKind::Default]);
+        let rows = expand(&spec)
+            .into_iter()
+            .map(|cell| SweepRow {
+                key: crate::cache::cell_key(&spec, &cell).hex(),
+                result: fake_result(cell.policy.label(), cell.experiment),
+                cell,
+            })
+            .collect();
+        let text = SweepReport { name: spec.name, rows }.render();
+        assert!(text.contains("[cores-near sensor=noisy-1c]"), "{text}");
+        assert!(!text.contains("tsv="), "single-valued axes stay silent: {text}");
     }
 
     #[test]

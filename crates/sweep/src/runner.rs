@@ -24,7 +24,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
-use therm3d::{RunResult, SimConfig, Simulator};
+use therm3d::{RunResult, ScenarioConfig, SimConfig, Simulator};
 use therm3d_workload::{generate_mix, JobTrace};
 
 use crate::cache::{cell_key, CacheStore};
@@ -33,10 +33,18 @@ use crate::matrix::{expand, SweepCell};
 use crate::report::{SweepReport, SweepRow};
 use crate::spec::SweepSpec;
 
-/// The simulator configuration for one cell of `spec`.
+/// The simulator configuration for one cell of `spec`: paper defaults
+/// plus the cell's scenario (stack order, TSV variant, sensor profile —
+/// with the noise seed derived from the cell's trace seed), grid and
+/// integrator.
 #[must_use]
 pub fn sim_config(spec: &SweepSpec, cell: &SweepCell) -> SimConfig {
-    let mut cfg = SimConfig::paper_default(cell.experiment);
+    let scenario = ScenarioConfig::paper_default()
+        .with_stack_order(cell.stack_order)
+        .with_tsv(cell.tsv)
+        .with_sensor(cell.sensor)
+        .with_sensor_seed(cell.sensor_seed());
+    let mut cfg = SimConfig::paper_default(cell.experiment).with_scenario(scenario);
     cfg.thermal = cfg.thermal.with_grid(spec.grid.0, spec.grid.1).with_integrator(cell.integrator);
     cfg
 }
@@ -57,7 +65,9 @@ pub fn run_cell(spec: &SweepSpec, cell: &SweepCell) -> RunResult {
 }
 
 fn run_cell_with_trace(spec: &SweepSpec, cell: &SweepCell, trace: &JobTrace) -> RunResult {
-    let stack = cell.experiment.stack();
+    // The policy must see the same stack the engine simulates (Adapt3D's
+    // thermal indices depend on which layer each core sits on).
+    let stack = cell.experiment.stack_with_order(cell.stack_order);
     let policy = cell.policy.build_with_dpm(&stack, cell.policy_seed, cell.dpm);
     let mut sim = Simulator::new(sim_config(spec, cell), policy);
     sim.run(trace, spec.sim_seconds)

@@ -1,9 +1,10 @@
 //! The declarative description of a scenario sweep: which axes to cross,
 //! how long to simulate, and how to seed each cell.
 
-use therm3d_floorplan::Experiment;
+use therm3d::SensorProfile;
+use therm3d_floorplan::{Experiment, StackOrder};
 use therm3d_policies::PolicyKind;
-use therm3d_thermal::Integrator;
+use therm3d_thermal::{Integrator, TsvVariant};
 use therm3d_workload::Benchmark;
 
 /// Default simulated seconds per cell (the figure binaries' default).
@@ -39,6 +40,18 @@ pub struct SweepSpec {
     pub name: String,
     /// 3D systems to simulate (EXP-1..4).
     pub experiments: Vec<Experiment>,
+    /// Stack-orientation axis: which die bonds to the spreader in the
+    /// split configurations (default: the paper's `cores-far` only).
+    pub stack_orders: Vec<StackOrder>,
+    /// TSV/interlayer-variant axis: the named via population and
+    /// interface material the RC network is built from (default: the
+    /// paper's 1024-via joint interlayer only).
+    pub tsv: Vec<TsvVariant>,
+    /// Sensor-fidelity axis: the imperfection profile the policies
+    /// observe through (default: ideal sensors only). Noisy profiles
+    /// seed their stream from the per-cell trace seed, so noisy cells
+    /// are reproducible and cacheable.
+    pub sensors: Vec<SensorProfile>,
     /// Thermal transient integrators to run (default: the implicit
     /// pre-factored scheme only; add `explicit-rk4` to sweep the golden
     /// reference alongside it, e.g. for accuracy/performance studies).
@@ -79,6 +92,9 @@ impl SweepSpec {
         Self {
             name: name.to_owned(),
             experiments: Experiment::ALL.to_vec(),
+            stack_orders: vec![StackOrder::default()],
+            tsv: vec![TsvVariant::default()],
+            sensors: vec![SensorProfile::default()],
             integrators: vec![Integrator::default()],
             policies: PolicyKind::ALL.to_vec(),
             dpm: vec![false],
@@ -95,6 +111,27 @@ impl SweepSpec {
     #[must_use]
     pub fn with_experiments(mut self, experiments: &[Experiment]) -> Self {
         self.experiments = experiments.to_vec();
+        self
+    }
+
+    /// Sets the stack-orientation axis.
+    #[must_use]
+    pub fn with_stack_orders(mut self, stack_orders: &[StackOrder]) -> Self {
+        self.stack_orders = stack_orders.to_vec();
+        self
+    }
+
+    /// Sets the TSV/interlayer-variant axis.
+    #[must_use]
+    pub fn with_tsv(mut self, tsv: &[TsvVariant]) -> Self {
+        self.tsv = tsv.to_vec();
+        self
+    }
+
+    /// Sets the sensor-fidelity axis.
+    #[must_use]
+    pub fn with_sensors(mut self, sensors: &[SensorProfile]) -> Self {
+        self.sensors = sensors.to_vec();
         self
     }
 
@@ -165,6 +202,9 @@ impl SweepSpec {
     #[must_use]
     pub fn cell_count(&self) -> usize {
         self.experiments.len()
+            * self.stack_orders.len()
+            * self.tsv.len()
+            * self.sensors.len()
             * self.integrators.len()
             * self.policies.len()
             * self.dpm.len()
@@ -197,6 +237,9 @@ impl SweepSpec {
             return Err(format!("`name` must not contain quotes or line breaks: {:?}", self.name));
         }
         no_dupes(&self.experiments, "experiments")?;
+        no_dupes(&self.stack_orders, "stack_orders")?;
+        no_dupes(&self.tsv, "tsv")?;
+        no_dupes(&self.sensors, "sensors")?;
         no_dupes(&self.integrators, "integrators")?;
         no_dupes(&self.policies, "policies")?;
         no_dupes(&self.dpm, "dpm")?;
@@ -285,6 +328,23 @@ mod tests {
         let dup =
             SweepSpec::new("x").with_integrators(&[Integrator::ImplicitCn, Integrator::ImplicitCn]);
         assert!(dup.validate().unwrap_err().contains("integrators"));
+    }
+
+    #[test]
+    fn scenario_axes_multiply_cells_and_reject_duplicates() {
+        let spec = SweepSpec::new("scenario")
+            .with_stack_orders(&StackOrder::ALL)
+            .with_tsv(&[TsvVariant::Paper, TsvVariant::Dense1Pct, TsvVariant::Epoxy])
+            .with_sensors(&[SensorProfile::Ideal, SensorProfile::Noisy1C]);
+        assert_eq!(spec.cell_count(), 2 * 3 * 2 * 44);
+        spec.validate().unwrap();
+        for (bad, field) in [
+            (SweepSpec::new("x").with_stack_orders(&[]), "stack_orders"),
+            (SweepSpec::new("x").with_tsv(&[TsvVariant::Bare, TsvVariant::Bare]), "tsv"),
+            (SweepSpec::new("x").with_sensors(&[SensorProfile::Ideal; 2]), "sensors"),
+        ] {
+            assert!(bad.validate().unwrap_err().contains(field), "{field}");
+        }
     }
 
     #[test]

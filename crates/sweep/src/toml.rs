@@ -12,6 +12,9 @@
 //! [sweep]                      # optional section header
 //! name = "quick"
 //! experiments = ["exp1", "exp3"]           # exp1..exp4
+//! stack_orders = ["cores-far", "cores-near"]  # split-config orientation
+//! tsv = ["paper", "dense-1pct"]            # TSV/interlayer variants
+//! sensors = ["ideal", "noisy-1c"]          # sensor-fidelity profiles
 //! integrators = ["implicit-cn"]            # or explicit-rk4 (golden reference)
 //! policies = ["Default", "Adapt3D"]        # figure labels
 //! dpm = [false, true]
@@ -31,9 +34,10 @@
 
 use std::str::FromStr;
 
-use therm3d_floorplan::Experiment;
+use therm3d::SensorProfile;
+use therm3d_floorplan::{Experiment, StackOrder};
 use therm3d_policies::PolicyKind;
-use therm3d_thermal::Integrator;
+use therm3d_thermal::{Integrator, TsvVariant};
 use therm3d_workload::Benchmark;
 
 use crate::spec::SweepSpec;
@@ -204,6 +208,15 @@ pub fn from_toml(text: &str) -> Result<SweepSpec, String> {
             return Err(format!("line {line_no}: expected `key = value`, got `{line}`"));
         };
         let key = key.trim();
+        // `sensor` is accepted as an alias for `sensors` (and likewise
+        // for the singular of the other scenario axes); canonicalize
+        // before the duplicate check so an alias cannot smuggle a
+        // second value past it.
+        let key = match key {
+            "sensor" => "sensors",
+            "stack_order" => "stack_orders",
+            other => other,
+        };
         // Real TOML rejects duplicate keys; silently letting the last
         // one win would drop an axis the user believes is in effect.
         if seen.iter().any(|k| k == key) {
@@ -233,6 +246,24 @@ fn apply_key(spec: &mut SweepSpec, key: &str, value: &Value) -> Result<(), Strin
             spec.experiments = scalar_list(value)
                 .iter()
                 .map(|s| typed::<Experiment>(s, key))
+                .collect::<Result<_, _>>()?;
+        }
+        "stack_orders" => {
+            spec.stack_orders = scalar_list(value)
+                .iter()
+                .map(|s| typed::<StackOrder>(s, key))
+                .collect::<Result<_, _>>()?;
+        }
+        "tsv" => {
+            spec.tsv = scalar_list(value)
+                .iter()
+                .map(|s| typed::<TsvVariant>(s, key))
+                .collect::<Result<_, _>>()?;
+        }
+        "sensors" => {
+            spec.sensors = scalar_list(value)
+                .iter()
+                .map(|s| typed::<SensorProfile>(s, key))
                 .collect::<Result<_, _>>()?;
         }
         "integrators" => {
@@ -319,6 +350,13 @@ pub fn to_toml(spec: &SweepSpec) -> String {
         "experiments = {}",
         string_array(&spec.experiments, |e| e.to_string().to_ascii_lowercase())
     );
+    let _ = writeln!(
+        out,
+        "stack_orders = {}",
+        string_array(&spec.stack_orders, |o| o.name().to_owned())
+    );
+    let _ = writeln!(out, "tsv = {}", string_array(&spec.tsv, |v| v.name().to_owned()));
+    let _ = writeln!(out, "sensors = {}", string_array(&spec.sensors, |s| s.name().to_owned()));
     let _ =
         writeln!(out, "integrators = {}", string_array(&spec.integrators, |i| i.name().to_owned()));
     let _ = writeln!(out, "policies = {}", string_array(&spec.policies, |p| p.label().to_owned()));
@@ -379,6 +417,56 @@ mod tests {
         assert_eq!(spec.policies.len(), 11);
         assert_eq!(spec.experiments.len(), 4);
         assert_eq!(spec.seeds, vec![crate::spec::DEFAULT_TRACE_SEED]);
+        assert_eq!(spec.stack_orders, vec![StackOrder::CoresFarFromSink]);
+        assert_eq!(spec.tsv, vec![TsvVariant::Paper]);
+        assert_eq!(spec.sensors, vec![SensorProfile::Ideal]);
+    }
+
+    #[test]
+    fn scenario_axes_parse_and_round_trip() {
+        let spec = from_toml(
+            r#"
+            [sweep]
+            name = "scenario"
+            experiments = ["exp1"]
+            stack_orders = ["cores-far", "cores-near"]
+            tsv = ["paper", "dense-1pct", "epoxy"]
+            sensors = ["ideal", "noisy-1c", "offset-cool-3c"]
+            policies = ["Default"]
+            sim_seconds = 5.0
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.stack_orders, StackOrder::ALL.to_vec());
+        assert_eq!(spec.tsv, vec![TsvVariant::Paper, TsvVariant::Dense1Pct, TsvVariant::Epoxy]);
+        assert_eq!(
+            spec.sensors,
+            vec![SensorProfile::Ideal, SensorProfile::Noisy1C, SensorProfile::OffsetCool3C]
+        );
+        assert_eq!(spec.cell_count(), 2 * 3 * 3);
+        let round = from_toml(&to_toml(&spec)).unwrap();
+        assert_eq!(round, spec);
+    }
+
+    #[test]
+    fn singular_scenario_aliases_are_accepted_and_duplicate_checked() {
+        let spec = from_toml("sensor = [\"noisy-3c\"]\nstack_order = \"cores-near\"\n").unwrap();
+        assert_eq!(spec.sensors, vec![SensorProfile::Noisy3C]);
+        assert_eq!(spec.stack_orders, vec![StackOrder::CoresNearSink]);
+        // The alias maps onto the canonical key, so mixing both forms
+        // is a duplicate, not a silent overwrite.
+        let err = from_toml("sensors = [\"ideal\"]\nsensor = [\"noisy-1c\"]\n").unwrap_err();
+        assert!(err.contains("duplicate key `sensors`"), "{err}");
+    }
+
+    #[test]
+    fn bad_scenario_values_are_errors() {
+        let err = from_toml("tsv = [\"liquid-cooled\"]\n").unwrap_err();
+        assert!(err.contains("liquid-cooled"), "{err}");
+        let err = from_toml("sensors = [\"psychic\"]\n").unwrap_err();
+        assert!(err.contains("psychic"), "{err}");
+        let err = from_toml("stack_orders = [\"sideways\"]\n").unwrap_err();
+        assert!(err.contains("sideways"), "{err}");
     }
 
     #[test]
@@ -491,6 +579,9 @@ mod tests {
     fn round_trip_preserves_the_spec() {
         let spec = SweepSpec::new("round-trip")
             .with_experiments(&[Experiment::Exp2, Experiment::Exp4])
+            .with_stack_orders(&[StackOrder::CoresNearSink])
+            .with_tsv(&[TsvVariant::Dense2Pct, TsvVariant::Bare])
+            .with_sensors(&[SensorProfile::NoisyQuantized, SensorProfile::Ideal])
             .with_policies(&[PolicyKind::Adapt3dDvfsTt, PolicyKind::Migr])
             .with_dpm(&[true])
             .with_benchmarks(&[Benchmark::WebHigh, Benchmark::MPlayerWeb])

@@ -157,17 +157,18 @@ fn engine_version_bump_invalidates_the_whole_store() {
 }
 
 #[test]
-fn v1_salted_entries_miss_under_the_v2_engine() {
-    // PR 3 switched the default thermal integrator, which perturbs every
-    // trajectory: ENGINE_VERSION moved from v1 to v2, and anything a
-    // pre-bump binary persisted must be dead on arrival.
-    assert_eq!(cache::ENGINE_VERSION, "therm3d-sweep-cache/v2");
-    let dir = tmp_dir("v1_salt");
+fn v2_salted_entries_miss_under_the_v3_engine() {
+    // This PR embedded the scenario axes in the cell descriptor and
+    // re-seeded noisy sensors from the per-cell seed: ENGINE_VERSION
+    // moved from v2 to v3, and anything a pre-bump binary persisted
+    // must be dead on arrival.
+    assert_eq!(cache::ENGINE_VERSION, "therm3d-sweep-cache/v3");
+    let dir = tmp_dir("v2_salt");
     let spec = small_spec(&[PolicyKind::Default, PolicyKind::Adapt3d], 1);
     let report = run(&spec).unwrap();
     let mut store = CacheStore::open(&dir).unwrap();
     for row in &report.rows {
-        let old_key = cache::cell_key_salted(&spec, &row.cell, "therm3d-sweep-cache/v1");
+        let old_key = cache::cell_key_salted(&spec, &row.cell, "therm3d-sweep-cache/v2");
         store.insert(&old_key, &row.result).unwrap();
     }
     drop(store);
@@ -176,15 +177,91 @@ fn v1_salted_entries_miss_under_the_v2_engine() {
     assert_eq!(store.len(), spec.cell_count(), "old entries load intact...");
     let warm = run_with_cache(&spec, Some(&mut store)).unwrap();
     let s = store.stats();
-    assert_eq!(s.hits, 0, "...but the v1 salt must never satisfy a v2 lookup");
+    assert_eq!(s.hits, 0, "...but the v2 salt must never satisfy a v3 lookup");
     assert_eq!(s.misses, spec.cell_count() as u64);
-    assert_eq!(s.inserted, spec.cell_count() as u64, "fresh v2 entries are written back");
+    assert_eq!(s.inserted, spec.cell_count() as u64, "fresh v3 entries are written back");
     assert_eq!(warm.csv(), report.csv(), "re-simulation reproduces the uncached report");
 
-    // A third run is fully warm under the new salt.
+    // A third run is fully warm under the new salt, and compaction
+    // reclaims exactly the dead v2 lines.
     let mut store = CacheStore::open(&dir).unwrap();
     run_with_cache(&spec, Some(&mut store)).unwrap();
     assert_eq!(store.stats().misses, 0);
+    let stats = store.compact().unwrap();
+    assert_eq!(stats.kept, spec.cell_count() as u64);
+    assert_eq!(stats.dropped_stale, spec.cell_count() as u64, "every v2 line is dropped");
+    let mut store = CacheStore::open(&dir).unwrap();
+    run_with_cache(&spec, Some(&mut store)).unwrap();
+    assert_eq!(store.stats().misses, 0, "compaction keeps the live entries hot");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A spec exercising every scenario axis at once, including a noisy
+/// sensor (whose stream is derived from the per-cell seed — the
+/// reproducibility fix this PR makes).
+fn scenario_spec(threads: usize) -> SweepSpec {
+    use therm3d::SensorProfile;
+    use therm3d_floorplan::StackOrder;
+    use therm3d_thermal::TsvVariant;
+    SweepSpec::new("scenario-cache")
+        .with_experiments(&[Experiment::Exp1])
+        .with_stack_orders(&StackOrder::ALL)
+        .with_tsv(&[TsvVariant::Paper, TsvVariant::Dense1Pct])
+        .with_sensors(&[SensorProfile::Ideal, SensorProfile::Noisy1C])
+        .with_policies(&[PolicyKind::Default, PolicyKind::DvfsTt])
+        .with_benchmarks(&[Benchmark::Gzip])
+        .with_sim_seconds(3.0)
+        .with_grid(4, 4)
+        .with_threads(threads)
+}
+
+#[test]
+fn scenario_axes_are_cold_warm_deterministic_across_thread_counts() {
+    let dir = tmp_dir("scenario");
+    let spec = scenario_spec(1);
+    let n = spec.cell_count() as u64;
+    assert_eq!(n, 2 * 2 * 2 * 2, "all three scenario axes in play");
+
+    let mut store = CacheStore::open(&dir).unwrap();
+    let cold_t1 = run_with_cache(&spec, Some(&mut store)).unwrap();
+    let s = store.stats();
+    assert_eq!((s.hits, s.misses, s.inserted), (0, n, n));
+
+    // Warm rerun on eight threads: zero cells simulate and the report
+    // is byte-identical — noisy sensor cells included, because their
+    // noise stream is a pure function of the cell, not of the run.
+    let mut store = CacheStore::open(&dir).unwrap();
+    let warm_t8 = run_with_cache(&scenario_spec(8), Some(&mut store)).unwrap();
+    let s = store.stats();
+    assert_eq!((s.hits, s.misses, s.inserted), (n, 0, 0), "warm rerun simulates nothing");
+    assert_eq!(cold_t1.csv(), warm_t8.csv());
+    assert_eq!(cold_t1.json(), warm_t8.json());
+    assert_eq!(cold_t1.render(), warm_t8.render());
+
+    // An uncached eight-thread run agrees too (scheduling-independent).
+    let uncached_t8 = run(&scenario_spec(8)).unwrap();
+    assert_eq!(uncached_t8.csv(), cold_t1.csv());
+
+    // The scenario actually bites: cells differing only in a scenario
+    // axis produce different keys AND different physics.
+    let by_key: std::collections::BTreeMap<&str, &therm3d::RunResult> =
+        cold_t1.rows.iter().map(|r| (r.key.as_str(), &r.result)).collect();
+    assert_eq!(by_key.len(), n as usize, "every cell has a distinct key");
+    let far = &cold_t1.rows[0]; // cores-far, paper, ideal, Default
+    let near = cold_t1
+        .rows
+        .iter()
+        .find(|r| {
+            r.cell.stack_order == therm3d_floorplan::StackOrder::CoresNearSink
+                && r.cell.tsv == far.cell.tsv
+                && r.cell.sensor == far.cell.sensor
+                && r.cell.policy == far.cell.policy
+        })
+        .unwrap();
+    assert_ne!(
+        far.result.peak_temp_c, near.result.peak_temp_c,
+        "bonding the cores to the spreader must change the thermal profile"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

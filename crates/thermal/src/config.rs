@@ -177,6 +177,15 @@ impl ThermalConfig {
         self
     }
 
+    /// Returns the configuration with the interlayer material resolved
+    /// from a named [`TsvVariant`] — the hook the scenario sweep axes
+    /// use to rebuild the RC network per variant instead of the
+    /// hard-coded paper joint material.
+    #[must_use]
+    pub fn with_tsv(self, variant: crate::tsv::TsvVariant) -> Self {
+        self.with_interlayer(variant.joint_material())
+    }
+
     /// Returns the configuration with a different transient integrator
     /// (e.g. [`Integrator::ExplicitRk4`] for golden-reference runs).
     #[must_use]
@@ -244,6 +253,18 @@ mod tests {
     #[test]
     fn default_is_paper_default() {
         assert_eq!(ThermalConfig::default(), ThermalConfig::paper_default());
+    }
+
+    #[test]
+    fn with_tsv_resolves_the_interlayer_from_the_variant() {
+        use crate::tsv::TsvVariant;
+        // The paper variant is exactly the hard-coded default.
+        let cfg = ThermalConfig::paper_default().with_tsv(TsvVariant::Paper);
+        assert_eq!(cfg, ThermalConfig::paper_default());
+        // Other variants change only the interlayer material.
+        let bare = ThermalConfig::paper_default().with_tsv(TsvVariant::Bare);
+        assert!((bare.interlayer.resistivity() - 0.25).abs() < 1e-12);
+        assert_eq!(bare.with_interlayer(cfg.interlayer), cfg);
     }
 
     #[test]

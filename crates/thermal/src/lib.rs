@@ -46,4 +46,4 @@ pub use config::{Integrator, ThermalConfig};
 pub use material::Material;
 pub use model::ThermalModel;
 pub use network::RcNetwork;
-pub use tsv::TsvSpec;
+pub use tsv::{TsvSpec, TsvVariant};

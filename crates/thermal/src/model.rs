@@ -7,7 +7,8 @@ use therm3d_floorplan::Stack3d;
 
 use crate::config::{Integrator, ThermalConfig};
 use crate::network::RcNetwork;
-use crate::sparse::factor::{factor, LdlFactor};
+use crate::sparse::factor::{analyze, LdlFactor, Symbolic};
+use crate::sparse::CsrMatrix;
 use crate::units::{celsius_from_kelvin, kelvin_from_celsius};
 
 /// Safety factor applied to the explicit-RK4 stability limit.
@@ -98,12 +99,46 @@ struct ImplicitState {
     caches: Vec<StepCache>,
     /// Factorization of `G` alone, for direct steady-state solves.
     steady: Option<LdlFactor>,
-    /// Total factorizations performed over the model's lifetime (tests
-    /// assert cache reuse through [`ThermalModel::factorization_count`]).
+    /// Shared symbolic analysis: the pattern of `α·C + G` is
+    /// α-independent (C is diagonal, G has a full structural diagonal)
+    /// and equals the pattern of `G` itself, so the ordering,
+    /// elimination tree and fill counts are computed once and every
+    /// factorization after the first runs only its numeric phase.
+    symbolic: Option<Symbolic>,
+    /// Total numeric factorizations performed over the model's lifetime
+    /// (tests assert cache reuse through
+    /// [`ThermalModel::factorization_count`]).
     factor_count: usize,
+    /// Total symbolic analyses performed (tests assert via
+    /// [`ThermalModel::symbolic_analysis_count`] that only numeric
+    /// phases repeat across step sizes).
+    symbolic_count: usize,
     rhs: Vec<f64>,
     stage: Vec<f64>,
     solve_scratch: Vec<f64>,
+}
+
+impl ImplicitState {
+    /// Factors `a` numerically, reusing (or lazily computing) the shared
+    /// symbolic analysis. Falls back to a fresh analysis if `a`'s
+    /// pattern size ever diverges from the analyzed one (cannot happen
+    /// for one RC network's systems, but corruption-proof beats a
+    /// panic deep inside the solver).
+    fn factor_shared(&mut self, a: &CsrMatrix, what: &str) -> LdlFactor {
+        let compatible = self
+            .symbolic
+            .as_ref()
+            .is_some_and(|s| s.dim() == a.dim() && s.pattern_nnz() == a.nnz());
+        if !compatible {
+            self.symbolic = Some(analyze(a));
+            self.symbolic_count += 1;
+        }
+        let symbolic = self.symbolic.as_ref().expect("analyzed above");
+        let factored =
+            symbolic.factor_numeric(a).unwrap_or_else(|e| panic!("{what} must be SPD: {e}"));
+        self.factor_count += 1;
+        factored
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -160,15 +195,25 @@ impl ThermalModel {
         self.integrator
     }
 
-    /// Sparse factorizations performed so far (steady-state plus one per
-    /// distinct implicit substep size). Stepping repeatedly at the same
-    /// `dt` — or at any recently seen `dt` — must not grow this: factors
-    /// are cached per substep size with LRU eviction, so only a driver
-    /// cycling through more than `MAX_CACHED_FACTORS` (8) distinct step
-    /// sizes ever re-factorizes.
+    /// Numeric sparse factorizations performed so far (steady-state plus
+    /// one per distinct implicit substep size). Stepping repeatedly at
+    /// the same `dt` — or at any recently seen `dt` — must not grow
+    /// this: factors are cached per substep size with LRU eviction, so
+    /// only a driver cycling through more than `MAX_CACHED_FACTORS` (8)
+    /// distinct step sizes ever re-factorizes.
     #[must_use]
     pub fn factorization_count(&self) -> usize {
         self.implicit.factor_count
+    }
+
+    /// Symbolic analyses (fill-reducing ordering + elimination tree +
+    /// fill counts) performed so far. The pattern of `α·C + G` is
+    /// α-independent and matches `G`'s, so however many step sizes and
+    /// steady solves a driver mixes, this stays at **1**: only numeric
+    /// phases repeat.
+    #[must_use]
+    pub fn symbolic_analysis_count(&self) -> usize {
+        self.implicit.symbolic_count
     }
 
     /// The underlying RC network (for inspection and metrics).
@@ -259,9 +304,7 @@ impl ThermalModel {
             return self.implicit.caches.len() - 1;
         }
         let system = self.network.shifted_system(TRBDF2_SHIFT / h);
-        let factored =
-            factor(&system).unwrap_or_else(|e| panic!("implicit thermal system must be SPD: {e}"));
-        self.implicit.factor_count += 1;
+        let factored = self.implicit.factor_shared(&system, "implicit thermal system");
         if self.implicit.caches.len() >= MAX_CACHED_FACTORS {
             self.implicit.caches.remove(0);
         }
@@ -388,9 +431,10 @@ impl ThermalModel {
         self.set_block_powers(powers);
         let amb = self.network.ambient_k();
         if self.implicit.steady.is_none() {
-            let factored = factor(self.network.conductance())
-                .unwrap_or_else(|e| panic!("conductance matrix must be SPD: {e}"));
-            self.implicit.factor_count += 1;
+            // `G` shares the shifted systems' pattern (full structural
+            // diagonal), so this also reuses the one symbolic analysis.
+            let factored =
+                self.implicit.factor_shared(self.network.conductance(), "conductance matrix");
             self.implicit.steady = Some(factored);
         }
         let ImplicitState { steady, rhs, solve_scratch, .. } = &mut self.implicit;
@@ -636,6 +680,31 @@ mod tests {
     fn zero_dt_rejected() {
         let (_, mut model) = small_model(Experiment::Exp1);
         model.step(0.0);
+    }
+
+    #[test]
+    fn symbolic_analysis_runs_once_across_step_sizes_and_steady() {
+        let (stack, mut model) = small_model(Experiment::Exp3);
+        let p = core_power_vector(&stack, 2.0);
+        model.initialize_steady_state(&p);
+        for dt in [0.1, 0.05, 0.07] {
+            model.step(dt); // substeps of ~33.3, 25 and 35 ms — three distinct h
+        }
+        assert_eq!(
+            model.factorization_count(),
+            4,
+            "steady + one numeric factorization per distinct substep size"
+        );
+        assert_eq!(
+            model.symbolic_analysis_count(),
+            1,
+            "the alpha-independent pattern must be analyzed exactly once"
+        );
+        // Repeating known step sizes grows neither counter.
+        model.step(0.1);
+        model.initialize_steady_state(&p);
+        assert_eq!(model.factorization_count(), 4);
+        assert_eq!(model.symbolic_analysis_count(), 1);
     }
 
     #[test]

@@ -170,27 +170,152 @@ impl LdlFactor {
     }
 }
 
-/// Factors `a` with the default minimum-degree ordering.
+/// The value-independent half of an LDLᵀ factorization: fill-reducing
+/// permutation, elimination tree and column pointers of `L`.
 ///
-/// # Errors
-///
-/// [`FactorError`] when a pivot is not strictly positive (the matrix is
-/// not positive definite, e.g. a floating Laplacian with no ground).
-///
-/// # Panics
-///
-/// Panics if `a` is structurally unsymmetric (debug builds assert the
-/// pattern; values are taken from the lower triangle).
-pub fn factor(a: &CsrMatrix) -> Result<LdlFactor, FactorError> {
-    factor_with(a, FillOrdering::MinDegree)
+/// The analysis depends only on the matrix's *sparsity pattern*, so one
+/// `Symbolic` serves every matrix with that pattern — in particular all
+/// shifted systems `α·C + G` of one RC network (`C` is diagonal and `G`
+/// has a full structural diagonal, so the pattern is α-independent) and
+/// `G` itself. [`Symbolic::factor_numeric`] runs only the numeric
+/// phase against a cached analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Symbolic {
+    n: usize,
+    /// Stored-entry count of the analyzed matrix (cheap guard that a
+    /// numeric refactorization is using the same pattern).
+    nnz: usize,
+    /// `perm[new] = old` fill-reducing permutation.
+    perm: Vec<usize>,
+    /// Inverse permutation.
+    iperm: Vec<usize>,
+    /// Elimination-tree parent per node (`usize::MAX` = root).
+    parent: Vec<usize>,
+    /// Column pointers of L (strictly-lower part).
+    col_ptr: Vec<usize>,
 }
 
-/// [`factor`] with an explicit [`FillOrdering`].
-///
-/// # Errors
-///
-/// See [`factor`].
-pub fn factor_with(a: &CsrMatrix, ordering: FillOrdering) -> Result<LdlFactor, FactorError> {
+impl Symbolic {
+    /// Matrix dimension this analysis was computed for.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Predicted stored non-zeros of `L` including the unit diagonal.
+    #[must_use]
+    pub fn nnz_l(&self) -> usize {
+        self.col_ptr[self.n] + self.n
+    }
+
+    /// Stored-entry count of the matrix this analysis was computed from
+    /// (callers use it to check pattern compatibility up front).
+    #[must_use]
+    pub fn pattern_nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Runs the numeric phase against this analysis: computes `L` and
+    /// `D` for `a`, which must have the **same sparsity pattern** as the
+    /// matrix [`analyze`] saw (same dimension and stored-entry count are
+    /// asserted; the RC-network systems this crate factors satisfy the
+    /// stronger pattern-equality requirement by construction).
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError`] when a pivot is not strictly positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`'s dimension or stored-entry count differ from the
+    /// analyzed matrix's.
+    pub fn factor_numeric(&self, a: &CsrMatrix) -> Result<LdlFactor, FactorError> {
+        let n = self.n;
+        assert_eq!(a.dim(), n, "numeric phase on a different-sized matrix");
+        assert_eq!(a.nnz(), self.nnz, "numeric phase on a different sparsity pattern");
+        let Symbolic { perm, iperm, parent, col_ptr, .. } = self;
+
+        // Numeric phase (up-looking): compute row j of L against the
+        // already finished columns, in elimination-tree topological order.
+        let total = col_ptr[n];
+        let mut row_idx = vec![0usize; total];
+        let mut values = vec![0.0f64; total];
+        let mut filled = vec![0usize; n];
+        let mut d = vec![0.0f64; n];
+        let mut y = vec![0.0f64; n];
+        let mut pattern = vec![0usize; n];
+        let mut path = vec![0usize; n];
+        let mut flag = vec![usize::MAX; n];
+        for j in 0..n {
+            let mut top = n;
+            flag[j] = j;
+            y[j] = 0.0;
+            for (c_old, v) in a.row(perm[j]) {
+                let i = iperm[c_old];
+                if i > j {
+                    continue;
+                }
+                y[i] += v;
+                let mut len = 0;
+                let mut k = i;
+                while flag[k] != j {
+                    path[len] = k;
+                    len += 1;
+                    flag[k] = j;
+                    k = parent[k];
+                }
+                while len > 0 {
+                    len -= 1;
+                    top -= 1;
+                    pattern[top] = path[len];
+                }
+            }
+            let mut dj = y[j];
+            y[j] = 0.0;
+            for &k in &pattern[top..n] {
+                let yk = y[k];
+                y[k] = 0.0;
+                let p0 = col_ptr[k];
+                for p in p0..p0 + filled[k] {
+                    y[row_idx[p]] -= values[p] * yk;
+                }
+                let ljk = yk / d[k];
+                dj -= ljk * yk;
+                let p = p0 + filled[k];
+                row_idx[p] = j;
+                values[p] = ljk;
+                filled[k] += 1;
+            }
+            if !(dj > 0.0 && dj.is_finite()) {
+                return Err(FactorError { row: j, pivot: dj });
+            }
+            d[j] = dj;
+        }
+        // Hard assert (O(n), negligible next to the factorization): a
+        // matrix whose pattern differs from the analyzed one — possible
+        // despite the dim/nnz guard above — would have written fill
+        // into the wrong column slots, and release builds must not
+        // return silently wrong factors.
+        assert!(
+            (0..n).all(|j| filled[j] == col_ptr[j + 1] - col_ptr[j]),
+            "matrix pattern differs from the analyzed pattern (symbolic/numeric fill mismatch)"
+        );
+        Ok(LdlFactor { n, perm: perm.clone(), col_ptr: col_ptr.clone(), row_idx, values, d })
+    }
+}
+
+/// Computes the symbolic analysis of `a` with the default minimum-degree
+/// ordering: ordering, elimination tree and per-column fill counts.
+/// Value-independent — reuse the result across every matrix sharing
+/// `a`'s pattern via [`Symbolic::factor_numeric`].
+#[must_use]
+pub fn analyze(a: &CsrMatrix) -> Symbolic {
+    analyze_with(a, FillOrdering::MinDegree)
+}
+
+/// [`analyze`] with an explicit [`FillOrdering`].
+#[must_use]
+pub fn analyze_with(a: &CsrMatrix, ordering: FillOrdering) -> Symbolic {
     let n = a.dim();
     let perm = match ordering {
         FillOrdering::MinDegree => min_degree_order(a),
@@ -201,8 +326,8 @@ pub fn factor_with(a: &CsrMatrix, ordering: FillOrdering) -> Result<LdlFactor, F
         iperm[old] = new;
     }
 
-    // Symbolic phase: elimination tree + per-column non-zero counts of L,
-    // from the pattern of the permuted matrix's lower triangle.
+    // Elimination tree + per-column non-zero counts of L, from the
+    // pattern of the permuted matrix's lower triangle.
     let mut parent = vec![usize::MAX; n];
     let mut flag = vec![usize::MAX; n];
     let mut lnz = vec![0usize; n];
@@ -227,65 +352,33 @@ pub fn factor_with(a: &CsrMatrix, ordering: FillOrdering) -> Result<LdlFactor, F
     for j in 0..n {
         col_ptr[j + 1] = col_ptr[j] + lnz[j];
     }
+    Symbolic { n, nnz: a.nnz(), perm, iperm, parent, col_ptr }
+}
 
-    // Numeric phase (up-looking): compute row j of L against the already
-    // finished columns, in elimination-tree topological order.
-    let total = col_ptr[n];
-    let mut row_idx = vec![0usize; total];
-    let mut values = vec![0.0f64; total];
-    let mut filled = vec![0usize; n];
-    let mut d = vec![0.0f64; n];
-    let mut y = vec![0.0f64; n];
-    let mut pattern = vec![0usize; n];
-    let mut path = vec![0usize; n];
-    flag.fill(usize::MAX);
-    for j in 0..n {
-        let mut top = n;
-        flag[j] = j;
-        y[j] = 0.0;
-        for (c_old, v) in a.row(perm[j]) {
-            let i = iperm[c_old];
-            if i > j {
-                continue;
-            }
-            y[i] += v;
-            let mut len = 0;
-            let mut k = i;
-            while flag[k] != j {
-                path[len] = k;
-                len += 1;
-                flag[k] = j;
-                k = parent[k];
-            }
-            while len > 0 {
-                len -= 1;
-                top -= 1;
-                pattern[top] = path[len];
-            }
-        }
-        let mut dj = y[j];
-        y[j] = 0.0;
-        for &k in &pattern[top..n] {
-            let yk = y[k];
-            y[k] = 0.0;
-            let p0 = col_ptr[k];
-            for p in p0..p0 + filled[k] {
-                y[row_idx[p]] -= values[p] * yk;
-            }
-            let ljk = yk / d[k];
-            dj -= ljk * yk;
-            let p = p0 + filled[k];
-            row_idx[p] = j;
-            values[p] = ljk;
-            filled[k] += 1;
-        }
-        if !(dj > 0.0 && dj.is_finite()) {
-            return Err(FactorError { row: j, pivot: dj });
-        }
-        d[j] = dj;
-    }
-    debug_assert!(filled.iter().zip(&lnz).all(|(f, l)| f == l), "symbolic/numeric fill mismatch");
-    Ok(LdlFactor { n, perm, col_ptr, row_idx, values, d })
+/// Factors `a` with the default minimum-degree ordering (one-shot:
+/// symbolic analysis plus numeric phase; callers factoring several
+/// matrices with one pattern should [`analyze`] once and reuse it).
+///
+/// # Errors
+///
+/// [`FactorError`] when a pivot is not strictly positive (the matrix is
+/// not positive definite, e.g. a floating Laplacian with no ground).
+///
+/// # Panics
+///
+/// Panics if `a` is structurally unsymmetric (debug builds assert the
+/// pattern; values are taken from the lower triangle).
+pub fn factor(a: &CsrMatrix) -> Result<LdlFactor, FactorError> {
+    factor_with(a, FillOrdering::MinDegree)
+}
+
+/// [`factor`] with an explicit [`FillOrdering`].
+///
+/// # Errors
+///
+/// See [`factor`].
+pub fn factor_with(a: &CsrMatrix, ordering: FillOrdering) -> Result<LdlFactor, FactorError> {
+    analyze_with(a, ordering).factor_numeric(a)
 }
 
 /// Greedy exact minimum-degree ordering of `a`'s adjacency graph
@@ -448,6 +541,34 @@ mod tests {
         let cap = scratch.capacity();
         f.solve_into(&b, &mut scratch, &mut x);
         assert_eq!(scratch.capacity(), cap, "second solve must not reallocate");
+    }
+
+    #[test]
+    fn symbolic_analysis_is_reusable_across_shifts() {
+        // α·C + G for any α shares G's pattern (full structural
+        // diagonal): one analysis must serve every shift bit-exactly.
+        let g = grid_laplacian(6, 6);
+        let symbolic = analyze(&g);
+        let b: Vec<f64> = (0..g.dim()).map(|i| (i % 7) as f64 - 3.0).collect();
+        for alpha in [0.5, 12.25, 341.0] {
+            let diag: Vec<f64> = (0..g.dim()).map(|i| alpha * (1.0 + i as f64 * 0.01)).collect();
+            let shifted = g.with_added_diagonal(&diag);
+            let reused = symbolic.factor_numeric(&shifted).unwrap();
+            let fresh = factor(&shifted).unwrap();
+            // Same ordering (pattern-only input), so factors are
+            // bit-identical, not merely numerically close.
+            assert_eq!(reused, fresh, "alpha={alpha}");
+            assert_eq!(reused.solve(&b), fresh.solve(&b));
+        }
+        assert_eq!(symbolic.nnz_l(), factor(&g).unwrap().nnz_l());
+    }
+
+    #[test]
+    #[should_panic(expected = "different sparsity pattern")]
+    fn symbolic_rejects_a_different_pattern() {
+        let symbolic = analyze(&grid_laplacian(4, 4));
+        let other = laplacian_chain(16, 1.0, 1.0);
+        let _ = symbolic.factor_numeric(&other);
     }
 
     #[test]

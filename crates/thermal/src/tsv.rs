@@ -13,7 +13,132 @@
 //! interface material's 0.25 m·K/W — reproduced exactly by this module
 //! (see `joint_resistivity_for_count`).
 
+use std::fmt;
+use std::str::FromStr;
+
 use crate::material::Material;
+
+/// Resistivity of a low-cost die-attach epoxy interface, m·K/W — the
+/// cheap-bonding alternative to the paper's 0.25 m·K/W interface
+/// material, provided for design-space sweeps.
+const EPOXY_RESISTIVITY: f64 = 0.5;
+
+/// A named TSV-population/interlayer-material configuration: the values
+/// of the sweep engine's `tsv` axis.
+///
+/// Each variant resolves to a concrete [`TsvSpec`] (via population ×
+/// interface material) through [`spec`](Self::spec), and to the
+/// composite interlayer [`Material`] the RC network is built from
+/// through [`joint_material`](Self::joint_material). The paper runs all
+/// experiments with [`Paper`](TsvVariant::Paper); the other variants
+/// cover the density sweep of Figure 2 plus a cheap-bonding interface
+/// alternative.
+///
+/// # Examples
+///
+/// ```
+/// use therm3d_thermal::tsv::TsvVariant;
+///
+/// assert!(TsvVariant::Dense2Pct.joint_material().resistivity()
+///     < TsvVariant::Bare.joint_material().resistivity());
+/// assert_eq!("dense-1pct".parse::<TsvVariant>(), Ok(TsvVariant::Dense1Pct));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum TsvVariant {
+    /// The paper's configuration: 1024 vias through the standard
+    /// 0.25 m·K/W interface (joint ρ ≈ 0.23 m·K/W).
+    #[default]
+    Paper,
+    /// No vias at all: the bare 0.25 m·K/W interface material.
+    Bare,
+    /// Vias at 1 % area overhead through the standard interface.
+    Dense1Pct,
+    /// Vias at 2 % area overhead (the top of Figure 2's x-axis).
+    Dense2Pct,
+    /// Low-cost die-attach epoxy (0.5 m·K/W), no vias.
+    Epoxy,
+    /// Epoxy interface with vias at 1 % area overhead.
+    EpoxyDense1Pct,
+}
+
+impl TsvVariant {
+    /// Every variant, in canonical order (paper default first).
+    pub const ALL: [TsvVariant; 6] = [
+        TsvVariant::Paper,
+        TsvVariant::Bare,
+        TsvVariant::Dense1Pct,
+        TsvVariant::Dense2Pct,
+        TsvVariant::Epoxy,
+        TsvVariant::EpoxyDense1Pct,
+    ];
+
+    /// Canonical name, as accepted by [`FromStr`] and written by sweep
+    /// specs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TsvVariant::Paper => "paper",
+            TsvVariant::Bare => "bare",
+            TsvVariant::Dense1Pct => "dense-1pct",
+            TsvVariant::Dense2Pct => "dense-2pct",
+            TsvVariant::Epoxy => "epoxy",
+            TsvVariant::EpoxyDense1Pct => "epoxy-dense-1pct",
+        }
+    }
+
+    /// The bare interface material this variant bonds the dies with
+    /// (before the via contribution).
+    #[must_use]
+    pub fn interface_material(self) -> Material {
+        match self {
+            TsvVariant::Paper
+            | TsvVariant::Bare
+            | TsvVariant::Dense1Pct
+            | TsvVariant::Dense2Pct => Material::INTERFACE,
+            TsvVariant::Epoxy | TsvVariant::EpoxyDense1Pct => Material::from_resistivity(
+                EPOXY_RESISTIVITY,
+                Material::INTERFACE.volumetric_heat_capacity,
+            ),
+        }
+    }
+
+    /// The fully-resolved via geometry/population for this variant.
+    #[must_use]
+    pub fn spec(self) -> TsvSpec {
+        let base = TsvSpec { interface: self.interface_material(), ..TsvSpec::paper_default() };
+        match self {
+            TsvVariant::Paper => base,
+            TsvVariant::Bare | TsvVariant::Epoxy => base.with_overhead(0.0),
+            TsvVariant::Dense1Pct | TsvVariant::EpoxyDense1Pct => base.with_overhead(0.01),
+            TsvVariant::Dense2Pct => base.with_overhead(0.02),
+        }
+    }
+
+    /// The composite interlayer material (interface + vias) the RC
+    /// network is built from.
+    #[must_use]
+    pub fn joint_material(self) -> Material {
+        self.spec().joint_material()
+    }
+}
+
+impl fmt::Display for TsvVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for TsvVariant {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lowered = s.to_ascii_lowercase();
+        TsvVariant::ALL
+            .into_iter()
+            .find(|v| v.name() == lowered)
+            .ok_or_else(|| format!("unknown TSV variant `{s}` (expected one of paper, bare, dense-1pct, dense-2pct, epoxy, epoxy-dense-1pct)"))
+    }
+}
 
 /// Geometry and population of the TSVs crossing one interface layer.
 ///
@@ -197,6 +322,43 @@ mod tests {
     fn with_overhead_round_trips() {
         let spec = TsvSpec::paper_default().with_overhead(0.01);
         assert!((spec.area_overhead_fraction() - 0.01).abs() < 1e-3);
+    }
+
+    #[test]
+    fn variant_names_round_trip() {
+        for v in TsvVariant::ALL {
+            assert_eq!(v.name().parse::<TsvVariant>(), Ok(v));
+            assert_eq!(v.to_string(), v.name());
+        }
+        assert_eq!("PAPER".parse::<TsvVariant>(), Ok(TsvVariant::Paper));
+        assert!("liquid".parse::<TsvVariant>().unwrap_err().contains("liquid"));
+    }
+
+    #[test]
+    fn variants_resolve_to_physical_materials() {
+        // Paper variant reproduces the Table II joint resistivity.
+        assert!((TsvVariant::Paper.joint_material().resistivity() - 0.23).abs() < 0.005);
+        assert!(
+            (TsvVariant::Bare.joint_material().resistivity() - Material::INTERFACE.resistivity())
+                .abs()
+                < 1e-12
+        );
+        // Density strictly improves conduction within one interface
+        // material family.
+        let rho = |v: TsvVariant| v.joint_material().resistivity();
+        assert!(rho(TsvVariant::Dense2Pct) < rho(TsvVariant::Dense1Pct));
+        assert!(rho(TsvVariant::Dense1Pct) < rho(TsvVariant::Paper));
+        assert!(rho(TsvVariant::EpoxyDense1Pct) < rho(TsvVariant::Epoxy));
+        // The epoxy family is strictly worse than its standard twin.
+        assert!(rho(TsvVariant::Epoxy) > rho(TsvVariant::Bare));
+        assert!(rho(TsvVariant::EpoxyDense1Pct) > rho(TsvVariant::Dense1Pct));
+        // Heat capacity is the interface material's in every variant.
+        for v in TsvVariant::ALL {
+            assert_eq!(
+                v.joint_material().volumetric_heat_capacity,
+                Material::INTERFACE.volumetric_heat_capacity
+            );
+        }
     }
 
     #[test]

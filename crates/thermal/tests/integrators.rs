@@ -105,6 +105,17 @@ fn repeated_and_smaller_dt_reuse_cached_factorizations() {
         after_small,
         "alternating previously seen dts must never re-factorize"
     );
+    // However many step sizes the driver cycles through, the symbolic
+    // analysis (ordering + elimination tree + fill counts) of the
+    // α-independent pattern runs exactly once — only numeric phases
+    // repeat (ROADMAP follow-up from the implicit-solver PR).
+    assert_eq!(imp.symbolic_analysis_count(), 1);
+    imp.initialize_steady_state(&core_powers(&stack, 1.0));
+    assert_eq!(
+        imp.symbolic_analysis_count(),
+        1,
+        "the steady-state system shares the pattern, hence the analysis"
+    );
 }
 
 #[test]

@@ -1,25 +1,25 @@
-//! Integration tests for the sensor-imperfection extension and the CLI's
-//! interaction with the engine defaults.
+//! Integration tests for the sensor-fidelity scenario axis and the
+//! CLI's interaction with the engine defaults.
 
-use therm3d::{SensorModel, SimConfig, Simulator};
+use therm3d::{ScenarioConfig, SensorProfile, SimConfig, Simulator};
 use therm3d_floorplan::Experiment;
 use therm3d_policies::PolicyKind;
 use therm3d_workload::{Benchmark, TraceConfig};
 
-fn run_with_sensor(sensor: SensorModel, secs: f64) -> therm3d::RunResult {
+fn run_with_sensor(profile: SensorProfile, secs: f64) -> therm3d::RunResult {
     let exp = Experiment::Exp3;
     let stack = exp.stack();
     let policy = PolicyKind::DvfsTt.build(&stack, 0xACE1);
     let trace =
         TraceConfig::new(Benchmark::WebHigh, stack.num_cores(), secs).with_seed(7).generate();
-    let mut cfg = SimConfig::fast(exp);
-    cfg.sensor = sensor;
+    let cfg = SimConfig::fast(exp)
+        .with_scenario(ScenarioConfig::paper_default().with_sensor(profile).with_sensor_seed(99));
     Simulator::new(cfg, policy).run(&trace, secs)
 }
 
 #[test]
 fn ideal_sensor_matches_default_config() {
-    let explicit = run_with_sensor(SensorModel::ideal(), 10.0);
+    let explicit = run_with_sensor(SensorProfile::Ideal, 10.0);
     let exp = Experiment::Exp3;
     let stack = exp.stack();
     let policy = PolicyKind::DvfsTt.build(&stack, 0xACE1);
@@ -31,12 +31,28 @@ fn ideal_sensor_matches_default_config() {
 
 #[test]
 fn noisy_sensor_changes_behaviour_but_stays_deterministic() {
-    let noisy = || run_with_sensor(SensorModel::ideal().with_noise(2.0, 99), 15.0);
+    let noisy = || run_with_sensor(SensorProfile::NoisyQuantized, 15.0);
     let a = noisy();
     let b = noisy();
     assert_eq!(a, b, "noise comes from a seeded stream");
-    let clean = run_with_sensor(SensorModel::ideal(), 15.0);
+    let clean = run_with_sensor(SensorProfile::Ideal, 15.0);
     assert_ne!(a, clean, "2 °C sensor noise must alter DVFS trigger timing");
+    // A different sensor seed gives a different (still deterministic)
+    // trajectory — the scenario carries the seed, not global state.
+    let reseeded = {
+        let exp = Experiment::Exp3;
+        let stack = exp.stack();
+        let policy = PolicyKind::DvfsTt.build(&stack, 0xACE1);
+        let trace =
+            TraceConfig::new(Benchmark::WebHigh, stack.num_cores(), 15.0).with_seed(7).generate();
+        let cfg = SimConfig::fast(exp).with_scenario(
+            ScenarioConfig::paper_default()
+                .with_sensor(SensorProfile::NoisyQuantized)
+                .with_sensor_seed(100),
+        );
+        Simulator::new(cfg, policy).run(&trace, 15.0)
+    };
+    assert_ne!(a, reseeded, "the sensor seed feeds the noise stream");
     // Metrics use true temperatures, so results stay physically sane.
     assert!((0.0..=100.0).contains(&a.hotspot_pct));
     assert_eq!(a.unfinished, 0);
@@ -44,9 +60,9 @@ fn noisy_sensor_changes_behaviour_but_stays_deterministic() {
 
 #[test]
 fn underreading_sensor_worsens_hot_spots() {
-    // A sensor that reads 4 °C cool delays every threshold reaction.
-    let clean = run_with_sensor(SensorModel::ideal(), 25.0);
-    let offset = run_with_sensor(SensorModel::ideal().with_offset(-4.0), 25.0);
+    // A sensor that reads 3 °C cool delays every threshold reaction.
+    let clean = run_with_sensor(SensorProfile::Ideal, 25.0);
+    let offset = run_with_sensor(SensorProfile::OffsetCool3C, 25.0);
     assert!(
         offset.hotspot_pct > clean.hotspot_pct,
         "under-reporting must cost hot-spot time: {:.2}% vs {:.2}%",
