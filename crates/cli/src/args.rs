@@ -5,6 +5,7 @@ use std::fmt;
 use therm3d::SensorProfile;
 use therm3d_floorplan::{Experiment, StackOrder};
 use therm3d_policies::PolicyKind;
+use therm3d_sweep::ShardSpec;
 use therm3d_thermal::{Integrator, TsvVariant};
 use therm3d_workload::Benchmark;
 
@@ -94,6 +95,26 @@ pub enum Command {
         cache_dir: Option<String>,
         /// Print hit/miss counters to stderr (`--cache-stats`).
         cache_stats: bool,
+        /// Run only shard K of N of the matrix (`--shard K/N`);
+        /// overrides the spec's `shard` key. `None` keeps the spec's.
+        shard: Option<ShardSpec>,
+    },
+    /// Merge shard CSV reports back into the canonical unsharded CSV
+    /// (`therm3d merge OUT.csv SHARD.csv ...`).
+    Merge {
+        /// Output path the merged canonical CSV is written to.
+        out: String,
+        /// Shard report paths (any order; disjointness/completeness is
+        /// verified).
+        inputs: Vec<String>,
+    },
+    /// Union shard cache directories into one store
+    /// (`therm3d cache merge --cache-dir OUT SHARD_DIR ...`).
+    CacheMerge {
+        /// Destination cache directory (created if needed).
+        dir: String,
+        /// Source cache directories (read-only).
+        sources: Vec<String>,
     },
     /// Print the all-cores-busy steady-state profile.
     Steady { exp: Experiment, grid: usize },
@@ -130,12 +151,14 @@ USAGE:
   therm3d sweep       [--exp E] [-t SECS] [--dpm] [--seed N] [--grid N]
                       [--integrator I] [--stack-order O] [--tsv V] [--sensor S] [--csv]
   therm3d sweep       SPEC.toml [--threads N] [--format table|csv|json] [--csv]
-                      [--cache-dir DIR] [--no-cache] [--cache-stats]
+                      [--cache-dir DIR] [--no-cache] [--cache-stats] [--shard K/N]
+  therm3d merge       OUT.csv SHARD.csv [SHARD.csv ...]
   therm3d steady      [--exp E] [--grid N]
   therm3d trace       [--benchmark B] [--cores N] [-t SECS] [--seed N] [--csv]
   therm3d reliability [--exp E] [--policy P] [-t SECS] [--dpm] [--seed N] [--grid N]
                       [--integrator I] [--stack-order O] [--tsv V] [--sensor S]
   therm3d cache       compact --cache-dir DIR
+  therm3d cache       merge --cache-dir OUT_DIR SHARD_DIR [SHARD_DIR ...]
   therm3d help
 
   E = exp1..exp4   P = figure label (Default, CGate, DVFS_TT, Adapt3D, ...)
@@ -158,7 +181,15 @@ USAGE:
   is byte-identical to a cold run. --no-cache ignores --cache-dir;
   --cache-stats prints a `cache:` counters line to stderr.
   `cache compact` rewrites DIR/results.tsv keeping only the newest
-  entry per cell key and dropping stale-salt and corrupt lines.";
+  entry per cell key and dropping stale-salt and corrupt lines.
+
+  --shard K/N runs only shard K (zero-based) of an N-way split of the
+  matrix — round-robin over the canonical cell order, so shards are
+  balanced and disjoint. Each shard's CSV carries a leading `shard`
+  provenance column; `therm3d merge` recombines shard CSVs into the
+  canonical report (byte-identical to an unsharded run) and `cache
+  merge` unions shard cache directories (follow with `cache compact`
+  to drop shadowed lines).";
 
 struct Tokens {
     items: Vec<String>,
@@ -204,21 +235,43 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
     let Some(sub) = items.first().cloned() else {
         return Ok(Command::Help);
     };
-    // `cache` takes a verb: `therm3d cache compact --cache-dir DIR`.
+    // `cache` takes a verb: `therm3d cache compact --cache-dir DIR` or
+    // `therm3d cache merge --cache-dir OUT_DIR SHARD_DIR ...`.
+    let mut cache_verb: Option<&'static str> = None;
     if sub == "cache" {
         match items.get(1).map(String::as_str) {
             Some("compact") => {
+                cache_verb = Some("compact");
+                items.remove(1);
+            }
+            Some("merge") => {
+                cache_verb = Some("merge");
                 items.remove(1);
             }
             Some(other) => {
                 return Err(ParseCliError(format!(
-                    "unknown cache verb `{other}` (expected `compact`)"
+                    "unknown cache verb `{other}` (expected `compact` or `merge`)"
                 )));
             }
             None => {
                 return Err(ParseCliError(
-                    "`cache` needs a verb: `therm3d cache compact --cache-dir DIR`".into(),
+                    "`cache` needs a verb: `therm3d cache compact --cache-dir DIR` or \
+                     `therm3d cache merge --cache-dir OUT_DIR SHARD_DIR ...`"
+                        .into(),
                 ));
+            }
+        }
+    }
+    // `merge` and `cache merge` take positional paths anywhere among
+    // their flags; pull them out so the flag loop below sees only flags.
+    let mut positionals: Vec<String> = Vec::new();
+    if sub == "merge" || cache_verb == Some("merge") {
+        let mut i = 1;
+        while i < items.len() {
+            if items[i].starts_with('-') {
+                i += if items[i] == "--cache-dir" { 2 } else { 1 };
+            } else {
+                positionals.push(items.remove(i));
             }
         }
     }
@@ -244,6 +297,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
                     | "--threads"
                     | "--format"
                     | "--cache-dir"
+                    | "--shard"
             )
         };
         let mut i = 1;
@@ -269,6 +323,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
     let mut cache_stats = false;
+    let mut shard: Option<ShardSpec> = None;
     let mut sim_flags: Vec<String> = Vec::new();
 
     while t.pos + 1 < t.items.len() {
@@ -319,6 +374,9 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             "--cache-dir" => cache_dir = Some(t.next_value("--cache-dir")?),
             "--no-cache" => no_cache = true,
             "--cache-stats" => cache_stats = true,
+            // ShardSpec::from_str validates the range, so `3/3` and
+            // `0/0` die here at parse time with the valid range named.
+            "--shard" => shard = Some(parse_num("--shard", &t.next_value("--shard")?)?),
             "--dpm" => sim.dpm = true,
             "--csv" => csv = true,
             other => return Err(ParseCliError(format!("unknown flag `{other}`"))),
@@ -342,8 +400,8 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
         || ((no_cache || cache_stats) && !spec_sweep)
     {
         return Err(ParseCliError(
-            "`--cache-dir` only applies to `sweep SPEC.toml` and `cache compact`; \
-             `--no-cache` and `--cache-stats` only apply to `sweep SPEC.toml`"
+            "`--cache-dir` only applies to `sweep SPEC.toml`, `cache compact` and \
+             `cache merge`; `--no-cache` and `--cache-stats` only apply to `sweep SPEC.toml`"
                 .into(),
         ));
     }
@@ -359,6 +417,9 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
         } else {
             "`--cache-stats` requires `--cache-dir DIR`".into()
         }));
+    }
+    if shard.is_some() && !spec_sweep {
+        return Err(ParseCliError("`--shard` only applies to `sweep SPEC.toml`".into()));
     }
     if format.is_some() && csv && spec_path.is_some() {
         return Err(ParseCliError(
@@ -389,6 +450,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
                     }),
                     cache_dir,
                     cache_stats,
+                    shard,
                 })
             }
             None => Ok(Command::Sweep { sim, csv }),
@@ -413,13 +475,46 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             }
         }
         "reliability" => Ok(Command::Reliability { sim, policy }),
-        "cache" => {
+        "merge" => {
             if !sim_flags.is_empty() || csv {
-                return Err(ParseCliError("`cache compact` only takes `--cache-dir DIR`".into()));
+                return Err(ParseCliError(
+                    "`merge` only takes paths: `therm3d merge OUT.csv SHARD.csv ...`".into(),
+                ));
             }
-            match cache_dir {
-                Some(dir) => Ok(Command::CacheCompact { dir }),
-                None => Err(ParseCliError("`cache compact` requires `--cache-dir DIR`".into())),
+            let mut paths = positionals;
+            if paths.len() < 2 {
+                return Err(ParseCliError(
+                    "`merge` needs an output and at least one shard report: \
+                     `therm3d merge OUT.csv SHARD.csv ...`"
+                        .into(),
+                ));
+            }
+            let out = paths.remove(0);
+            Ok(Command::Merge { out, inputs: paths })
+        }
+        "cache" => {
+            let verb = cache_verb.unwrap_or("compact");
+            if !sim_flags.is_empty() || csv {
+                return Err(ParseCliError(format!(
+                    "`cache {verb}` only takes `--cache-dir DIR`{}",
+                    if verb == "merge" { " and source directories" } else { "" }
+                )));
+            }
+            let Some(dir) = cache_dir else {
+                return Err(ParseCliError(format!("`cache {verb}` requires `--cache-dir DIR`")));
+            };
+            match verb {
+                "merge" => {
+                    if positionals.is_empty() {
+                        return Err(ParseCliError(
+                            "`cache merge` needs at least one source directory: \
+                             `therm3d cache merge --cache-dir OUT_DIR SHARD_DIR ...`"
+                                .into(),
+                        ));
+                    }
+                    Ok(Command::CacheMerge { dir, sources: positionals })
+                }
+                _ => Ok(Command::CacheCompact { dir }),
             }
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -536,6 +631,80 @@ mod tests {
     }
 
     #[test]
+    fn shard_flag_parses_and_is_validated_at_parse_time() {
+        let cmd = parse(argv("sweep s.toml --shard 1/3")).unwrap();
+        assert!(
+            matches!(cmd, Command::SweepFile { shard: Some(ShardSpec { index: 1, count: 3 }), .. }),
+            "{cmd:?}"
+        );
+        // Without the flag the spec's own `shard` key stays in charge.
+        let cmd = parse(argv("sweep s.toml")).unwrap();
+        assert!(matches!(cmd, Command::SweepFile { shard: None, .. }), "{cmd:?}");
+        // index == count and 0/0 die at parse time, naming the valid
+        // range — never an empty report.
+        let err = parse(argv("sweep s.toml --shard 3/3")).unwrap_err().0;
+        assert!(err.contains("--shard") && err.contains("0/3..=2/3"), "{err}");
+        let err = parse(argv("sweep s.toml --shard 0/0")).unwrap_err().0;
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(argv("sweep s.toml --shard whole")).unwrap_err().0;
+        assert!(err.contains("K/N"), "{err}");
+        // The flag only means something on a spec-file sweep.
+        for line in ["run --shard 0/2", "sweep --shard 0/2", "trace --shard 1/2"] {
+            let err = parse(argv(line)).unwrap_err().0;
+            assert!(err.contains("sweep SPEC.toml"), "{line}: {err}");
+        }
+        // The positional scan must not mistake the shard value for the
+        // spec path.
+        let cmd = parse(argv("sweep --shard 2/4 s.toml")).unwrap();
+        assert!(
+            matches!(&cmd, Command::SweepFile { path, shard: Some(ShardSpec { index: 2, count: 4 }), .. } if path == "s.toml"),
+            "{cmd:?}"
+        );
+    }
+
+    #[test]
+    fn merge_parses_out_and_inputs() {
+        assert_eq!(
+            parse(argv("merge out.csv a.csv b.csv c.csv")).unwrap(),
+            Command::Merge {
+                out: "out.csv".into(),
+                inputs: vec!["a.csv".into(), "b.csv".into(), "c.csv".into()]
+            }
+        );
+        // One input is the N=1 pass-through; zero inputs is an error.
+        assert!(parse(argv("merge out.csv a.csv")).is_ok());
+        assert!(parse(argv("merge out.csv")).unwrap_err().0.contains("at least one"), "need input");
+        assert!(parse(argv("merge")).unwrap_err().0.contains("at least one"));
+        // Stray flags are rejected, not dropped.
+        assert!(parse(argv("merge out.csv a.csv --csv")).is_err());
+        assert!(parse(argv("merge out.csv a.csv --exp exp1")).is_err());
+    }
+
+    #[test]
+    fn cache_merge_parses_dir_and_sources() {
+        assert_eq!(
+            parse(argv("cache merge --cache-dir /tmp/out /tmp/s0 /tmp/s1")).unwrap(),
+            Command::CacheMerge {
+                dir: "/tmp/out".into(),
+                sources: vec!["/tmp/s0".into(), "/tmp/s1".into()]
+            }
+        );
+        // Sources may precede the flag (the scan skips the flag value).
+        assert_eq!(
+            parse(argv("cache merge /tmp/s0 --cache-dir /tmp/out /tmp/s1")).unwrap(),
+            Command::CacheMerge {
+                dir: "/tmp/out".into(),
+                sources: vec!["/tmp/s0".into(), "/tmp/s1".into()]
+            }
+        );
+        let err = parse(argv("cache merge --cache-dir /tmp/out")).unwrap_err().0;
+        assert!(err.contains("source"), "{err}");
+        let err = parse(argv("cache merge /tmp/s0")).unwrap_err().0;
+        assert!(err.contains("--cache-dir"), "{err}");
+        assert!(parse(argv("cache merge --cache-dir /tmp/out /tmp/s0 --csv")).is_err());
+    }
+
+    #[test]
     fn cache_compact_parses_and_requires_a_dir() {
         assert_eq!(
             parse(argv("cache compact --cache-dir /tmp/c")).unwrap(),
@@ -596,7 +765,8 @@ mod tests {
                 threads: Some(4),
                 format: SweepFormat::Json,
                 cache_dir: None,
-                cache_stats: false
+                cache_stats: false,
+                shard: None
             }
         );
     }
@@ -613,7 +783,8 @@ mod tests {
                 threads: Some(4),
                 format: SweepFormat::Json,
                 cache_dir: None,
-                cache_stats: false
+                cache_stats: false,
+                shard: None
             }
         );
         let cmd = parse(argv("sweep --threads 2 campaign.toml --csv")).unwrap();
@@ -624,7 +795,8 @@ mod tests {
                 threads: Some(2),
                 format: SweepFormat::Csv,
                 cache_dir: None,
-                cache_stats: false
+                cache_stats: false,
+                shard: None
             }
         );
     }
@@ -639,7 +811,8 @@ mod tests {
                 threads: None,
                 format: SweepFormat::Table,
                 cache_dir: None,
-                cache_stats: false
+                cache_stats: false,
+                shard: None
             }
         );
         let cmd = parse(argv("sweep campaign.toml --csv")).unwrap();
@@ -650,7 +823,8 @@ mod tests {
                 threads: None,
                 format: SweepFormat::Csv,
                 cache_dir: None,
-                cache_stats: false
+                cache_stats: false,
+                shard: None
             }
         );
     }

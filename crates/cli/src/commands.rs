@@ -74,12 +74,16 @@ fn run_sweep_file(
     format: SweepFormat,
     cache_dir: Option<&str>,
     cache_stats: bool,
+    shard: Option<therm3d_sweep::ShardSpec>,
 ) -> Result<(String, Option<String>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let mut spec =
         therm3d_sweep::from_toml(&text).map_err(|e| format!("invalid sweep spec `{path}`: {e}"))?;
     if let Some(threads) = threads {
         spec = spec.with_threads(threads);
+    }
+    if let Some(shard) = shard {
+        spec = spec.with_shard(shard);
     }
     let mut store = match cache_dir {
         Some(dir) => {
@@ -94,11 +98,38 @@ fn run_sweep_file(
         SweepFormat::Csv => report.csv(),
         SweepFormat::Json => report.json(),
     };
+    // The counters line carries the shard id (`cache[1/3]: ...`) so N
+    // shards logging to one stream stay attributable.
     let stats = match (&store, cache_stats) {
-        (Some(store), true) => Some(store.summary()),
+        (Some(store), true) => Some(store.summary_for(spec.shard)),
         _ => None,
     };
     Ok((out, stats))
+}
+
+/// Merges shard CSV reports into the canonical CSV and writes it to
+/// `out` — byte-identical to what one unsharded run would print.
+fn merge_reports(out: &str, inputs: &[String]) -> Result<String, String> {
+    let texts: Vec<(String, String)> = inputs
+        .iter()
+        .map(|path| {
+            std::fs::read_to_string(path)
+                .map(|text| (path.clone(), text))
+                .map_err(|e| format!("cannot read `{path}`: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let borrowed: Vec<(&str, &str)> =
+        texts.iter().map(|(name, text)| (name.as_str(), text.as_str())).collect();
+    let merged = therm3d_sweep::merge_csv(&borrowed)?;
+    let cells = merged.lines().count() - 1;
+    std::fs::write(out, &merged).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    Ok(format!("merged {} shard report{} ({cells} cells) -> {out}\n", inputs.len(), {
+        if inputs.len() == 1 {
+            ""
+        } else {
+            "s"
+        }
+    }))
 }
 
 fn steady_report(exp: Experiment, grid: usize) -> String {
@@ -188,19 +219,58 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 }
             }
         }
-        Command::SweepFile { path, threads, format, cache_dir, cache_stats } => {
-            let (report, stats) =
-                run_sweep_file(path, *threads, *format, cache_dir.as_deref(), *cache_stats)?;
+        Command::SweepFile { path, threads, format, cache_dir, cache_stats, shard } => {
+            let (report, stats) = run_sweep_file(
+                path,
+                *threads,
+                *format,
+                cache_dir.as_deref(),
+                *cache_stats,
+                *shard,
+            )?;
             out.push_str(&report);
             if let Some(stats) = stats {
                 eprintln!("{stats}");
             }
+        }
+        Command::Merge { out: merged_path, inputs } => {
+            out.push_str(&merge_reports(merged_path, inputs)?);
         }
         Command::CacheCompact { dir } => {
             let mut store =
                 therm3d_sweep::CacheStore::open(std::path::Path::new(dir)).map_err(String::from)?;
             let stats = store.compact().map_err(String::from)?;
             let _ = writeln!(out, "cache compact: {stats} ({})", store.path().display());
+        }
+        Command::CacheMerge { dir, sources } => {
+            // Sources are read-only and must actually hold a store: a
+            // mistyped directory must not be silently created/treated
+            // as empty (that would drop a shard's entries with exit 0).
+            for src in sources {
+                let store_file = std::path::Path::new(src).join(therm3d_sweep::cache::STORE_FILE);
+                if !store_file.is_file() {
+                    return Err(format!(
+                        "cache merge source `{src}` has no {} (wrong path?)",
+                        therm3d_sweep::cache::STORE_FILE
+                    ));
+                }
+            }
+            let mut dest =
+                therm3d_sweep::CacheStore::open(std::path::Path::new(dir)).map_err(String::from)?;
+            let mut total = therm3d_sweep::MergeStats::default();
+            for src in sources {
+                let src_store = therm3d_sweep::CacheStore::open(std::path::Path::new(src))
+                    .map_err(String::from)?;
+                let stats = dest.merge_from(&src_store).map_err(String::from)?;
+                let _ = writeln!(out, "cache merge: {stats} from {src}");
+                total += stats;
+            }
+            let _ = writeln!(
+                out,
+                "cache merge: {total} total, {} entries ({})",
+                dest.len(),
+                dest.path().display()
+            );
         }
         Command::Steady { exp, grid } => out.push_str(&steady_report(*exp, *grid)),
         Command::Trace { benchmark, cores, seconds, seed, csv } => {
@@ -338,6 +408,7 @@ mod tests {
             format: SweepFormat::Table,
             cache_dir: None,
             cache_stats: false,
+            shard: None,
         })
         .unwrap();
         assert!(table.contains("sweep 'cli-test': 4 cells"), "{table}");
@@ -349,6 +420,7 @@ mod tests {
             format: SweepFormat::Csv,
             cache_dir: None,
             cache_stats: false,
+            shard: None,
         })
         .unwrap();
         let mut lines = csv.lines();
@@ -370,6 +442,7 @@ mod tests {
             format: SweepFormat::Json,
             cache_dir: None,
             cache_stats: false,
+            shard: None,
         })
         .unwrap();
         assert!(json.contains("\"name\": \"cli-test\""), "{json}");
@@ -399,6 +472,7 @@ mod tests {
                 SweepFormat::Csv,
                 Some(cache_dir.to_str().unwrap()),
                 true,
+                None,
             )
             .unwrap()
         };
@@ -418,6 +492,7 @@ mod tests {
             format: SweepFormat::Csv,
             cache_dir: None,
             cache_stats: false,
+            shard: None,
         })
         .unwrap();
         assert_eq!(uncached, warm);
@@ -450,6 +525,7 @@ mod tests {
                 SweepFormat::Csv,
                 Some(cache_dir.to_str().unwrap()),
                 true,
+                None,
             )
             .unwrap()
         };
@@ -475,6 +551,96 @@ mod tests {
     }
 
     #[test]
+    fn sharded_sweep_merge_is_byte_identical_and_merged_cache_serves_warm() {
+        use therm3d_sweep::ShardSpec;
+        let base = std::env::temp_dir().join(format!("therm3d_cli_shard_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let spec_path = base.join("spec.toml");
+        std::fs::write(
+            &spec_path,
+            "name = \"cli-shard\"\n\
+             experiments = [\"exp1\"]\n\
+             policies = [\"Default\", \"Adapt3D\"]\n\
+             dpm = [false, true]\n\
+             benchmarks = [\"gzip\"]\n\
+             sim_seconds = 3.0\n\
+             grid = 4\n",
+        )
+        .unwrap();
+        let p = |path: &std::path::Path| path.to_str().unwrap().to_owned();
+
+        let (full, _) =
+            run_sweep_file(&p(&spec_path), Some(2), SweepFormat::Csv, None, false, None).unwrap();
+
+        // Run the campaign as 3 shards, each with its own cache dir and
+        // CSV; the stats line is tagged with the shard id.
+        let mut shard_paths = Vec::new();
+        for k in 0..3 {
+            let shard = ShardSpec { index: k, count: 3 };
+            let cache = base.join(format!("cache-{k}"));
+            let (csv, stats) = run_sweep_file(
+                &p(&spec_path),
+                Some(1),
+                SweepFormat::Csv,
+                Some(&p(&cache)),
+                true,
+                Some(shard),
+            )
+            .unwrap();
+            assert!(stats.unwrap().starts_with(&format!("cache[{k}/3]: 0 hits")), "shard {k}");
+            let out = base.join(format!("shard-{k}.csv"));
+            std::fs::write(&out, &csv).unwrap();
+            shard_paths.push(p(&out));
+        }
+
+        // `therm3d merge` reassembles the canonical CSV byte-identically
+        // (shard order must not matter).
+        shard_paths.reverse();
+        let merged_path = base.join("merged.csv");
+        let note =
+            execute(&Command::Merge { out: p(&merged_path), inputs: shard_paths.clone() }).unwrap();
+        assert!(note.starts_with("merged 3 shard reports (4 cells)"), "{note}");
+        assert_eq!(std::fs::read_to_string(&merged_path).unwrap(), full);
+
+        // `therm3d cache merge` unions the shard stores; a warm full run
+        // over the merged store simulates nothing.
+        let merged_cache = base.join("cache-all");
+        let out = execute(&Command::CacheMerge {
+            dir: p(&merged_cache),
+            sources: (0..3).map(|k| p(&base.join(format!("cache-{k}")))).collect(),
+        })
+        .unwrap();
+        assert!(out.contains("appended 4"), "{out}");
+        let (warm, stats) = run_sweep_file(
+            &p(&spec_path),
+            Some(2),
+            SweepFormat::Csv,
+            Some(&p(&merged_cache)),
+            true,
+            None,
+        )
+        .unwrap();
+        assert!(stats.unwrap().starts_with("cache: 4 hits, 0 misses, 0 inserted"), "fully warm");
+        assert_eq!(warm, full);
+
+        // A mistyped source is an error (and is not created on disk) —
+        // a silent empty merge would drop a shard's entries with exit 0.
+        let typo = base.join("cache-typo");
+        let err = execute(&Command::CacheMerge { dir: p(&merged_cache), sources: vec![p(&typo)] })
+            .unwrap_err();
+        assert!(err.contains("cache-typo") && err.contains("results.tsv"), "{err}");
+        assert!(!typo.exists(), "rejected sources must stay untouched");
+
+        // A dropped shard is a named error, not a silently short CSV.
+        let err =
+            execute(&Command::Merge { out: p(&merged_path), inputs: shard_paths[..2].to_vec() })
+                .unwrap_err();
+        assert!(err.contains("missing cell"), "{err}");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
     fn cache_compact_on_a_missing_dir_creates_an_empty_store() {
         let dir =
             std::env::temp_dir().join(format!("therm3d_cli_compact_fresh_{}", std::process::id()));
@@ -492,6 +658,7 @@ mod tests {
             format: SweepFormat::Table,
             cache_dir: None,
             cache_stats: false,
+            shard: None,
         })
         .unwrap_err();
         assert!(err.starts_with("cannot read"), "{err}");
@@ -504,6 +671,7 @@ mod tests {
             format: SweepFormat::Table,
             cache_dir: None,
             cache_stats: false,
+            shard: None,
         })
         .unwrap_err();
         assert!(err.starts_with("invalid sweep spec"), "{err}");

@@ -26,7 +26,12 @@
 //!    looks results up in a [`CacheStore`] before simulating, so
 //!    re-running a grown spec only simulates the new cells. Reports are
 //!    byte-identical for any hit/miss mix; see the [`cache`] module
-//!    docs for the store layout and invalidation rules.
+//!    docs for the store layout and invalidation rules;
+//! 6. [`shard`] — deterministic splitting of one matrix across
+//!    processes/machines ([`ShardSpec`], round-robin over the canonical
+//!    order) and the mergers that recombine shard outputs: [`merge_csv`]
+//!    reassembles the canonical CSV byte-identically, and
+//!    [`CacheStore::merge_from`] unions shard cache stores.
 //!
 //! Failures are typed ([`SweepError`]): an invalid spec, a cell whose
 //! simulation panicked (named, instead of poisoning the whole
@@ -59,13 +64,17 @@ pub mod error;
 pub mod matrix;
 pub mod report;
 pub mod runner;
+pub mod shard;
 pub mod spec;
 pub mod toml;
 
-pub use cache::{cell_key, CacheStats, CacheStore, CellKey, CompactStats, ENGINE_VERSION};
+pub use cache::{
+    cell_key, CacheStats, CacheStore, CellKey, CompactStats, MergeStats, ENGINE_VERSION,
+};
 pub use error::SweepError;
-pub use matrix::{derive_policy_seed, derive_sensor_seed, expand, SweepCell};
-pub use report::{csv_header, csv_row, SweepReport, SweepRow, CSV_HEADER};
+pub use matrix::{derive_policy_seed, derive_sensor_seed, expand, expand_shard, SweepCell};
+pub use report::{csv_header, csv_row, sweep_csv_header, SweepReport, SweepRow, CSV_HEADER};
 pub use runner::{effective_threads, run, run_cell, run_with_cache, sim_config};
+pub use shard::{merge_csv, ShardSpec};
 pub use spec::{parse_sim_seconds, sim_seconds_from_env, SweepSpec};
 pub use toml::{from_toml, to_toml};

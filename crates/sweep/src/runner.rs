@@ -7,7 +7,7 @@
 //! results are bit-identical for any thread count.
 //!
 //! With a [`CacheStore`] attached ([`run_with_cache`]), every cell is
-//! looked up by its [`cell_key`](crate::cache::cell_key) *before* any
+//! looked up by its [`cell_key`] *before* any
 //! simulator is built: hits skip simulation entirely, misses execute
 //! and are written back in canonical order. Because a cached result is
 //! decoded bit-exactly and rows are assembled in matrix order either
@@ -29,7 +29,7 @@ use therm3d_workload::{generate_mix, JobTrace};
 
 use crate::cache::{cell_key, CacheStore};
 use crate::error::SweepError;
-use crate::matrix::{expand, SweepCell};
+use crate::matrix::{expand_shard, SweepCell};
 use crate::report::{SweepReport, SweepRow};
 use crate::spec::SweepSpec;
 
@@ -126,7 +126,12 @@ pub fn run_with_cache(
     mut cache: Option<&mut CacheStore>,
 ) -> Result<SweepReport, SweepError> {
     spec.validate().map_err(SweepError::InvalidSpec)?;
-    let cells = expand(spec);
+    // Only this shard's cells are expanded into the work list; the full
+    // matrix is the default (shard 0/1). Cells keep their canonical
+    // indices and derived seeds, so everything below — keys, traces,
+    // write-back, report rows — is identical whether a cell runs in a
+    // sharded process or an unsharded one.
+    let cells = expand_shard(spec);
     let keys: Vec<_> = cells.iter().map(|cell| cell_key(spec, cell)).collect();
 
     // Lookup-before-simulate: hits fill their slot immediately, misses
@@ -189,9 +194,11 @@ pub fn run_with_cache(
     // discard hours of good work from the cache.
     let mut rows = Vec::with_capacity(cells.len());
     let mut first_failure: Option<SweepError> = None;
+    // Positions in the (possibly shard-strided) work list, NOT canonical
+    // cell indices — the two coincide only for the full matrix.
     let pending_set: std::collections::BTreeSet<usize> = pending.into_iter().collect();
-    for ((cell, key), slot) in cells.into_iter().zip(keys).zip(results) {
-        let fresh = pending_set.contains(&cell.index);
+    for (position, ((cell, key), slot)) in cells.into_iter().zip(keys).zip(results).enumerate() {
+        let fresh = pending_set.contains(&position);
         let result = match slot {
             Some(Ok(result)) => result,
             Some(Err(cause)) => {
@@ -216,7 +223,7 @@ pub fn run_with_cache(
     }
     match first_failure {
         Some(failure) => Err(failure),
-        None => Ok(SweepReport { name: spec.name.clone(), rows }),
+        None => Ok(SweepReport { name: spec.name.clone(), shard: spec.shard, rows }),
     }
 }
 
@@ -248,6 +255,29 @@ mod tests {
             assert_eq!(row.result.experiment, Experiment::Exp1);
             assert_eq!(row.key.len(), 16, "cell_key is 16 hex digits: {}", row.key);
         }
+    }
+
+    #[test]
+    fn sharded_runs_union_to_the_full_report() {
+        use crate::shard::ShardSpec;
+        let full = run(&tiny_spec(2).with_dpm(&[false, true])).unwrap();
+        assert_eq!(full.rows.len(), 4);
+        let mut union: Vec<SweepRow> = Vec::new();
+        for k in 0..3 {
+            let spec =
+                tiny_spec(1).with_dpm(&[false, true]).with_shard(ShardSpec { index: k, count: 3 });
+            let part = run(&spec).unwrap();
+            assert_eq!(part.shard, spec.shard);
+            assert!(part.rows.iter().all(|r| r.cell.index % 3 == k));
+            union.extend(part.rows);
+        }
+        union.sort_by_key(|r| r.cell.index);
+        // Same cells, same keys, same numbers — sharding only moves
+        // work between processes.
+        assert_eq!(union, full.rows);
+        // An out-of-range shard is an invalid spec, not an empty report.
+        let err = run(&tiny_spec(1).with_shard(ShardSpec { index: 3, count: 3 })).unwrap_err();
+        assert!(matches!(err, SweepError::InvalidSpec(_)), "{err}");
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Deterministic sharding of a sweep matrix across processes/machines,
+//! and the merger that recombines shard outputs into the canonical
+//! report.
+//!
+//! A [`ShardSpec`] (`index`/`count`, written `K/N`) selects every cell
+//! of the canonical expansion whose index satisfies
+//! `cell.index % count == index` — round-robin over the canonical
+//! order, so shards are balanced to within one cell and their union is
+//! provably the full matrix. Sharding changes *which* cells a process
+//! runs, never *what* a cell is: per-cell seeds, descriptors and
+//! [`cell_key`](crate::cache::cell_key)s are pure functions of the spec
+//! and the cell's canonical index, both untouched by the shard.
+//!
+//! Each shard's CSV export is self-describing: a leading `shard` column
+//! carries `K/N` on every row (see
+//! [`SweepReport::csv`](crate::SweepReport::csv)), and the remaining
+//! bytes of each row are exactly what the unsharded run would emit for
+//! that cell.
+//! [`merge_csv`] exploits that: it strips the provenance column,
+//! verifies the shards are disjoint and complete, and reassembles the
+//! canonical CSV — byte-identical to a single-process run, for any
+//! shard count and any per-shard thread count.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::report::sweep_csv_header;
+
+/// Which slice of a sweep matrix one process runs: shard `index` of
+/// `count`, written `K/N` (zero-based, so the shards of a 3-way
+/// campaign are `0/3`, `1/3` and `2/3`).
+///
+/// The default is the full matrix (`0/1`): an unsharded run is simply
+/// the one-shard special case, with identical output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Zero-based shard position, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards the matrix is split into.
+    pub count: usize,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        Self::FULL
+    }
+}
+
+impl ShardSpec {
+    /// The unsharded (full-matrix) shard, `0/1`.
+    pub const FULL: ShardSpec = ShardSpec { index: 0, count: 1 };
+
+    /// Creates a validated shard spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the valid range when `count` is zero or
+    /// `index` is out of range (e.g. `3/3`: shard indices are
+    /// zero-based, so a 3-way split has shards `0/3..=2/3`).
+    pub fn new(index: usize, count: usize) -> Result<Self, String> {
+        if count == 0 {
+            return Err(format!(
+                "shard count must be at least 1: got {index}/{count} \
+                 (use K/N with 0 <= K < N, e.g. 0/3)"
+            ));
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} is out of range for {count} shard{}: \
+                 indices are zero-based, valid shards are 0/{count}..={}/{count}",
+                if count == 1 { "" } else { "s" },
+                count - 1,
+            ));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// `true` for the full (unsharded) matrix, `0/1`.
+    #[must_use]
+    pub fn is_full(self) -> bool {
+        self.count == 1
+    }
+
+    /// Whether this shard runs the cell at canonical index
+    /// `cell_index` (round-robin over the canonical expansion order).
+    #[must_use]
+    pub fn owns(self, cell_index: usize) -> bool {
+        cell_index % self.count == self.index
+    }
+
+    /// How many of `total` cells land on this shard (balanced to
+    /// within one cell by the round-robin assignment).
+    #[must_use]
+    pub fn cell_count(self, total: usize) -> usize {
+        (total + self.count - 1 - self.index) / self.count
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for ShardSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let malformed =
+            || format!("expected a shard as K/N (e.g. 0/3 for the first of three), got `{s}`");
+        let (index, count) = s.trim().split_once('/').ok_or_else(malformed)?;
+        let index: usize = index.trim().parse().map_err(|_| malformed())?;
+        let count: usize = count.trim().parse().map_err(|_| malformed())?;
+        ShardSpec::new(index, count)
+    }
+}
+
+/// Merges shard CSV reports back into the canonical (unsharded) CSV.
+///
+/// `inputs` are `(name, text)` pairs — the name only labels error
+/// messages (typically the file path). Each input is either a sharded
+/// export (leading `shard` column) or an unsharded one (treated as the
+/// full matrix, for the one-shard case). The merge verifies that
+///
+/// * every input's header matches the canonical schema,
+/// * every row's shard assignment is consistent with its cell index
+///   (round-robin), and all inputs agree on the shard count,
+/// * no cell appears twice, and
+/// * the union covers the matrix with no gaps (cells `0..n`),
+///
+/// then emits the canonical header and the rows in canonical order.
+/// Row bytes are carried verbatim from the shard exports, so the output
+/// is byte-identical to what one unsharded run would have produced.
+///
+/// # Errors
+///
+/// A message naming the offending input (and cell, where applicable)
+/// when any of the checks above fails.
+pub fn merge_csv(inputs: &[(&str, &str)]) -> Result<String, String> {
+    if inputs.is_empty() {
+        return Err("nothing to merge: no input reports given".into());
+    }
+    let canonical = sweep_csv_header();
+    let sharded = format!("shard,{canonical}");
+    let expected_fields = canonical.split(',').count();
+    // Cell index -> (canonical row bytes, source name).
+    let mut rows: BTreeMap<usize, (&str, &str)> = BTreeMap::new();
+    let mut shard_count: Option<(usize, &str)> = None;
+    for &(name, text) in inputs {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        let has_shard_column = if header == sharded {
+            true
+        } else if header == canonical {
+            false
+        } else {
+            return Err(format!(
+                "`{name}`: not a sweep CSV report (header is `{header}`, \
+                 expected `{sharded}` or `{canonical}`)"
+            ));
+        };
+        for line in lines {
+            let (shard, row) = if has_shard_column {
+                let Some((shard, row)) = line.split_once(',') else {
+                    return Err(format!("`{name}`: malformed row `{line}`"));
+                };
+                let shard: ShardSpec = shard
+                    .parse()
+                    .map_err(|e| format!("`{name}`: bad shard column in `{line}`: {e}"))?;
+                (shard, row)
+            } else {
+                (ShardSpec::FULL, line)
+            };
+            // A row truncated by an interrupted transfer (index column
+            // intact, metric columns gone) must not be carried verbatim
+            // into the "canonical" output; no field may contain a
+            // comma, so the count is exact.
+            let fields = row.split(',').count();
+            if fields != expected_fields {
+                return Err(format!(
+                    "`{name}`: row has {fields} fields, expected {expected_fields} \
+                     (truncated transfer?): `{line}`"
+                ));
+            }
+            match shard_count {
+                None => shard_count = Some((shard.count, name)),
+                Some((count, first)) if count != shard.count => {
+                    return Err(format!(
+                        "shard counts disagree: `{first}` splits the matrix {count} ways, \
+                         `{name}` says {} (row `{line}`)",
+                        shard.count
+                    ));
+                }
+                Some(_) => {}
+            }
+            let index: usize = row
+                .split(',')
+                .next()
+                .and_then(|cell| cell.parse().ok())
+                .ok_or_else(|| format!("`{name}`: row has no cell index: `{line}`"))?;
+            if !shard.owns(index) {
+                return Err(format!(
+                    "`{name}`: cell #{index} cannot belong to shard {shard} \
+                     (round-robin assigns it to shard {}/{})",
+                    index % shard.count,
+                    shard.count
+                ));
+            }
+            if let Some((_, first)) = rows.insert(index, (row, name)) {
+                return Err(format!(
+                    "cell #{index} appears in more than one input (`{first}` and `{name}`)"
+                ));
+            }
+        }
+    }
+    // Completeness: cell indices must be exactly 0..n.
+    for (expected, &actual) in rows.keys().enumerate() {
+        if actual != expected {
+            let missing_shard = shard_count
+                .map(|(count, _)| format!(" (is shard {}/{count} missing?)", expected % count))
+                .unwrap_or_default();
+            return Err(format!("merged report is missing cell #{expected}{missing_shard}"));
+        }
+    }
+    let mut out = String::with_capacity(canonical.len() + 1 + rows.len() * 80);
+    out.push_str(&canonical);
+    out.push('\n');
+    for (row, _) in rows.values() {
+        out.push_str(row);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_the_range() {
+        assert_eq!(ShardSpec::new(0, 1), Ok(ShardSpec::FULL));
+        assert_eq!(ShardSpec::new(2, 3), Ok(ShardSpec { index: 2, count: 3 }));
+        let err = ShardSpec::new(3, 3).unwrap_err();
+        assert!(err.contains("0/3..=2/3"), "{err}");
+        let err = ShardSpec::new(0, 0).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0/1", "1/3", "7/8"] {
+            assert_eq!(s.parse::<ShardSpec>().unwrap().to_string(), s);
+        }
+        assert_eq!(" 1 / 3 ".parse::<ShardSpec>(), Ok(ShardSpec { index: 1, count: 3 }));
+        for bad in ["", "3", "a/b", "1/", "/3", "-1/3", "1.5/3"] {
+            let err = bad.parse::<ShardSpec>().unwrap_err();
+            assert!(err.contains("K/N"), "{bad}: {err}");
+        }
+        // Out-of-range values parse syntactically but fail validation
+        // with the range named — the CLI relies on this message.
+        let err = "3/3".parse::<ShardSpec>().unwrap_err();
+        assert!(err.contains("0/3..=2/3"), "{err}");
+        let err = "0/0".parse::<ShardSpec>().unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn round_robin_partitions_exactly() {
+        for count in 1..=8 {
+            let mut owners = Vec::new();
+            for index in 0..100 {
+                let owning: Vec<usize> =
+                    (0..count).filter(|&k| ShardSpec { index: k, count }.owns(index)).collect();
+                assert_eq!(owning.len(), 1, "cell {index} must have exactly one owner");
+                owners.push(owning[0]);
+            }
+            // Balanced to within one cell.
+            for k in 0..count {
+                let shard = ShardSpec { index: k, count };
+                let owned = owners.iter().filter(|&&o| o == k).count();
+                assert_eq!(owned, shard.cell_count(100));
+                assert!(owned.abs_diff(100 / count) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cell_count_sums_to_the_total() {
+        for count in 1..=8 {
+            for total in [0, 1, 7, 16, 100] {
+                let sum: usize =
+                    (0..count).map(|k| ShardSpec { index: k, count }.cell_count(total)).sum();
+                assert_eq!(sum, total, "{count} shards over {total} cells");
+            }
+        }
+    }
+
+    fn fake_rows(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("{i},2009,implicit-cn,cores-far,paper,ideal,k{i},p,EXP-1,false,1.0,2.0,3.0,80.0,4.0,0.5,100.0,0,0")).collect()
+    }
+
+    fn shard_csv(shard: ShardSpec, rows: &[String]) -> String {
+        let mut out = format!("shard,{}\n", sweep_csv_header());
+        for (i, row) in rows.iter().enumerate() {
+            if shard.owns(i) {
+                out.push_str(&format!("{shard},{row}\n"));
+            }
+        }
+        out
+    }
+
+    fn full_csv(rows: &[String]) -> String {
+        let mut out = format!("{}\n", sweep_csv_header());
+        for row in rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn merge_reassembles_the_canonical_csv() {
+        let rows = fake_rows(7);
+        for count in 1..=4 {
+            let shards: Vec<String> =
+                (0..count).map(|k| shard_csv(ShardSpec { index: k, count }, &rows)).collect();
+            // Merge is order-insensitive: feed the shards reversed.
+            let inputs: Vec<(&str, &str)> =
+                shards.iter().rev().map(|s| ("shard.csv", s.as_str())).collect();
+            assert_eq!(merge_csv(&inputs).unwrap(), full_csv(&rows), "count={count}");
+        }
+    }
+
+    #[test]
+    fn merge_accepts_an_unsharded_report_as_the_one_shard_case() {
+        let rows = fake_rows(3);
+        let full = full_csv(&rows);
+        assert_eq!(merge_csv(&[("full.csv", full.as_str())]).unwrap(), full);
+    }
+
+    #[test]
+    fn merge_rejects_missing_duplicate_and_inconsistent_shards() {
+        let rows = fake_rows(6);
+        let s0 = shard_csv(ShardSpec { index: 0, count: 3 }, &rows);
+        let s1 = shard_csv(ShardSpec { index: 1, count: 3 }, &rows);
+        let s2 = shard_csv(ShardSpec { index: 2, count: 3 }, &rows);
+
+        let err = merge_csv(&[("a", &s0), ("b", &s1)]).unwrap_err();
+        assert!(err.contains("missing cell #2") && err.contains("2/3"), "{err}");
+
+        let err = merge_csv(&[("a", &s0), ("b", &s1), ("b2", &s1), ("c", &s2)]).unwrap_err();
+        assert!(err.contains("more than one input"), "{err}");
+
+        let other = shard_csv(ShardSpec { index: 0, count: 2 }, &rows);
+        let err = merge_csv(&[("a", &s0), ("d", &other)]).unwrap_err();
+        assert!(err.contains("disagree"), "{err}");
+
+        let err = merge_csv(&[]).unwrap_err();
+        assert!(err.contains("nothing to merge"), "{err}");
+
+        let err = merge_csv(&[("x", "policy,nope\n")]).unwrap_err();
+        assert!(err.contains("not a sweep CSV report"), "{err}");
+
+        // A row filed under the wrong shard (hand-edited or mispaired
+        // files) is caught by the round-robin consistency check.
+        let forged = s0.replace("0/3,0,", "0/3,1,");
+        let err = merge_csv(&[("f", &forged), ("b", &s1), ("c", &s2)]).unwrap_err();
+        assert!(err.contains("cannot belong to shard 0/3"), "{err}");
+
+        // A row truncated mid-transfer (index intact, metrics cut)
+        // must fail the merge, not flow into the canonical output.
+        let cut = s0.trim_end().rsplit_once(',').unwrap().0.to_owned() + "\n";
+        let err = merge_csv(&[("t", &cut), ("b", &s1), ("c", &s2)]).unwrap_err();
+        assert!(err.contains("truncated") && err.contains("`t`"), "{err}");
+    }
+}

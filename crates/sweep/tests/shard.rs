@@ -1,0 +1,145 @@
+//! Sharding invariants, property-tested over random specs: for any
+//! spec and any shard count, the shards' cell lists are disjoint, their
+//! union (in canonical order) is exactly the full expansion, and
+//! sharding never perturbs a cell — indices, derived seeds and
+//! content-addressed cache keys are identical to the unsharded run's.
+//! Plus an end-to-end check that a 3-shard campaign merges back to the
+//! byte-identical report and a fully-warm union cache.
+
+use proptest::prelude::*;
+use therm3d::SensorProfile;
+use therm3d_floorplan::{Experiment, StackOrder};
+use therm3d_policies::PolicyKind;
+use therm3d_sweep::{
+    cell_key, expand, expand_shard, merge_csv, run_with_cache, CacheStore, ShardSpec, SweepSpec,
+};
+use therm3d_thermal::{Integrator, TsvVariant};
+use therm3d_workload::Benchmark;
+
+/// Builds a valid random spec from axis-prefix lengths (prefixes of the
+/// canonical axis value lists are always duplicate-free).
+#[allow(clippy::too_many_arguments)]
+fn spec_from(
+    n_exp: usize,
+    n_orders: usize,
+    n_tsv: usize,
+    n_sensors: usize,
+    n_integrators: usize,
+    n_pol: usize,
+    both_dpm: bool,
+    n_seeds: usize,
+) -> SweepSpec {
+    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| 2009 + i).collect();
+    SweepSpec::new("shard-props")
+        .with_experiments(&Experiment::ALL[..n_exp])
+        .with_stack_orders(&StackOrder::ALL[..n_orders])
+        .with_tsv(&[TsvVariant::Paper, TsvVariant::Dense1Pct, TsvVariant::Epoxy][..n_tsv])
+        .with_sensors(&[SensorProfile::Ideal, SensorProfile::Noisy1C][..n_sensors])
+        .with_integrators(&[Integrator::ImplicitCn, Integrator::ExplicitRk4][..n_integrators])
+        .with_policies(&PolicyKind::ALL[..n_pol])
+        .with_dpm(if both_dpm { &[false, true] } else { &[false] })
+        .with_seeds(&seeds)
+        .with_benchmarks(&[Benchmark::Gzip])
+        .with_sim_seconds(1.0)
+        .with_grid(4, 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn shards_are_disjoint_their_union_is_canonical_and_cells_are_untouched(
+        n_exp in 1usize..5,
+        n_orders in 1usize..3,
+        n_tsv in 1usize..4,
+        n_sensors in 1usize..3,
+        n_integrators in 1usize..3,
+        n_pol in 1usize..12,
+        both_dpm in prop::sample::select(vec![false, true]),
+        n_seeds in 1usize..4,
+        count in 1usize..9,
+    ) {
+        let spec = spec_from(
+            n_exp, n_orders, n_tsv, n_sensors, n_integrators, n_pol, both_dpm, n_seeds,
+        );
+        spec.validate().unwrap();
+        let full = expand(&spec);
+        let full_keys: Vec<String> =
+            full.iter().map(|c| cell_key(&spec, c).hex()).collect();
+
+        let mut seen = std::collections::BTreeSet::new();
+        let mut union = Vec::new();
+        for index in 0..count {
+            let shard = ShardSpec { index, count };
+            let sharded_spec = spec.clone().with_shard(shard);
+            sharded_spec.validate().unwrap();
+            let cells = expand_shard(&sharded_spec);
+            prop_assert_eq!(cells.len(), shard.cell_count(full.len()));
+            for cell in &cells {
+                // Disjoint: no cell index may appear on two shards.
+                prop_assert!(seen.insert(cell.index), "cell #{} on two shards", cell.index);
+                // Unchanged: the shard's cell is the canonical cell —
+                // same axes, same derived seeds…
+                prop_assert_eq!(cell, &full[cell.index]);
+                // …and the same content-addressed cache key, so shard
+                // caches union into exactly the unsharded cache.
+                prop_assert_eq!(
+                    cell_key(&sharded_spec, cell).hex(),
+                    full_keys[cell.index].clone()
+                );
+            }
+            union.extend(cells);
+        }
+        // Union: sorting the shards' cells by canonical index (what
+        // merging does) restores the full expansion exactly.
+        union.sort_by_key(|c| c.index);
+        prop_assert_eq!(union, full);
+    }
+}
+
+#[test]
+fn three_shard_campaign_merges_byte_identically_and_cache_union_is_warm() {
+    let tag = std::process::id();
+    let base = std::env::temp_dir().join(format!("therm3d_shard_e2e_{tag}"));
+    let _ = std::fs::remove_dir_all(&base);
+    let spec = SweepSpec::new("shard-e2e")
+        .with_experiments(&[Experiment::Exp1])
+        .with_policies(&[PolicyKind::Default, PolicyKind::CGate, PolicyKind::Adapt3d])
+        .with_dpm(&[false, true])
+        .with_benchmarks(&[Benchmark::Gzip])
+        .with_sim_seconds(3.0)
+        .with_grid(4, 4)
+        .with_threads(2);
+    let full = therm3d_sweep::run(&spec).unwrap();
+
+    // Each shard runs in its own "process": separate store, own CSV.
+    let mut shard_csvs = Vec::new();
+    for k in 0..3 {
+        let mut store = CacheStore::open(&base.join(format!("cache-{k}"))).unwrap();
+        let report = run_with_cache(
+            &spec.clone().with_shard(ShardSpec { index: k, count: 3 }),
+            Some(&mut store),
+        )
+        .unwrap();
+        assert_eq!(store.stats().inserted, report.rows.len() as u64);
+        shard_csvs.push(report.csv());
+    }
+
+    // CSV merge (fed out of order) is byte-identical to the full run.
+    let inputs: Vec<(&str, &str)> =
+        [2usize, 0, 1].iter().map(|&k| ("shard.csv", shard_csvs[k].as_str())).collect();
+    assert_eq!(merge_csv(&inputs).unwrap(), full.csv());
+
+    // Cache union serves the whole matrix warm: every cell hits, none
+    // simulates, and the report built purely from cache is identical.
+    let mut merged = CacheStore::open(&base.join("cache-all")).unwrap();
+    for k in 0..3 {
+        merged.merge_from(&CacheStore::open(&base.join(format!("cache-{k}"))).unwrap()).unwrap();
+    }
+    let warm = run_with_cache(&spec, Some(&mut merged)).unwrap();
+    let s = merged.stats();
+    assert_eq!((s.hits, s.misses), (full.rows.len() as u64, 0), "union cache must be fully warm");
+    assert_eq!(warm.csv(), full.csv());
+    assert_eq!(warm.json(), full.json());
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -178,7 +178,7 @@ impl ThermalConfig {
     }
 
     /// Returns the configuration with the interlayer material resolved
-    /// from a named [`TsvVariant`] — the hook the scenario sweep axes
+    /// from a named [`TsvVariant`](crate::tsv::TsvVariant) — the hook the scenario sweep axes
     /// use to rebuild the RC network per variant instead of the
     /// hard-coded paper joint material.
     #[must_use]
