@@ -1,0 +1,93 @@
+//! Sweep-engine throughput bench emitting a `BENCH_sweep.json`
+//! trajectory file (not a paper figure).
+//!
+//! Times the three phases a campaign spends its wall-clock in — matrix
+//! expansion, parallel execution, report rendering — over a fixed
+//! 4-cell spec, and writes the result as a
+//! [`therm3d_telemetry::MetricsSnapshot`]: per-iteration timings land
+//! in `bench.<phase>_us` histograms (the trajectory), medians in
+//! `<phase>.median_us` gauges, and the context (`name`, `smoke`,
+//! `engine` = the cache salt [`therm3d_sweep::ENGINE_VERSION`],
+//! `samples`) in `meta`. CI archives the file per commit, so regressions
+//! show up as a step in the gauge series under a stable schema.
+//!
+//! Usage: `bench_sweep [OUT.json]` (default `BENCH_sweep.json`);
+//! `THERM3D_BENCH_SMOKE` shrinks the run to 3 samples, recorded in the
+//! `smoke` meta key so smoke and full trajectories are never conflated.
+
+use std::time::Instant;
+
+use therm3d_floorplan::Experiment;
+use therm3d_policies::PolicyKind;
+use therm3d_sweep::{SweepSpec, ENGINE_VERSION};
+use therm3d_telemetry::{elapsed_us, Registry};
+use therm3d_workload::Benchmark;
+
+fn bench_spec() -> SweepSpec {
+    SweepSpec::new("bench-sweep")
+        .with_experiments(&[Experiment::Exp1])
+        .with_policies(&[PolicyKind::Default, PolicyKind::Adapt3d])
+        .with_benchmarks(&[Benchmark::Gzip])
+        .with_dpm(&[false, true])
+        .with_sim_seconds(2.0)
+        .with_grid(4, 4)
+        .with_threads(2)
+}
+
+fn median(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sweep.json".into());
+    let smoke = std::env::var_os("THERM3D_BENCH_SMOKE").is_some();
+    let samples = therm3d_bench::smoke_samples(15);
+    let spec = bench_spec();
+    let registry = Registry::new(true);
+
+    let mut expand_us = Vec::with_capacity(samples);
+    let mut run_us = Vec::with_capacity(samples);
+    let mut render_us = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let cells = therm3d_sweep::expand(&spec);
+        expand_us.push(elapsed_us(t0));
+        assert_eq!(cells.len(), 4, "the bench matrix is fixed");
+
+        let t0 = Instant::now();
+        let report = therm3d_sweep::run(&spec).unwrap_or_else(|e| {
+            eprintln!("error: bench sweep failed: {e}");
+            std::process::exit(1);
+        });
+        run_us.push(elapsed_us(t0));
+
+        let t0 = Instant::now();
+        let csv = report.csv();
+        render_us.push(elapsed_us(t0));
+        assert_eq!(csv.lines().count(), 1 + 4, "header plus one row per cell");
+    }
+
+    registry.set_meta("name", "sweep");
+    registry.set_meta("smoke", if smoke { "true" } else { "false" });
+    registry.set_meta("engine", ENGINE_VERSION);
+    registry.set_meta("samples", &samples.to_string());
+    for (phase, timings) in
+        [("expand", &mut expand_us), ("run", &mut run_us), ("render", &mut render_us)]
+    {
+        for &us in timings.iter() {
+            registry.histogram_us(&format!("bench.{phase}_us")).record(us);
+        }
+        let med = median(timings);
+        #[allow(clippy::cast_precision_loss)]
+        registry.gauge(&format!("{phase}.median_us")).set(med as f64);
+        println!("bench_sweep/{phase}: median {med} us ({samples} samples)");
+    }
+
+    let snapshot = registry.snapshot();
+    if let Err(e) = std::fs::write(&out_path, snapshot.to_json()) {
+        eprintln!("error: cannot write `{out_path}`: {e}");
+        std::process::exit(1);
+    }
+    println!("bench_sweep: wrote {out_path}");
+}

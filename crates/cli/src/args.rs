@@ -98,6 +98,24 @@ pub enum Command {
         /// Run only shard K of N of the matrix (`--shard K/N`);
         /// overrides the spec's `shard` key. `None` keeps the spec's.
         shard: Option<ShardSpec>,
+        /// Live progress line on stderr (`--progress`).
+        progress: bool,
+        /// JSONL cell-lifecycle event stream path (`--trace-out`).
+        trace_out: Option<String>,
+        /// Metrics-snapshot JSON path (`--metrics-out`).
+        metrics_out: Option<String>,
+    },
+    /// Print ready-to-run command lines splitting a spec over N shards
+    /// (`therm3d shard-plan SPEC.toml --count N`).
+    ShardPlan {
+        /// Sweep-spec path (validated before the plan is printed).
+        path: String,
+        /// Number of shards the matrix is split over.
+        count: usize,
+        /// Per-shard cache directories `DIR-K` in the printed lines.
+        cache_dir: Option<String>,
+        /// `--threads` forwarded to every printed shard command.
+        threads: Option<usize>,
     },
     /// Merge shard CSV reports back into the canonical unsharded CSV
     /// (`therm3d merge OUT.csv SHARD.csv ...`).
@@ -152,6 +170,8 @@ USAGE:
                       [--integrator I] [--stack-order O] [--tsv V] [--sensor S] [--csv]
   therm3d sweep       SPEC.toml [--threads N] [--format table|csv|json] [--csv]
                       [--cache-dir DIR] [--no-cache] [--cache-stats] [--shard K/N]
+                      [--progress] [--trace-out FILE] [--metrics-out FILE]
+  therm3d shard-plan  SPEC.toml --count N [--cache-dir DIR] [--threads N]
   therm3d merge       OUT.csv SHARD.csv [SHARD.csv ...]
   therm3d steady      [--exp E] [--grid N]
   therm3d trace       [--benchmark B] [--cores N] [-t SECS] [--seed N] [--csv]
@@ -189,7 +209,16 @@ USAGE:
   provenance column; `therm3d merge` recombines shard CSVs into the
   canonical report (byte-identical to an unsharded run) and `cache
   merge` unions shard cache directories (follow with `cache compact`
-  to drop shadowed lines).";
+  to drop shadowed lines). `shard-plan` prints the N command lines
+  (plus merge hints) that execute such a split, one shard per line.
+
+  Observability (stderr/sidecar only; stdout stays byte-identical):
+  --progress redraws a throttled cells/s + hit-rate + ETA line on
+  stderr; --trace-out FILE streams one JSON object per cell lifecycle
+  event (cell_start, cache_hit, cell_finish, cell_panic) to FILE;
+  --metrics-out FILE writes the final metrics snapshot (per-phase
+  timing histograms, cache hit/miss and factorization counters, one
+  record per cell) as pretty-printed JSON to FILE.";
 
 struct Tokens {
     items: Vec<String>,
@@ -275,10 +304,11 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             }
         }
     }
-    // `sweep` takes an optional positional spec file anywhere among its
-    // flags; skip over tokens that are values of value-taking flags.
+    // `sweep` and `shard-plan` take an optional positional spec file
+    // anywhere among their flags; skip over tokens that are values of
+    // value-taking flags.
     let mut spec_path: Option<String> = None;
-    if sub == "sweep" {
+    if sub == "sweep" || sub == "shard-plan" {
         let takes_value = |flag: &str| {
             matches!(
                 flag,
@@ -298,6 +328,9 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
                     | "--format"
                     | "--cache-dir"
                     | "--shard"
+                    | "--count"
+                    | "--trace-out"
+                    | "--metrics-out"
             )
         };
         let mut i = 1;
@@ -324,6 +357,10 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
     let mut no_cache = false;
     let mut cache_stats = false;
     let mut shard: Option<ShardSpec> = None;
+    let mut count: Option<usize> = None;
+    let mut progress = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut sim_flags: Vec<String> = Vec::new();
 
     while t.pos + 1 < t.items.len() {
@@ -377,6 +414,10 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             // ShardSpec::from_str validates the range, so `3/3` and
             // `0/0` die here at parse time with the valid range named.
             "--shard" => shard = Some(parse_num("--shard", &t.next_value("--shard")?)?),
+            "--count" => count = Some(parse_num("--count", &t.next_value("--count")?)?),
+            "--progress" => progress = true,
+            "--trace-out" => trace_out = Some(t.next_value("--trace-out")?),
+            "--metrics-out" => metrics_out = Some(t.next_value("--metrics-out")?),
             "--dpm" => sim.dpm = true,
             "--csv" => csv = true,
             other => return Err(ParseCliError(format!("unknown flag `{other}`"))),
@@ -388,20 +429,33 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
     if sim.grid == 0 {
         return Err(ParseCliError("`--grid` must be at least 1".into()));
     }
+    let spec_sweep = sub == "sweep" && spec_path.is_some();
+    let shard_plan = sub == "shard-plan";
     // Only a spec-file sweep consumes these; reject them anywhere else
-    // rather than dropping them silently.
-    if (threads.is_some() || format.is_some()) && !(sub == "sweep" && spec_path.is_some()) {
+    // rather than dropping them silently. `shard-plan` forwards
+    // `--threads` into the lines it prints.
+    if (threads.is_some() && !(spec_sweep || shard_plan)) || (format.is_some() && !spec_sweep) {
         return Err(ParseCliError(
-            "`--threads` and `--format` only apply to `sweep SPEC.toml`".into(),
+            "`--threads` and `--format` only apply to `sweep SPEC.toml` \
+             (`shard-plan` also forwards `--threads`)"
+                .into(),
         ));
     }
-    let spec_sweep = sub == "sweep" && spec_path.is_some();
-    if (cache_dir.is_some() && !(spec_sweep || sub == "cache"))
+    if (progress || trace_out.is_some() || metrics_out.is_some()) && !spec_sweep {
+        return Err(ParseCliError(
+            "`--progress`, `--trace-out` and `--metrics-out` only apply to `sweep SPEC.toml`"
+                .into(),
+        ));
+    }
+    if count.is_some() && !shard_plan {
+        return Err(ParseCliError("`--count` only applies to `shard-plan SPEC.toml`".into()));
+    }
+    if (cache_dir.is_some() && !(spec_sweep || shard_plan || sub == "cache"))
         || ((no_cache || cache_stats) && !spec_sweep)
     {
         return Err(ParseCliError(
-            "`--cache-dir` only applies to `sweep SPEC.toml`, `cache compact` and \
-             `cache merge`; `--no-cache` and `--cache-stats` only apply to `sweep SPEC.toml`"
+            "`--cache-dir` only applies to `sweep SPEC.toml`, `shard-plan`, `cache compact` \
+             and `cache merge`; `--no-cache` and `--cache-stats` only apply to `sweep SPEC.toml`"
                 .into(),
         ));
     }
@@ -451,10 +505,34 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
                     cache_dir,
                     cache_stats,
                     shard,
+                    progress,
+                    trace_out,
+                    metrics_out,
                 })
             }
             None => Ok(Command::Sweep { sim, csv }),
         },
+        "shard-plan" => {
+            let Some(path) = spec_path else {
+                return Err(ParseCliError(
+                    "`shard-plan` needs a spec file: `therm3d shard-plan SPEC.toml --count N`"
+                        .into(),
+                ));
+            };
+            if !sim_flags.is_empty() || csv {
+                return Err(ParseCliError(format!(
+                    "`shard-plan` only takes `--count N`, `--cache-dir DIR` and `--threads N`; \
+                     set the matrix in `{path}` instead"
+                )));
+            }
+            let Some(count) = count else {
+                return Err(ParseCliError("`shard-plan` requires `--count N`".into()));
+            };
+            if count == 0 {
+                return Err(ParseCliError("`--count` must be at least 1".into()));
+            }
+            Ok(Command::ShardPlan { path, count, cache_dir, threads })
+        }
         "steady" | "trace" => {
             // These subcommands cannot honor the scenario flags; reject
             // them instead of silently profiling the paper default.
@@ -766,7 +844,10 @@ mod tests {
                 format: SweepFormat::Json,
                 cache_dir: None,
                 cache_stats: false,
-                shard: None
+                shard: None,
+                progress: false,
+                trace_out: None,
+                metrics_out: None
             }
         );
     }
@@ -784,7 +865,10 @@ mod tests {
                 format: SweepFormat::Json,
                 cache_dir: None,
                 cache_stats: false,
-                shard: None
+                shard: None,
+                progress: false,
+                trace_out: None,
+                metrics_out: None
             }
         );
         let cmd = parse(argv("sweep --threads 2 campaign.toml --csv")).unwrap();
@@ -796,7 +880,10 @@ mod tests {
                 format: SweepFormat::Csv,
                 cache_dir: None,
                 cache_stats: false,
-                shard: None
+                shard: None,
+                progress: false,
+                trace_out: None,
+                metrics_out: None
             }
         );
     }
@@ -812,7 +899,10 @@ mod tests {
                 format: SweepFormat::Table,
                 cache_dir: None,
                 cache_stats: false,
-                shard: None
+                shard: None,
+                progress: false,
+                trace_out: None,
+                metrics_out: None
             }
         );
         let cmd = parse(argv("sweep campaign.toml --csv")).unwrap();
@@ -824,7 +914,10 @@ mod tests {
                 format: SweepFormat::Csv,
                 cache_dir: None,
                 cache_stats: false,
-                shard: None
+                shard: None,
+                progress: false,
+                trace_out: None,
+                metrics_out: None
             }
         );
     }
@@ -898,6 +991,67 @@ mod tests {
         assert!(err.contains("-t") && err.contains("--grid") && err.contains("s.toml"), "{err}");
         // The allowed companions still parse.
         assert!(parse(argv("sweep s.toml --threads 2 --format csv")).is_ok());
+    }
+
+    #[test]
+    fn telemetry_flags_parse_on_spec_file_sweeps() {
+        let cmd = parse(argv(
+            "sweep s.toml --progress --trace-out events.jsonl --metrics-out metrics.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::SweepFile { progress, trace_out, metrics_out, .. } => {
+                assert!(progress);
+                assert_eq!(trace_out.as_deref(), Some("events.jsonl"));
+                assert_eq!(metrics_out.as_deref(), Some("metrics.json"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // The positional scan must not mistake a sink path for the spec.
+        let cmd = parse(argv("sweep --trace-out ev.jsonl s.toml")).unwrap();
+        assert!(matches!(&cmd, Command::SweepFile { path, .. } if path == "s.toml"), "{cmd:?}");
+        // Off by default.
+        let cmd = parse(argv("sweep s.toml")).unwrap();
+        assert!(
+            matches!(
+                cmd,
+                Command::SweepFile { progress: false, trace_out: None, metrics_out: None, .. }
+            ),
+            "{cmd:?}"
+        );
+        // Anywhere else the flags would be silently dropped.
+        for line in ["run --progress", "sweep --trace-out x.jsonl", "trace --metrics-out m.json"] {
+            let err = parse(argv(line)).unwrap_err().0;
+            assert!(err.contains("sweep SPEC.toml"), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn shard_plan_parses_and_validates() {
+        assert_eq!(
+            parse(argv("shard-plan s.toml --count 4")).unwrap(),
+            Command::ShardPlan { path: "s.toml".into(), count: 4, cache_dir: None, threads: None }
+        );
+        // Forwarded flags ride along; the positional may follow them.
+        assert_eq!(
+            parse(argv("shard-plan --count 3 --cache-dir /tmp/c --threads 2 s.toml")).unwrap(),
+            Command::ShardPlan {
+                path: "s.toml".into(),
+                count: 3,
+                cache_dir: Some("/tmp/c".into()),
+                threads: Some(2)
+            }
+        );
+        // Missing pieces and misuse are named, not silently defaulted.
+        assert!(parse(argv("shard-plan s.toml")).unwrap_err().0.contains("--count"));
+        assert!(parse(argv("shard-plan --count 4")).unwrap_err().0.contains("spec file"));
+        assert!(parse(argv("shard-plan s.toml --count 0")).unwrap_err().0.contains("at least 1"));
+        let err = parse(argv("shard-plan s.toml --count 4 --csv")).unwrap_err().0;
+        assert!(err.contains("only takes"), "{err}");
+        let err = parse(argv("shard-plan s.toml --count 4 --exp exp1")).unwrap_err().0;
+        assert!(err.contains("s.toml"), "{err}");
+        // `--count` means nothing elsewhere.
+        assert!(parse(argv("sweep s.toml --count 4")).unwrap_err().0.contains("shard-plan"));
     }
 
     #[test]

@@ -59,12 +59,32 @@ pub fn csv_row(r: &RunResult, dpm: bool) -> String {
     therm3d_sweep::csv_row(r, dpm)
 }
 
+/// Observability sinks a spec-file sweep can opt into; the invariant
+/// they all honor is that stdout — the report — stays byte-identical
+/// whether or not any of them is active.
+#[derive(Debug, Clone, Default)]
+struct SweepTelemetryOpts<'a> {
+    /// Throttled live progress line on stderr (`--progress`).
+    progress: bool,
+    /// JSONL cell-lifecycle event stream path (`--trace-out`).
+    trace_out: Option<&'a str>,
+    /// Metrics-snapshot JSON path (`--metrics-out`).
+    metrics_out: Option<&'a str>,
+}
+
+impl SweepTelemetryOpts<'_> {
+    fn any(&self) -> bool {
+        self.progress || self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+}
+
 /// Loads, expands and executes a sweep-spec file, rendering the report
 /// in the requested format. With a cache directory, results are
 /// memoized by content-addressed cell key — the rendered report is
 /// byte-identical whatever the hit/miss mix. With `cache_stats`, one
 /// `cache:` counters line goes to *stderr* (never stdout: the CSV and
-/// JSON streams must stay machine-parseable).
+/// JSON streams must stay machine-parseable). Telemetry sinks likewise
+/// write only to stderr and sidecar files.
 ///
 /// Returns `(report, Option<stats line>)` so tests can assert on the
 /// counters without capturing stderr; [`execute`] routes them.
@@ -75,6 +95,7 @@ fn run_sweep_file(
     cache_dir: Option<&str>,
     cache_stats: bool,
     shard: Option<therm3d_sweep::ShardSpec>,
+    telemetry_opts: &SweepTelemetryOpts<'_>,
 ) -> Result<(String, Option<String>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let mut spec =
@@ -91,13 +112,45 @@ fn run_sweep_file(
         }
         None => None,
     };
-    let report = therm3d_sweep::run_with_cache(&spec, store.as_mut())
-        .map_err(|e| format!("sweep failed: {e}"))?;
-    let out = match format {
-        SweepFormat::Table => report.render(),
-        SweepFormat::Csv => report.csv(),
-        SweepFormat::Json => report.json(),
+    let telemetry = if telemetry_opts.any() {
+        let mut tel = therm3d_sweep::RunTelemetry::new();
+        if let Some(out) = telemetry_opts.trace_out {
+            tel = tel.with_events(
+                therm3d_telemetry::EventSink::to_path(std::path::Path::new(out))
+                    .map_err(|e| format!("cannot open `--trace-out {out}`: {e}"))?,
+            );
+        }
+        if telemetry_opts.progress {
+            tel = tel.with_progress(therm3d_telemetry::Progress::stderr());
+        }
+        // Turn on the process-wide registry so the in-engine spans
+        // (LDLᵀ factorization, tick loop) land in `--metrics-out` too.
+        therm3d_telemetry::global().set_enabled(true);
+        Some(tel)
+    } else {
+        None
     };
+    let report = therm3d_sweep::run_with_telemetry(&spec, store.as_mut(), telemetry.as_ref())
+        .map_err(|e| format!("sweep failed: {e}"))?;
+    let out = {
+        // Report rendering is part of the per-run timing story.
+        let _span = therm3d_telemetry::Span::enter("report.render_us");
+        match format {
+            SweepFormat::Table => report.render(),
+            SweepFormat::Csv => report.csv(),
+            SweepFormat::Json => report.json(),
+        }
+    };
+    if let Some(out_path) = telemetry_opts.metrics_out {
+        // The run-local snapshot (deterministic counters + per-cell
+        // records) merged with the global one (in-engine span
+        // histograms) is the full picture.
+        let mut snap = telemetry.as_ref().expect("metrics_out implies telemetry").snapshot();
+        snap.merge(&therm3d_telemetry::global().snapshot())
+            .map_err(|e| format!("cannot merge engine metrics: {e}"))?;
+        std::fs::write(out_path, snap.to_json())
+            .map_err(|e| format!("cannot write `--metrics-out {out_path}`: {e}"))?;
+    }
     // The counters line carries the shard id (`cache[1/3]: ...`) so N
     // shards logging to one stream stay attributable.
     let stats = match (&store, cache_stats) {
@@ -105,6 +158,61 @@ fn run_sweep_file(
         _ => None,
     };
     Ok((out, stats))
+}
+
+/// Renders the `shard-plan` output: one ready-to-run `therm3d sweep`
+/// line per shard plus `#`-commented context and merge hints, so the
+/// whole block can be pasted into a shell (or an sbatch template)
+/// as-is.
+fn shard_plan(
+    path: &str,
+    count: usize,
+    cache_dir: Option<&str>,
+    threads: Option<usize>,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let spec =
+        therm3d_sweep::from_toml(&text).map_err(|e| format!("invalid sweep spec `{path}`: {e}"))?;
+    let total = therm3d_sweep::expand(&spec).len();
+    if count > total {
+        return Err(format!(
+            "`--count {count}` exceeds the matrix: `{path}` expands to {total} cell{}",
+            if total == 1 { "" } else { "s" }
+        ));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# sweep '{}': {total} cells over {count} shard{} (round-robin, disjoint)",
+        spec.name,
+        if count == 1 { "" } else { "s" }
+    );
+    let threads_arg = threads.map(|n| format!(" --threads {n}")).unwrap_or_default();
+    for k in 0..count {
+        // Round-robin over the canonical order: shard k takes cells
+        // k, k+count, k+2*count, ...
+        let cells = total / count + usize::from(k < total % count);
+        let cache_arg = cache_dir.map(|d| format!(" --cache-dir {d}-{k}")).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "therm3d sweep {path} --shard {k}/{count}{threads_arg}{cache_arg} --format csv \
+             > {}-shard-{k}.csv  # {cells} cell{}",
+            spec.name,
+            if cells == 1 { "" } else { "s" }
+        );
+    }
+    let shards: Vec<String> = (0..count).map(|k| format!("{}-shard-{k}.csv", spec.name)).collect();
+    let _ = writeln!(out, "# merge: therm3d merge {}.csv {}", spec.name, shards.join(" "));
+    if let Some(dir) = cache_dir {
+        let dirs: Vec<String> = (0..count).map(|k| format!("{dir}-{k}")).collect();
+        let _ = writeln!(
+            out,
+            "# caches: therm3d cache merge --cache-dir {dir} {} && \
+             therm3d cache compact --cache-dir {dir}",
+            dirs.join(" ")
+        );
+    }
+    Ok(out)
 }
 
 /// Merges shard CSV reports into the canonical CSV and writes it to
@@ -219,7 +327,22 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 }
             }
         }
-        Command::SweepFile { path, threads, format, cache_dir, cache_stats, shard } => {
+        Command::SweepFile {
+            path,
+            threads,
+            format,
+            cache_dir,
+            cache_stats,
+            shard,
+            progress,
+            trace_out,
+            metrics_out,
+        } => {
+            let telemetry_opts = SweepTelemetryOpts {
+                progress: *progress,
+                trace_out: trace_out.as_deref(),
+                metrics_out: metrics_out.as_deref(),
+            };
             let (report, stats) = run_sweep_file(
                 path,
                 *threads,
@@ -227,11 +350,15 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 cache_dir.as_deref(),
                 *cache_stats,
                 *shard,
+                &telemetry_opts,
             )?;
             out.push_str(&report);
             if let Some(stats) = stats {
                 eprintln!("{stats}");
             }
+        }
+        Command::ShardPlan { path, count, cache_dir, threads } => {
+            out.push_str(&shard_plan(path, *count, cache_dir.as_deref(), *threads)?);
         }
         Command::Merge { out: merged_path, inputs } => {
             out.push_str(&merge_reports(merged_path, inputs)?);
@@ -409,6 +536,9 @@ mod tests {
             cache_dir: None,
             cache_stats: false,
             shard: None,
+            progress: false,
+            trace_out: None,
+            metrics_out: None,
         })
         .unwrap();
         assert!(table.contains("sweep 'cli-test': 4 cells"), "{table}");
@@ -421,6 +551,9 @@ mod tests {
             cache_dir: None,
             cache_stats: false,
             shard: None,
+            progress: false,
+            trace_out: None,
+            metrics_out: None,
         })
         .unwrap();
         let mut lines = csv.lines();
@@ -443,6 +576,9 @@ mod tests {
             cache_dir: None,
             cache_stats: false,
             shard: None,
+            progress: false,
+            trace_out: None,
+            metrics_out: None,
         })
         .unwrap();
         assert!(json.contains("\"name\": \"cli-test\""), "{json}");
@@ -473,6 +609,7 @@ mod tests {
                 Some(cache_dir.to_str().unwrap()),
                 true,
                 None,
+                &SweepTelemetryOpts::default(),
             )
             .unwrap()
         };
@@ -493,6 +630,9 @@ mod tests {
             cache_dir: None,
             cache_stats: false,
             shard: None,
+            progress: false,
+            trace_out: None,
+            metrics_out: None,
         })
         .unwrap();
         assert_eq!(uncached, warm);
@@ -526,6 +666,7 @@ mod tests {
                 Some(cache_dir.to_str().unwrap()),
                 true,
                 None,
+                &SweepTelemetryOpts::default(),
             )
             .unwrap()
         };
@@ -570,8 +711,16 @@ mod tests {
         .unwrap();
         let p = |path: &std::path::Path| path.to_str().unwrap().to_owned();
 
-        let (full, _) =
-            run_sweep_file(&p(&spec_path), Some(2), SweepFormat::Csv, None, false, None).unwrap();
+        let (full, _) = run_sweep_file(
+            &p(&spec_path),
+            Some(2),
+            SweepFormat::Csv,
+            None,
+            false,
+            None,
+            &SweepTelemetryOpts::default(),
+        )
+        .unwrap();
 
         // Run the campaign as 3 shards, each with its own cache dir and
         // CSV; the stats line is tagged with the shard id.
@@ -586,6 +735,7 @@ mod tests {
                 Some(&p(&cache)),
                 true,
                 Some(shard),
+                &SweepTelemetryOpts::default(),
             )
             .unwrap();
             assert!(stats.unwrap().starts_with(&format!("cache[{k}/3]: 0 hits")), "shard {k}");
@@ -619,6 +769,7 @@ mod tests {
             Some(&p(&merged_cache)),
             true,
             None,
+            &SweepTelemetryOpts::default(),
         )
         .unwrap();
         assert!(stats.unwrap().starts_with("cache: 4 hits, 0 misses, 0 inserted"), "fully warm");
@@ -641,6 +792,144 @@ mod tests {
     }
 
     #[test]
+    fn sweep_file_telemetry_sidecars_leave_stdout_untouched() {
+        let base =
+            std::env::temp_dir().join(format!("therm3d_cli_telemetry_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let spec_path = base.join("spec.toml");
+        std::fs::write(
+            &spec_path,
+            "name = \"cli-telemetry\"\n\
+             experiments = [\"exp1\"]\n\
+             policies = [\"Default\", \"Adapt3D\"]\n\
+             dpm = [false, true]\n\
+             benchmarks = [\"gzip\"]\n\
+             sim_seconds = 2.0\n\
+             grid = 4\n\
+             threads = 2\n",
+        )
+        .unwrap();
+        let spec = spec_path.to_str().unwrap();
+
+        let (plain, _) = run_sweep_file(
+            spec,
+            None,
+            SweepFormat::Csv,
+            None,
+            false,
+            None,
+            &SweepTelemetryOpts::default(),
+        )
+        .unwrap();
+
+        let events_path = base.join("events.jsonl");
+        let metrics_path = base.join("metrics.json");
+        let opts = SweepTelemetryOpts {
+            progress: false, // stderr redraws are covered by the telemetry crate's own tests
+            trace_out: Some(events_path.to_str().unwrap()),
+            metrics_out: Some(metrics_path.to_str().unwrap()),
+        };
+        let (telemetered, _) =
+            run_sweep_file(spec, None, SweepFormat::Csv, None, false, None, &opts).unwrap();
+        assert_eq!(plain, telemetered, "sidecar sinks must not touch stdout");
+
+        // The event stream covers all 4 cells, two events each.
+        let events = std::fs::read_to_string(&events_path).unwrap();
+        let docs: Vec<therm3d_telemetry::Json> =
+            events.lines().map(|l| therm3d_telemetry::Json::parse(l).unwrap()).collect();
+        assert_eq!(docs.len(), 8, "{events}");
+        let finishes =
+            docs.iter().filter(|d| d.get("ev").unwrap().as_str() == Some("cell_finish")).count();
+        assert_eq!(finishes, 4);
+
+        // The metrics snapshot parses, covers every cell and carries
+        // the per-phase and solver counters the flags promise.
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        let snap = therm3d_telemetry::MetricsSnapshot::from_json(&metrics).unwrap();
+        assert_eq!(snap.counters["sweep.cells_total"], 4);
+        assert_eq!(snap.cells.len(), 4);
+        for cell in &snap.cells {
+            assert!(cell.phases.contains_key("setup") && cell.phases.contains_key("simulate"));
+            assert!(cell.counters["factor_numeric"] >= 1);
+        }
+        assert!(snap.histograms.contains_key("cell.wall_us"), "{metrics}");
+        // The global registry's in-engine spans were merged in.
+        assert!(snap.histograms.contains_key("thermal.factor_numeric_us"), "{metrics}");
+        assert!(snap.histograms.contains_key("engine.tick_us"), "{metrics}");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn shard_plan_prints_runnable_lines_and_merge_hints() {
+        let spec_path = std::env::temp_dir().join("therm3d_cli_shard_plan.toml");
+        std::fs::write(
+            &spec_path,
+            "name = \"plan\"\n\
+             experiments = [\"exp1\"]\n\
+             policies = [\"Default\", \"Adapt3D\"]\n\
+             dpm = [false, true]\n\
+             benchmarks = [\"gzip\"]\n\
+             sim_seconds = 2.0\n\
+             grid = 4\n",
+        )
+        .unwrap();
+        let spec = spec_path.to_str().unwrap();
+        let out = execute(&Command::ShardPlan {
+            path: spec.into(),
+            count: 3,
+            cache_dir: Some("/tmp/plan-cache".into()),
+            threads: Some(2),
+        })
+        .unwrap();
+        assert!(out.starts_with("# sweep 'plan': 4 cells over 3 shards"), "{out}");
+
+        // Every non-comment line is a `therm3d sweep` invocation our own
+        // parser accepts, with balanced round-robin cell counts.
+        let mut cells_seen = 0;
+        let mut shard_lines = 0;
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            shard_lines += 1;
+            let (cmd, annotation) = line.split_once(" > ").expect("redirects to a CSV");
+            let argv: Vec<String> = cmd.split_whitespace().skip(1).map(str::to_owned).collect();
+            let parsed = crate::args::parse(argv).unwrap();
+            assert!(
+                matches!(&parsed, Command::SweepFile { path, threads: Some(2), shard: Some(_), .. } if path == spec),
+                "{line}: {parsed:?}"
+            );
+            cells_seen += annotation
+                .split_once("# ")
+                .and_then(|(_, c)| c.split(' ').next())
+                .and_then(|c| c.parse::<usize>().ok())
+                .expect("cell-count comment");
+        }
+        assert_eq!(shard_lines, 3);
+        assert_eq!(cells_seen, 4, "shards partition the matrix");
+        assert!(out.contains("--cache-dir /tmp/plan-cache-2"), "{out}");
+        assert!(out.contains("# merge: therm3d merge plan.csv plan-shard-0.csv"), "{out}");
+        assert!(out.contains("cache merge --cache-dir /tmp/plan-cache /tmp/plan-cache-0"), "{out}");
+
+        // A plan with more shards than cells names the problem.
+        let err = execute(&Command::ShardPlan {
+            path: spec.into(),
+            count: 9,
+            cache_dir: None,
+            threads: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("expands to 4 cells"), "{err}");
+        // Without `--cache-dir` no cache hint is printed.
+        let out = execute(&Command::ShardPlan {
+            path: spec.into(),
+            count: 2,
+            cache_dir: None,
+            threads: None,
+        })
+        .unwrap();
+        assert!(!out.contains("cache"), "{out}");
+    }
+
+    #[test]
     fn cache_compact_on_a_missing_dir_creates_an_empty_store() {
         let dir =
             std::env::temp_dir().join(format!("therm3d_cli_compact_fresh_{}", std::process::id()));
@@ -659,6 +948,9 @@ mod tests {
             cache_dir: None,
             cache_stats: false,
             shard: None,
+            progress: false,
+            trace_out: None,
+            metrics_out: None,
         })
         .unwrap_err();
         assert!(err.starts_with("cannot read"), "{err}");
@@ -672,6 +964,9 @@ mod tests {
             cache_dir: None,
             cache_stats: false,
             shard: None,
+            progress: false,
+            trace_out: None,
+            metrics_out: None,
         })
         .unwrap_err();
         assert!(err.starts_with("invalid sweep spec"), "{err}");

@@ -9,6 +9,7 @@ use therm3d_metrics::{
 };
 use therm3d_policies::{MultiQueue, Observation, Policy, QueueHint};
 use therm3d_power::{CorePowerInput, PowerModel};
+use therm3d_telemetry::Span;
 use therm3d_thermal::ThermalModel;
 use therm3d_workload::JobTrace;
 
@@ -136,6 +137,20 @@ impl Simulator {
         self.now_s
     }
 
+    /// Numeric LDLᵀ factorizations performed by the thermal model so
+    /// far — surfaced so sweeps can report the "factor once per
+    /// (model, h)" guarantee per cell instead of only test-asserting it.
+    #[must_use]
+    pub fn factorization_count(&self) -> usize {
+        self.thermal.factorization_count()
+    }
+
+    /// Symbolic sparse analyses performed by the thermal model so far.
+    #[must_use]
+    pub fn symbolic_analysis_count(&self) -> usize {
+        self.thermal.symbolic_analysis_count()
+    }
+
     /// The policy under evaluation.
     #[must_use]
     pub fn policy_name(&self) -> &str {
@@ -194,6 +209,10 @@ impl Simulator {
             || (self.queues.in_flight() > 0 && self.now_s < deadline)
             || (cursor.remaining() > 0 && self.now_s < deadline)
         {
+            // Inert (one relaxed load, no allocation) unless the global
+            // telemetry registry was enabled by an embedder, so the
+            // alloc-free property of this loop holds in the default path.
+            let _tick_span = Span::enter("engine.tick_us");
             // 1. Sensor readings + scheduler statistics for the policy.
             // The policy sees *sensor* readings; metrics use true temps.
             self.thermal.block_temperatures_c_into(&mut temps_c);

@@ -66,6 +66,7 @@ pub mod report;
 pub mod runner;
 pub mod shard;
 pub mod spec;
+pub mod telemetry;
 pub mod toml;
 
 pub use cache::{
@@ -74,7 +75,10 @@ pub use cache::{
 pub use error::SweepError;
 pub use matrix::{derive_policy_seed, derive_sensor_seed, expand, expand_shard, SweepCell};
 pub use report::{csv_header, csv_row, sweep_csv_header, SweepReport, SweepRow, CSV_HEADER};
-pub use runner::{effective_threads, run, run_cell, run_with_cache, sim_config};
+pub use runner::{
+    effective_threads, run, run_cell, run_with_cache, run_with_telemetry, sim_config,
+};
 pub use shard::{merge_csv, ShardSpec};
 pub use spec::{parse_sim_seconds, sim_seconds_from_env, SweepSpec};
+pub use telemetry::RunTelemetry;
 pub use toml::{from_toml, to_toml};

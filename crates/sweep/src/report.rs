@@ -52,7 +52,7 @@ pub fn csv_row(r: &RunResult, dpm: bool) -> String {
 }
 
 /// One executed cell with its result.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SweepRow {
     /// Content-addressed provenance: the 16-hex-digit
     /// [`cell_key`](crate::cache::cell_key) this cell resolves to in a
@@ -63,6 +63,21 @@ pub struct SweepRow {
     pub cell: SweepCell,
     /// The simulation outcome.
     pub result: RunResult,
+    /// Per-cell cost breakdown, present only on telemetered runs
+    /// ([`run_with_telemetry`](crate::run_with_telemetry)). Wall-clock
+    /// data — deliberately excluded from `PartialEq`, the CSV/JSON
+    /// exports and the cache codec, so telemetry can never perturb the
+    /// byte-identical-report invariant.
+    pub timing: Option<therm3d_telemetry::CellMetrics>,
+}
+
+/// Equality covers the deterministic payload (key, cell, result) and
+/// ignores `timing`: sharded-union and warm-vs-cold tests compare rows
+/// across runs whose wall-clock costs legitimately differ.
+impl PartialEq for SweepRow {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.cell == other.cell && self.result == other.result
+    }
 }
 
 /// Aggregated results of one sweep, in canonical matrix order.
@@ -357,6 +372,7 @@ mod tests {
                 key: crate::cache::cell_key(&spec, &cell).hex(),
                 result: fake_result(cell.policy.label(), cell.experiment),
                 cell,
+                timing: None,
             })
             .collect();
         SweepReport { name: spec.name, shard: ShardSpec::FULL, rows }
@@ -401,6 +417,7 @@ mod tests {
                 key: crate::cache::cell_key(&spec, &cell).hex(),
                 result: fake_result(cell.policy.label(), cell.experiment),
                 cell,
+                timing: None,
             })
             .collect();
         let text = SweepReport { name: spec.name, shard: ShardSpec::FULL, rows }.render();

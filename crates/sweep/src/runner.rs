@@ -23,15 +23,19 @@ use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 use therm3d::{RunResult, ScenarioConfig, SimConfig, Simulator};
+use therm3d_telemetry::span::elapsed_us;
+use therm3d_telemetry::{CellMetrics, Event, Span};
 use therm3d_workload::{generate_mix, JobTrace};
 
-use crate::cache::{cell_key, CacheStore};
+use crate::cache::{cell_key, CacheStore, ENGINE_VERSION};
 use crate::error::SweepError;
 use crate::matrix::{expand_shard, SweepCell};
 use crate::report::{SweepReport, SweepRow};
 use crate::spec::SweepSpec;
+use crate::telemetry::RunTelemetry;
 
 /// The simulator configuration for one cell of `spec`: paper defaults
 /// plus the cell's scenario (stack order, TSV variant, sensor profile —
@@ -65,19 +69,85 @@ pub fn run_cell(spec: &SweepSpec, cell: &SweepCell) -> RunResult {
 }
 
 fn run_cell_with_trace(spec: &SweepSpec, cell: &SweepCell, trace: &JobTrace) -> RunResult {
+    run_cell_costed(spec, cell, trace).0
+}
+
+/// The cost of simulating one cell: wall-clock split by phase plus the
+/// thermal solver's deterministic work counters. A handful of clock
+/// reads per *cell* (not per tick), so it is recorded unconditionally.
+#[derive(Clone, Copy, Debug)]
+struct CellCost {
+    wall_us: u64,
+    setup_us: u64,
+    simulate_us: u64,
+    factor_numeric: u64,
+    symbolic_analyses: u64,
+}
+
+fn run_cell_costed(spec: &SweepSpec, cell: &SweepCell, trace: &JobTrace) -> (RunResult, CellCost) {
+    let t_wall = Instant::now();
     // The policy must see the same stack the engine simulates (Adapt3D's
     // thermal indices depend on which layer each core sits on).
     let stack = cell.experiment.stack_with_order(cell.stack_order);
     let policy = cell.policy.build_with_dpm(&stack, cell.policy_seed, cell.dpm);
     let mut sim = Simulator::new(sim_config(spec, cell), policy);
-    sim.run(trace, spec.sim_seconds)
+    let setup_us = elapsed_us(t_wall);
+    let t_sim = Instant::now();
+    let result = sim.run(trace, spec.sim_seconds);
+    let cost = CellCost {
+        wall_us: elapsed_us(t_wall),
+        setup_us,
+        simulate_us: elapsed_us(t_sim),
+        factor_numeric: sim.factorization_count() as u64,
+        symbolic_analyses: sim.symbolic_analysis_count() as u64,
+    };
+    (result, cost)
 }
 
-/// [`run_cell_with_trace`] with panics converted to an error message,
+/// [`run_cell_costed`] with panics converted to an error message,
 /// so one exploding cell reports itself instead of killing its worker.
-fn try_run_cell(spec: &SweepSpec, cell: &SweepCell, trace: &JobTrace) -> Result<RunResult, String> {
-    std::panic::catch_unwind(AssertUnwindSafe(|| run_cell_with_trace(spec, cell, trace)))
+fn try_run_cell(
+    spec: &SweepSpec,
+    cell: &SweepCell,
+    trace: &JobTrace,
+) -> Result<(RunResult, CellCost), String> {
+    std::panic::catch_unwind(AssertUnwindSafe(|| run_cell_costed(spec, cell, trace)))
         .map_err(|payload| panic_message(payload.as_ref()))
+}
+
+/// [`try_run_cell`] bracketed by telemetry: a `cell_start` event before
+/// the simulation, `cell_finish`/`cell_panic` and a progress bump after.
+fn run_cell_observed(
+    spec: &SweepSpec,
+    cell: &SweepCell,
+    trace: &JobTrace,
+    key_hex: &str,
+    shard: &str,
+    telemetry: Option<&RunTelemetry>,
+) -> Result<(RunResult, CellCost), String> {
+    let Some(tel) = telemetry else { return try_run_cell(spec, cell, trace) };
+    if let Some(events) = &tel.events {
+        events.emit(&Event::CellStart { shard, cell: cell.index, key: key_hex });
+    }
+    let outcome = try_run_cell(spec, cell, trace);
+    if let Some(events) = &tel.events {
+        match &outcome {
+            Ok((_, cost)) => events.emit(&Event::CellFinish {
+                shard,
+                cell: cell.index,
+                key: key_hex,
+                wall_us: cost.wall_us,
+                cached: false,
+            }),
+            Err(cause) => {
+                events.emit(&Event::CellPanic { shard, cell: cell.index, key: key_hex, cause });
+            }
+        }
+    }
+    if let Some(progress) = &tel.progress {
+        progress.cell_done(false);
+    }
+    outcome
 }
 
 /// Extracts the human-readable message from a panic payload.
@@ -123,27 +193,99 @@ pub fn run(spec: &SweepSpec) -> Result<SweepReport, SweepError> {
 /// [`SweepError::Cache`] when the store cannot be appended to.
 pub fn run_with_cache(
     spec: &SweepSpec,
+    cache: Option<&mut CacheStore>,
+) -> Result<SweepReport, SweepError> {
+    run_with_telemetry(spec, cache, None)
+}
+
+/// [`run_with_cache`] with optional observability: when `telemetry` is
+/// given, the run feeds its private metrics registry (aggregate
+/// counters/histograms plus one [`CellMetrics`] record per cell),
+/// streams cell-lifecycle events and drives the live progress
+/// reporter. Telemetry writes only to the sinks inside
+/// [`RunTelemetry`] — rows, CSV and JSON stay byte-identical with
+/// telemetry on or off, which CI guards by diffing the two.
+///
+/// # Errors
+///
+/// Exactly as [`run_with_cache`].
+pub fn run_with_telemetry(
+    spec: &SweepSpec,
     mut cache: Option<&mut CacheStore>,
+    telemetry: Option<&RunTelemetry>,
 ) -> Result<SweepReport, SweepError> {
     spec.validate().map_err(SweepError::InvalidSpec)?;
+    let shard_label = spec.shard.to_string();
     // Only this shard's cells are expanded into the work list; the full
     // matrix is the default (shard 0/1). Cells keep their canonical
     // indices and derived seeds, so everything below — keys, traces,
     // write-back, report rows — is identical whether a cell runs in a
     // sharded process or an unsharded one.
-    let cells = expand_shard(spec);
+    let t_expand = Instant::now();
+    let cells = {
+        let _span = Span::enter("sweep.expand_us");
+        expand_shard(spec)
+    };
     let keys: Vec<_> = cells.iter().map(|cell| cell_key(spec, cell)).collect();
+    let expand_us = elapsed_us(t_expand);
 
     // Lookup-before-simulate: hits fill their slot immediately, misses
     // form the pending work list for the workers.
     let mut results: Vec<Option<Result<RunResult, String>>> = vec![None; cells.len()];
+    let mut lookup_us: Vec<u64> = Vec::new();
+    let cache_attached = cache.is_some();
     if let Some(store) = cache.as_deref_mut() {
+        let _span = Span::enter("cache.lookup_us");
         for (slot, key) in results.iter_mut().zip(&keys) {
+            let t = Instant::now();
             *slot = store.lookup(key).map(Ok);
+            lookup_us.push(elapsed_us(t));
         }
     }
     let pending: Vec<usize> = (0..cells.len()).filter(|&i| results[i].is_none()).collect();
     let threads = effective_threads(spec.threads, pending.len());
+
+    if let Some(tel) = telemetry {
+        let reg = &tel.registry;
+        reg.set_meta("sweep", &spec.name);
+        reg.set_meta("shard", &shard_label);
+        reg.set_meta("engine", ENGINE_VERSION);
+        reg.set_meta("threads", &threads.to_string());
+        reg.gauge("sweep.expand_us").set(expand_us as f64);
+        reg.counter("sweep.cells_total").add(cells.len() as u64);
+        // Hit/miss accounting only means something with a store attached
+        // — an uncached run is not "all misses".
+        if cache_attached {
+            reg.counter("sweep.cache_hits").add((cells.len() - pending.len()) as u64);
+            reg.counter("sweep.cache_misses").add(pending.len() as u64);
+        }
+        if let Some(progress) = &tel.progress {
+            progress.begin(cells.len(), threads);
+        }
+        // Cache hits resolve before any worker starts: announce them
+        // now so progress and the event stream cover every cell.
+        for (i, slot) in results.iter().enumerate() {
+            if slot.is_none() {
+                continue;
+            }
+            if let Some(events) = &tel.events {
+                let key = keys[i].hex();
+                let us = lookup_us[i];
+                let (shard, cell) = (shard_label.as_str(), cells[i].index);
+                events.emit(&Event::CacheHit { shard, cell, key: &key, lookup_us: us });
+                events.emit(&Event::CellFinish {
+                    shard,
+                    cell,
+                    key: &key,
+                    wall_us: us,
+                    cached: true,
+                });
+            }
+            if let Some(progress) = &tel.progress {
+                progress.cell_done(true);
+            }
+        }
+    }
 
     // One trace per (core-count, seed): generated up front for the
     // pending cells only, shared read-only by every worker.
@@ -151,21 +293,37 @@ pub fn run_with_cache(
     for &i in &pending {
         let cell = &cells[i];
         let key = (cell.experiment.num_cores(), cell.trace_seed);
-        traces
-            .entry(key)
-            .or_insert_with(|| generate_mix(&spec.benchmarks, key.0, spec.sim_seconds, key.1));
+        traces.entry(key).or_insert_with(|| {
+            let t = Instant::now();
+            let trace = generate_mix(&spec.benchmarks, key.0, spec.sim_seconds, key.1);
+            if let Some(tel) = telemetry {
+                tel.registry.histogram_us("sweep.trace_gen_us").record(elapsed_us(t));
+            }
+            trace
+        });
     }
 
+    let mut costs: Vec<Option<CellCost>> = vec![None; cells.len()];
     if threads == 1 {
         for &i in &pending {
             let cell = &cells[i];
             let trace = &traces[&(cell.experiment.num_cores(), cell.trace_seed)];
-            results[i] = Some(try_run_cell(spec, cell, trace));
+            let outcome =
+                run_cell_observed(spec, cell, trace, &keys[i].hex(), &shard_label, telemetry);
+            results[i] = Some(match outcome {
+                Ok((result, cost)) => {
+                    costs[i] = Some(cost);
+                    Ok(result)
+                }
+                Err(cause) => Err(cause),
+            });
         }
     } else {
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, Result<RunResult, String>)>();
+        type CellOutcome = (usize, Result<RunResult, String>, Option<CellCost>);
+        let (tx, rx) = mpsc::channel::<CellOutcome>();
         let (next, pending_ref, cells_ref, traces_ref) = (&next, &pending, &cells, &traces);
+        let (keys_ref, shard_ref) = (&keys, shard_label.as_str());
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let tx = tx.clone();
@@ -174,17 +332,32 @@ pub fn run_with_cache(
                     let Some(&i) = pending_ref.get(slot) else { break };
                     let cell = &cells_ref[i];
                     let trace = &traces_ref[&(cell.experiment.num_cores(), cell.trace_seed)];
-                    let result = try_run_cell(spec, cell, trace);
-                    if tx.send((i, result)).is_err() {
+                    let outcome = run_cell_observed(
+                        spec,
+                        cell,
+                        trace,
+                        &keys_ref[i].hex(),
+                        shard_ref,
+                        telemetry,
+                    );
+                    let (result, cost) = match outcome {
+                        Ok((result, cost)) => (Ok(result), Some(cost)),
+                        Err(cause) => (Err(cause), None),
+                    };
+                    if tx.send((i, result, cost)).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
-            for (i, result) in rx {
+            for (i, result, cost) in rx {
                 results[i] = Some(result);
+                costs[i] = cost;
             }
         });
+    }
+    if let Some(progress) = telemetry.and_then(|tel| tel.progress.as_ref()) {
+        progress.finish();
     }
 
     // Write-back and assembly in canonical order. A failed cell makes
@@ -202,11 +375,17 @@ pub fn run_with_cache(
         let result = match slot {
             Some(Ok(result)) => result,
             Some(Err(cause)) => {
+                if let Some(tel) = telemetry {
+                    tel.registry.counter("sweep.cells_failed").inc();
+                }
                 first_failure
                     .get_or_insert(SweepError::CellFailed { cell: cell.describe(), cause });
                 continue;
             }
             None => {
+                if let Some(tel) = telemetry {
+                    tel.registry.counter("sweep.cells_failed").inc();
+                }
                 first_failure.get_or_insert(SweepError::CellFailed {
                     cell: cell.describe(),
                     cause: "worker thread died before reporting a result".to_owned(),
@@ -216,15 +395,62 @@ pub fn run_with_cache(
         };
         if fresh {
             if let Some(store) = cache.as_deref_mut() {
+                let _span = Span::enter("cache.insert_us");
                 store.insert(&key, &result)?;
             }
         }
-        rows.push(SweepRow { key: key.hex(), cell, result });
+        let timing = telemetry.map(|tel| {
+            let metrics = cell_metrics(&cell, &key.hex(), costs[position], lookup_us.get(position));
+            record_cell_metrics(&tel.registry, &metrics);
+            metrics
+        });
+        rows.push(SweepRow { key: key.hex(), cell, result, timing });
     }
     match first_failure {
         Some(failure) => Err(failure),
         None => Ok(SweepReport { name: spec.name.clone(), shard: spec.shard, rows }),
     }
+}
+
+/// The per-cell cost record for one finished cell: simulated cells
+/// carry their phase split and solver counters, cached cells their
+/// lookup time.
+fn cell_metrics(
+    cell: &SweepCell,
+    key_hex: &str,
+    cost: Option<CellCost>,
+    lookup_us: Option<&u64>,
+) -> CellMetrics {
+    let mut metrics =
+        CellMetrics { index: cell.index as u64, key: key_hex.to_owned(), ..CellMetrics::default() };
+    if let Some(cost) = cost {
+        metrics.wall_us = cost.wall_us;
+        metrics.phases.insert("setup".to_owned(), cost.setup_us);
+        metrics.phases.insert("simulate".to_owned(), cost.simulate_us);
+        metrics.counters.insert("factor_numeric".to_owned(), cost.factor_numeric);
+        metrics.counters.insert("symbolic_analyses".to_owned(), cost.symbolic_analyses);
+    } else {
+        let us = lookup_us.copied().unwrap_or(0);
+        metrics.cached = true;
+        metrics.wall_us = us;
+        metrics.phases.insert("cache_lookup".to_owned(), us);
+    }
+    metrics
+}
+
+/// Folds one cell's record into the run-local aggregates.
+fn record_cell_metrics(registry: &therm3d_telemetry::Registry, metrics: &CellMetrics) {
+    registry.histogram_us("cell.wall_us").record(metrics.wall_us);
+    for (phase, us) in &metrics.phases {
+        registry.histogram_us(&format!("cell.{phase}_us")).record(*us);
+    }
+    if !metrics.cached {
+        registry.counter("sweep.cells_simulated").inc();
+        for (name, count) in &metrics.counters {
+            registry.counter(&format!("thermal.{name}")).add(*count);
+        }
+    }
+    registry.record_cell(metrics.clone());
 }
 
 #[cfg(test)]

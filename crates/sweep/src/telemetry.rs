@@ -1,0 +1,65 @@
+//! Per-run telemetry wiring for the sweep runner.
+//!
+//! A [`RunTelemetry`] bundles the three observability channels a
+//! campaign can opt into — a private metrics [`Registry`], a JSONL
+//! [`EventSink`] (`--trace-out`) and a throttled [`Progress`] reporter
+//! (`--progress`) — and is handed to
+//! [`run_with_telemetry`](crate::run_with_telemetry) by reference, so
+//! worker threads share it without locking anything beyond the sinks'
+//! own mutexes.
+//!
+//! The registry is deliberately *per run*, not the process-wide
+//! [`therm3d_telemetry::global()`] one: parallel runs (and parallel
+//! tests) must never interleave counts, and a run-local registry is
+//! what makes the snapshot's deterministic subset — cell coverage,
+//! cache hit/miss counts, factorization counters — reproducible for
+//! any thread count. The global registry still collects the in-engine
+//! spans (thermal factorization, engine ticks) when an embedder
+//! enables it; the CLI merges both snapshots into `--metrics-out`.
+
+use therm3d_telemetry::{EventSink, MetricsSnapshot, Progress, Registry};
+
+/// Observability channels for one sweep run; see the module docs.
+pub struct RunTelemetry {
+    /// Run-local metrics: aggregate counters/histograms plus one
+    /// [`therm3d_telemetry::CellMetrics`] record per finished cell.
+    pub registry: Registry,
+    /// JSONL cell-lifecycle event stream, if requested.
+    pub events: Option<EventSink>,
+    /// Live progress reporter, if requested.
+    pub progress: Option<Progress>,
+}
+
+impl RunTelemetry {
+    /// Metrics only; add sinks with the builder methods.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { registry: Registry::new(true), events: None, progress: None }
+    }
+
+    /// Streams cell-lifecycle events into `sink`.
+    #[must_use]
+    pub fn with_events(mut self, sink: EventSink) -> Self {
+        self.events = Some(sink);
+        self
+    }
+
+    /// Reports live progress through `progress`.
+    #[must_use]
+    pub fn with_progress(mut self, progress: Progress) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// The run's metrics snapshot (deterministically ordered).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+impl Default for RunTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -4,6 +4,7 @@
 use std::f64::consts::SQRT_2;
 
 use therm3d_floorplan::Stack3d;
+use therm3d_telemetry::Span;
 
 use crate::config::{Integrator, ThermalConfig};
 use crate::network::RcNetwork;
@@ -130,10 +131,12 @@ impl ImplicitState {
             .as_ref()
             .is_some_and(|s| s.dim() == a.dim() && s.pattern_nnz() == a.nnz());
         if !compatible {
+            let _span = Span::enter("thermal.symbolic_analyze_us");
             self.symbolic = Some(analyze(a));
             self.symbolic_count += 1;
         }
         let symbolic = self.symbolic.as_ref().expect("analyzed above");
+        let _span = Span::enter("thermal.factor_numeric_us");
         let factored =
             symbolic.factor_numeric(a).unwrap_or_else(|e| panic!("{what} must be SPD: {e}"));
         self.factor_count += 1;
