@@ -105,6 +105,16 @@ pub enum Command {
         /// Metrics-snapshot JSON path (`--metrics-out`).
         metrics_out: Option<String>,
     },
+    /// Validate a sweep spec and print a preflight report — expansion
+    /// count, per-axis summary, shard balance and a cache warm/cold
+    /// estimate — without simulating anything
+    /// (`therm3d check SPEC.toml [--cache-dir DIR]`).
+    Check {
+        /// Sweep-spec path.
+        path: String,
+        /// Cache directory to estimate warm/cold cells against.
+        cache_dir: Option<String>,
+    },
     /// Print ready-to-run command lines splitting a spec over N shards
     /// (`therm3d shard-plan SPEC.toml --count N`).
     ShardPlan {
@@ -171,6 +181,7 @@ USAGE:
   therm3d sweep       SPEC.toml [--threads N] [--format table|csv|json] [--csv]
                       [--cache-dir DIR] [--no-cache] [--cache-stats] [--shard K/N]
                       [--progress] [--trace-out FILE] [--metrics-out FILE]
+  therm3d check       SPEC.toml [--cache-dir DIR]
   therm3d shard-plan  SPEC.toml --count N [--cache-dir DIR] [--threads N]
   therm3d merge       OUT.csv SHARD.csv [SHARD.csv ...]
   therm3d steady      [--exp E] [--grid N]
@@ -195,6 +206,11 @@ USAGE:
   --threads). Keys: name, experiments, stack_orders, tsv, sensors,
   integrators, policies, dpm, benchmarks, seeds, sim_seconds, grid,
   policy_seed, threads.
+
+  `check` is the dry-run preflight for a campaign: it validates the
+  spec, prints the canonical expansion count, a per-axis summary, the
+  shard balance, and — with --cache-dir — how many cells would hit the
+  cache vs. simulate, all without running anything.
 
   --cache-dir DIR memoizes results by content-addressed cell key:
   re-running a grown spec only simulates the new cells, and the report
@@ -304,11 +320,11 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             }
         }
     }
-    // `sweep` and `shard-plan` take an optional positional spec file
-    // anywhere among their flags; skip over tokens that are values of
-    // value-taking flags.
+    // `sweep`, `shard-plan` and `check` take an optional positional
+    // spec file anywhere among their flags; skip over tokens that are
+    // values of value-taking flags.
     let mut spec_path: Option<String> = None;
-    if sub == "sweep" || sub == "shard-plan" {
+    if sub == "sweep" || sub == "shard-plan" || sub == "check" {
         let takes_value = |flag: &str| {
             matches!(
                 flag,
@@ -450,12 +466,13 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
     if count.is_some() && !shard_plan {
         return Err(ParseCliError("`--count` only applies to `shard-plan SPEC.toml`".into()));
     }
-    if (cache_dir.is_some() && !(spec_sweep || shard_plan || sub == "cache"))
+    if (cache_dir.is_some() && !(spec_sweep || shard_plan || sub == "cache" || sub == "check"))
         || ((no_cache || cache_stats) && !spec_sweep)
     {
         return Err(ParseCliError(
-            "`--cache-dir` only applies to `sweep SPEC.toml`, `shard-plan`, `cache compact` \
-             and `cache merge`; `--no-cache` and `--cache-stats` only apply to `sweep SPEC.toml`"
+            "`--cache-dir` only applies to `sweep SPEC.toml`, `shard-plan`, `check`, \
+             `cache compact` and `cache merge`; `--no-cache` and `--cache-stats` only apply \
+             to `sweep SPEC.toml`"
                 .into(),
         ));
     }
@@ -512,6 +529,19 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             }
             None => Ok(Command::Sweep { sim, csv }),
         },
+        "check" => {
+            let Some(path) = spec_path else {
+                return Err(ParseCliError(
+                    "`check` needs a spec file: `therm3d check SPEC.toml [--cache-dir DIR]`".into(),
+                ));
+            };
+            if !sim_flags.is_empty() || csv {
+                return Err(ParseCliError(format!(
+                    "`check` only takes `--cache-dir DIR`; set the matrix in `{path}` instead"
+                )));
+            }
+            Ok(Command::Check { path, cache_dir })
+        }
         "shard-plan" => {
             let Some(path) = spec_path else {
                 return Err(ParseCliError(
@@ -1052,6 +1082,27 @@ mod tests {
         assert!(err.contains("s.toml"), "{err}");
         // `--count` means nothing elsewhere.
         assert!(parse(argv("sweep s.toml --count 4")).unwrap_err().0.contains("shard-plan"));
+    }
+
+    #[test]
+    fn check_parses_and_validates() {
+        assert_eq!(
+            parse(argv("check s.toml")).unwrap(),
+            Command::Check { path: "s.toml".into(), cache_dir: None }
+        );
+        // The positional may follow the flags.
+        assert_eq!(
+            parse(argv("check --cache-dir /tmp/c s.toml")).unwrap(),
+            Command::Check { path: "s.toml".into(), cache_dir: Some("/tmp/c".into()) }
+        );
+        assert!(parse(argv("check")).unwrap_err().0.contains("spec file"));
+        let err = parse(argv("check s.toml --exp exp1")).unwrap_err().0;
+        assert!(err.contains("s.toml"), "{err}");
+        let err = parse(argv("check s.toml --csv")).unwrap_err().0;
+        assert!(err.contains("only takes"), "{err}");
+        // Run-only flags stay rejected here.
+        assert!(parse(argv("check s.toml --threads 2")).unwrap_err().0.contains("--threads"));
+        assert!(parse(argv("check s.toml --shard 0/2")).unwrap_err().0.contains("--shard"));
     }
 
     #[test]

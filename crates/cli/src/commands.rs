@@ -160,6 +160,108 @@ fn run_sweep_file(
     Ok((out, stats))
 }
 
+/// Renders the `check` preflight report: spec validity, canonical
+/// expansion count, per-axis summary, shard balance and — with a cache
+/// directory — how many cells would hit the cache vs. simulate.
+/// Nothing is simulated and nothing is written (the cache is only
+/// probed), so preflighting a week-long campaign costs milliseconds.
+fn check_spec(path: &str, cache_dir: Option<&str>) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let spec =
+        therm3d_sweep::from_toml(&text).map_err(|e| format!("invalid sweep spec `{path}`: {e}"))?;
+    let cells = therm3d_sweep::expand(&spec);
+    let total = cells.len();
+
+    fn axis<T>(items: &[T], label: impl Fn(&T) -> String) -> String {
+        items.iter().map(label).collect::<Vec<_>>().join(", ")
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "sweep '{}': `{path}` is valid", spec.name);
+    let _ = writeln!(
+        out,
+        "  cells: {total} = {} experiment(s) x {} stack order(s) x {} tsv x {} sensor(s) \
+         x {} integrator(s) x {} policy(ies) x {} dpm x {} seed(s)",
+        spec.experiments.len(),
+        spec.stack_orders.len(),
+        spec.tsv.len(),
+        spec.sensors.len(),
+        spec.integrators.len(),
+        spec.policies.len(),
+        spec.dpm.len(),
+        spec.seeds.len(),
+    );
+    let _ = writeln!(out, "  experiments:  {}", axis(&spec.experiments, |e| e.to_string()));
+    let _ = writeln!(out, "  stack orders: {}", axis(&spec.stack_orders, |o| o.to_string()));
+    let _ = writeln!(out, "  tsv variants: {}", axis(&spec.tsv, |v| v.to_string()));
+    let _ = writeln!(out, "  sensors:      {}", axis(&spec.sensors, |s| s.to_string()));
+    let _ = writeln!(out, "  integrators:  {}", axis(&spec.integrators, |i| i.to_string()));
+    let _ = writeln!(out, "  policies:     {}", axis(&spec.policies, |p| p.label().to_owned()));
+    let _ = writeln!(
+        out,
+        "  dpm:          {}",
+        axis(&spec.dpm, |d| if *d { "on".to_owned() } else { "off".to_owned() })
+    );
+    let _ = writeln!(out, "  seeds:        {}", axis(&spec.seeds, u64::to_string));
+    let _ = writeln!(
+        out,
+        "  benchmarks:   {} (rotation within each cell, not an axis)",
+        axis(&spec.benchmarks, |b| b.name().to_owned())
+    );
+    let _ = writeln!(
+        out,
+        "  sim: {} s per cell on a {}x{} grid, policy seed {:#06x}",
+        spec.sim_seconds, spec.grid.0, spec.grid.1, spec.policy_seed
+    );
+
+    if spec.shard.is_full() {
+        let _ = writeln!(out, "  shard: full matrix (split with --shard K/N or `shard-plan`)");
+    } else {
+        // Round-robin balance: every shard of the split, this one marked.
+        let count = spec.shard.count;
+        let balance = (0..count)
+            .map(|k| {
+                let cells = total / count + usize::from(k < total % count);
+                if k == spec.shard.index {
+                    format!("[{k}:{cells}]")
+                } else {
+                    format!("{k}:{cells}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            "  shard {}: {} of {total} cells (balance {balance})",
+            spec.shard,
+            spec.shard.cell_count(total)
+        );
+    }
+
+    if let Some(dir) = cache_dir {
+        // Probe the store with the same content-addressed keys a run
+        // would use; lookups only touch in-memory stats, never the disk.
+        let mut store =
+            therm3d_sweep::CacheStore::open(std::path::Path::new(dir)).map_err(String::from)?;
+        let run_cells = therm3d_sweep::expand_shard(&spec);
+        let warm = run_cells
+            .iter()
+            .filter(|cell| store.lookup(&therm3d_sweep::cell_key(&spec, cell)).is_some())
+            .count();
+        let cold = run_cells.len() - warm;
+        let pct =
+            if run_cells.is_empty() { 100.0 } else { 100.0 * warm as f64 / run_cells.len() as f64 };
+        let _ = writeln!(
+            out,
+            "  cache `{dir}`: {warm} warm, {cold} cold of {} cell(s) ({pct:.1}% warm, \
+             {} entries in store)",
+            run_cells.len(),
+            store.len()
+        );
+    }
+    Ok(out)
+}
+
 /// Renders the `shard-plan` output: one ready-to-run `therm3d sweep`
 /// line per shard plus `#`-commented context and merge hints, so the
 /// whole block can be pasted into a shell (or an sbatch template)
@@ -357,6 +459,9 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 eprintln!("{stats}");
             }
         }
+        Command::Check { path, cache_dir } => {
+            out.push_str(&check_spec(path, cache_dir.as_deref())?);
+        }
         Command::ShardPlan { path, count, cache_dir, threads } => {
             out.push_str(&shard_plan(path, *count, cache_dir.as_deref(), *threads)?);
         }
@@ -510,6 +615,83 @@ mod tests {
         let mut lines = out.lines();
         assert_eq!(lines.next(), Some(csv_header()));
         assert_eq!(lines.count(), PolicyKind::ALL.len());
+    }
+
+    #[test]
+    fn check_preflights_without_simulating() {
+        let dir = std::env::temp_dir().join("therm3d_cli_check_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.toml");
+        std::fs::write(
+            &spec_path,
+            "name = \"check-test\"\n\
+             experiments = [\"exp1\"]\n\
+             policies = [\"Default\", \"Adapt3D\"]\n\
+             dpm = [false, true]\n\
+             benchmarks = [\"gzip\"]\n\
+             sim_seconds = 2.0\n\
+             grid = 4\n\
+             threads = 1\n",
+        )
+        .unwrap();
+        let spec_path = spec_path.to_str().unwrap().to_owned();
+        let cache = dir.join("cache").to_str().unwrap().to_owned();
+
+        // Preflight against an empty cache: everything is cold, and the
+        // probe must not create store contents that later count as warm.
+        let out = check_spec(&spec_path, Some(&cache)).unwrap();
+        assert!(out.contains("`check-test`") || out.contains("'check-test'"), "{out}");
+        assert!(out.contains("cells: 4 = 1 experiment(s)"), "{out}");
+        assert!(out.contains("policies:     Default, Adapt3D"), "{out}");
+        assert!(out.contains("dpm:          off, on"), "{out}");
+        assert!(out.contains("full matrix"), "{out}");
+        assert!(out.contains("0 warm, 4 cold"), "{out}");
+
+        // Simulate the campaign into the cache, then the same preflight
+        // reports everything warm.
+        execute(&Command::SweepFile {
+            path: spec_path.clone(),
+            threads: None,
+            format: SweepFormat::Csv,
+            cache_dir: Some(cache.clone()),
+            cache_stats: false,
+            shard: None,
+            progress: false,
+            trace_out: None,
+            metrics_out: None,
+        })
+        .unwrap();
+        let out = check_spec(&spec_path, Some(&cache)).unwrap();
+        assert!(out.contains("4 warm, 0 cold"), "{out}");
+        assert!(out.contains("100.0% warm"), "{out}");
+
+        // A sharded spec reports its share and the full balance.
+        let sharded = dir.join("sharded.toml");
+        std::fs::write(
+            &sharded,
+            "name = \"check-test\"\n\
+             experiments = [\"exp1\"]\n\
+             policies = [\"Default\", \"Adapt3D\"]\n\
+             dpm = [false, true]\n\
+             benchmarks = [\"gzip\"]\n\
+             sim_seconds = 2.0\n\
+             grid = 4\n\
+             shard = \"1/3\"\n",
+        )
+        .unwrap();
+        let out = check_spec(sharded.to_str().unwrap(), Some(&cache)).unwrap();
+        assert!(out.contains("shard 1/3: 1 of 4 cells"), "{out}");
+        assert!(out.contains("balance 0:2 [1:1] 2:1"), "{out}");
+        assert!(out.contains("1 warm, 0 cold"), "{out}");
+
+        // Errors are reported, not panicked.
+        assert!(check_spec("/nonexistent/spec.toml", None).unwrap_err().contains("cannot read"));
+        let bad = dir.join("bad.toml");
+        std::fs::write(&bad, "name = \"x\"\nsim_seconds = -1.0\n").unwrap();
+        assert!(check_spec(bad.to_str().unwrap(), None).unwrap_err().contains("invalid"));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

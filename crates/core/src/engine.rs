@@ -205,6 +205,7 @@ impl Simulator {
         let mut vf_index: Vec<usize> = Vec::with_capacity(n_cores);
         let mut asleep: Vec<bool> = Vec::with_capacity(n_cores);
 
+        // lint: region(alloc-free: engine-tick)
         while self.now_s < duration_s
             || (self.queues.in_flight() > 0 && self.now_s < deadline)
             || (cursor.remaining() > 0 && self.now_s < deadline)
@@ -345,6 +346,7 @@ impl Simulator {
 
             self.now_s += tick;
         }
+        // lint: end-region
 
         let turnarounds: Vec<f64> =
             self.queues.completed().iter().map(|c| c.turnaround_s()).collect();

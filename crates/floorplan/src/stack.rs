@@ -1,7 +1,7 @@
 //! 3D die stacks: ordered layers of floorplans plus global block/core
 //! indexing.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::block::UnitKind;
@@ -61,8 +61,10 @@ pub struct Stack3d {
     layers: Vec<Floorplan>,
     layer_names: Vec<String>,
     sites: Vec<BlockSite>,
-    /// Global site index for each `(layer, block)` pair.
-    site_by_loc: HashMap<(usize, usize), usize>,
+    /// Global site index for each `(layer, block)` pair. Ordered so
+    /// any future iteration over it is deterministic (stack summaries
+    /// feed sweep CSV output).
+    site_by_loc: BTreeMap<(usize, usize), usize>,
     /// Global site index of each core, ordered by `CoreId`.
     core_sites: Vec<usize>,
 }
@@ -88,7 +90,7 @@ impl Stack3d {
         }
         let (layer_names, layers): (Vec<_>, Vec<_>) = layers.into_iter().unzip();
         let mut sites = Vec::new();
-        let mut site_by_loc = HashMap::new();
+        let mut site_by_loc = BTreeMap::new();
         let mut core_sites = Vec::new();
         for (li, fp) in layers.iter().enumerate() {
             for (bi, b) in fp.blocks().iter().enumerate() {

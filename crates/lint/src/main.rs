@@ -1,0 +1,64 @@
+//! CLI entry point: lint the workspace, print diagnostics to stderr,
+//! exit 0 when clean, 1 on findings, 2 on I/O/usage errors.
+//!
+//! ```text
+//! cargo run -p therm3d_lint [-- --root DIR] [--json PATH]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => match argv.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root requires a directory"),
+            },
+            "--json" => match argv.next() {
+                Some(path) => json_path = Some(PathBuf::from(path)),
+                None => return usage("--json requires a file path"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: therm3d_lint [--root DIR] [--json PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match therm3d_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("therm3d_lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, therm3d_lint::report_json(&report)) {
+            eprintln!("therm3d_lint: cannot write `{}`: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    for diag in &report.diagnostics {
+        eprintln!("{diag}");
+    }
+    eprintln!(
+        "therm3d_lint: {} diagnostic(s) across {} file(s)",
+        report.diagnostics.len(),
+        report.files_scanned
+    );
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("therm3d_lint: {msg}\nusage: therm3d_lint [--root DIR] [--json PATH]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,329 @@
+//! Fixture corpus for every lint rule: one positive, one negative and
+//! one `allow`-suppressed case per rule, plus the live-source coupling
+//! tests (fingerprint matches the tree; the whole workspace is clean).
+
+use std::path::Path;
+
+use therm3d_lint::{
+    check_cache_salt, lint_source, lint_workspace, RULE_ALLOC_FREE, RULE_DIRECTIVE,
+    RULE_NONDET_ITER, RULE_SALT_DRIFT, RULE_STDOUT, RULE_WALL_CLOCK,
+};
+
+/// Asserts exactly one diagnostic of `rule` at `line`.
+fn assert_one(diags: &[therm3d_lint::Diagnostic], rule: &str, line: usize) {
+    assert_eq!(diags.len(), 1, "expected exactly one diagnostic, got {diags:#?}");
+    assert_eq!(diags[0].rule, rule, "{diags:#?}");
+    assert_eq!(diags[0].line, line, "{diags:#?}");
+}
+
+// -------------------------------------------------------- rule 1
+
+#[test]
+fn nondet_iteration_positive() {
+    let src = "use std::collections::HashMap;\n\
+               fn summarize() {\n\
+               \x20   let mut m: HashMap<String, u32> = HashMap::new();\n\
+               \x20   m.insert(String::from(\"a\"), 1);\n\
+               \x20   for (k, v) in m.iter() {\n\
+               \x20       drop((k, v));\n\
+               \x20   }\n\
+               }\n";
+    assert_one(&lint_source("sweep", "f.rs", src), RULE_NONDET_ITER, 5);
+}
+
+#[test]
+fn nondet_iteration_flags_for_loops_and_values() {
+    let src = "fn f(counts: std::collections::HashMap<u64, usize>) -> usize {\n\
+               \x20   let a = counts.values().copied().max().unwrap();\n\
+               \x20   let mut b = 0;\n\
+               \x20   for v in counts {\n\
+               \x20       b += v.1;\n\
+               \x20   }\n\
+               \x20   a + b\n\
+               }\n";
+    let diags = lint_source("workload", "f.rs", src);
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert_eq!((diags[0].line, diags[0].rule.as_str()), (2, RULE_NONDET_ITER));
+    assert_eq!((diags[1].line, diags[1].rule.as_str()), (4, RULE_NONDET_ITER));
+}
+
+#[test]
+fn nondet_iteration_negative() {
+    // Lookup-only HashMap use, ordered iteration, and a crate outside
+    // the output-reaching set are all fine.
+    let lookup_only = "fn f(m: &std::collections::HashMap<u64, u64>) -> Option<&u64> {\n\
+                       \x20   m.get(&7)\n\
+                       }\n";
+    assert!(lint_source("sweep", "f.rs", lookup_only).is_empty());
+    let btree = "fn f(m: &std::collections::BTreeMap<u64, u64>) -> usize {\n\
+                 \x20   m.iter().count()\n\
+                 }\n";
+    assert!(lint_source("sweep", "f.rs", btree).is_empty());
+    let other_crate = "fn f(m: &std::collections::HashMap<u64, u64>) -> usize {\n\
+                       \x20   m.iter().count()\n\
+                       }\n";
+    assert!(lint_source("thermal", "f.rs", other_crate).is_empty());
+}
+
+#[test]
+fn nondet_iteration_allowed_with_reason() {
+    let src = "fn f(m: std::collections::HashMap<u64, u64>) -> u64 {\n\
+               \x20   // lint: allow(no-nondeterministic-iteration): summed, order-insensitive\n\
+               \x20   m.values().sum()\n\
+               }\n";
+    assert!(lint_source("sweep", "f.rs", src).is_empty());
+    // Without a reason the allow is itself a diagnostic and suppresses
+    // nothing.
+    let src = "fn f(m: std::collections::HashMap<u64, u64>) -> u64 {\n\
+               \x20   // lint: allow(no-nondeterministic-iteration)\n\
+               \x20   m.values().sum()\n\
+               }\n";
+    let diags = lint_source("sweep", "f.rs", src);
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert!(diags.iter().any(|d| d.rule == RULE_DIRECTIVE && d.line == 2), "{diags:#?}");
+    assert!(diags.iter().any(|d| d.rule == RULE_NONDET_ITER && d.line == 3), "{diags:#?}");
+}
+
+// -------------------------------------------------------- rule 2
+
+#[test]
+fn wall_clock_positive() {
+    let src = "fn f() -> std::time::Instant {\n\
+               \x20   Instant::now()\n\
+               }\n";
+    assert_one(&lint_source("core", "f.rs", src), RULE_WALL_CLOCK, 2);
+    let src = "fn f() { let _ = std::time::SystemTime::now(); }\n";
+    assert_one(&lint_source("sweep", "f.rs", src), RULE_WALL_CLOCK, 1);
+}
+
+#[test]
+fn wall_clock_negative() {
+    let src = "fn f() { let _ = Instant::now(); let _ = SystemTime::now(); }\n";
+    assert!(lint_source("telemetry", "f.rs", src).is_empty());
+    assert!(lint_source("bench", "f.rs", src).is_empty());
+    // Mentions in comments/strings never fire.
+    let src = "// Instant::now() is banned here\nfn f() { let _ = \"Instant::now\"; }\n";
+    assert!(lint_source("core", "f.rs", src).is_empty());
+}
+
+#[test]
+fn wall_clock_allowed_with_reason() {
+    let src = "fn f() {\n\
+               \x20   // lint: allow(no-wall-clock): cost accounting only\n\
+               \x20   let _ = Instant::now();\n\
+               }\n";
+    assert!(lint_source("sweep", "f.rs", src).is_empty());
+}
+
+// -------------------------------------------------------- rule 3
+
+#[test]
+fn alloc_free_positive() {
+    let src = "fn tick() {\n\
+               \x20   // lint: region(alloc-free: tick)\n\
+               \x20   let label = format!(\"t={}\", 1);\n\
+               \x20   // lint: end-region\n\
+               \x20   drop(label);\n\
+               }\n";
+    assert_one(&lint_source("core", "f.rs", src), RULE_ALLOC_FREE, 3);
+    // Every banned token fires inside a region.
+    for tok in [
+        "Vec::new()",
+        "vec![0; 4]",
+        "x.to_string()",
+        "x.collect::<Vec<_>>()",
+        "Box::new(1)",
+        "x.clone()",
+    ] {
+        let src = format!(
+            "fn f(x: i32) {{\n\
+             \x20   // lint: region(alloc-free: r)\n\
+             \x20   let _ = {tok};\n\
+             \x20   // lint: end-region\n\
+             }}\n"
+        );
+        let diags = lint_source("core", "f.rs", &src);
+        assert_eq!(diags.len(), 1, "token {tok}: {diags:#?}");
+        assert_eq!(diags[0].line, 3, "token {tok}");
+    }
+}
+
+#[test]
+fn alloc_free_negative() {
+    // The same allocation outside any region is fine, as is buffer
+    // reuse inside one.
+    let src = "fn f() {\n\
+               \x20   let label = format!(\"t={}\", 1);\n\
+               \x20   // lint: region(alloc-free: r)\n\
+               \x20   let mut v: [u8; 4] = [0; 4];\n\
+               \x20   v[0] = 1;\n\
+               \x20   // lint: end-region\n\
+               \x20   drop(label);\n\
+               }\n";
+    assert!(lint_source("core", "f.rs", src).is_empty());
+}
+
+#[test]
+fn alloc_free_allowed_with_reason() {
+    let src = "fn f() {\n\
+               \x20   // lint: region(alloc-free: r)\n\
+               \x20   // lint: allow(alloc-free-region): one-time warm-up before the loop\n\
+               \x20   let v = Vec::new();\n\
+               \x20   // lint: end-region\n\
+               \x20   drop::<Vec<u8>>(v);\n\
+               }\n";
+    assert!(lint_source("core", "f.rs", src).is_empty());
+}
+
+#[test]
+fn unbalanced_regions_are_reported() {
+    let open = "fn f() {\n\
+                \x20   // lint: region(alloc-free: r)\n\
+                }\n";
+    let diags = lint_source("core", "f.rs", open);
+    assert_one(&diags, RULE_DIRECTIVE, 2);
+    assert!(diags[0].message.contains("never closed"), "{diags:#?}");
+    let stray = "fn f() {}\n// lint: end-region\n";
+    assert_one(&lint_source("core", "f.rs", stray), RULE_DIRECTIVE, 2);
+}
+
+// -------------------------------------------------------- rule 4
+
+#[test]
+fn stdout_positive() {
+    let src = "fn f() {\n\
+               \x20   println!(\"progress\");\n\
+               }\n";
+    assert_one(&lint_source("metrics", "f.rs", src), RULE_STDOUT, 2);
+    let src = "fn f() { print!(\"x\"); }\n";
+    assert_one(&lint_source("thermal", "f.rs", src), RULE_STDOUT, 1);
+}
+
+#[test]
+fn stdout_negative() {
+    // stderr is fine everywhere; stdout is fine in binary-entry crates.
+    let src = "fn f() { eprintln!(\"diag\"); eprint!(\"d\"); }\n";
+    assert!(lint_source("metrics", "f.rs", src).is_empty());
+    let src = "fn f() { println!(\"report\"); }\n";
+    assert!(lint_source("cli", "f.rs", src).is_empty());
+    assert!(lint_source("bench", "f.rs", src).is_empty());
+}
+
+#[test]
+fn stdout_allowed_with_reason() {
+    let src = "fn f() {\n\
+               \x20   // lint: allow(stdout-hygiene): doc-example helper, never linked into sweeps\n\
+               \x20   println!(\"x\");\n\
+               }\n";
+    assert!(lint_source("metrics", "f.rs", src).is_empty());
+}
+
+// -------------------------------------------------------- rule 5
+
+/// A minimal stand-in for `cache.rs` with salt, fingerprint and region.
+fn cache_fixture(salt: &str, fingerprint: u64, descriptor_line: &str) -> String {
+    format!(
+        "pub const ENGINE_VERSION: &str = \"{salt}\";\n\
+         pub const DESCRIPTOR_FINGERPRINT: u64 = {fingerprint:#018x};\n\
+         fn key() {{\n\
+         \x20   // lint: region(fingerprint: cell-descriptor)\n\
+         \x20   let descriptor = {descriptor_line};\n\
+         \x20   // lint: end-region\n\
+         \x20   drop(descriptor);\n\
+         }}\n"
+    )
+}
+
+/// The fingerprint the lint computes for `cache_fixture(salt, _, line)`.
+fn fixture_fingerprint(salt: &str, descriptor_line: &str) -> u64 {
+    let input = format!("{salt}\n\x20   let descriptor = {descriptor_line};");
+    therm3d_lint::fnv1a64(input.as_bytes())
+}
+
+#[test]
+fn salt_drift_negative_then_positive() {
+    let salt = "cache/v1";
+    let line = "format_cell(cell)";
+    let good = cache_fixture(salt, fixture_fingerprint(salt, line), line);
+    assert!(check_cache_salt("cache.rs", &good).is_empty());
+
+    // Editing the descriptor without bumping anything: caught at the
+    // region's first line.
+    let drifted = cache_fixture(salt, fixture_fingerprint(salt, line), "format_cell_v2(cell)");
+    let diags = check_cache_salt("cache.rs", &drifted);
+    assert_one(&diags, RULE_SALT_DRIFT, 5);
+    assert!(diags[0].message.contains("bump ENGINE_VERSION"), "{diags:#?}");
+
+    // Bumping the salt without re-recording the fingerprint is drift
+    // too (the salt is part of the hash), so the two constants can only
+    // move together.
+    let half_bumped = cache_fixture("cache/v2", fixture_fingerprint(salt, line), line);
+    assert_eq!(check_cache_salt("cache.rs", &half_bumped).len(), 1);
+
+    // A missing region marker or fingerprint constant is an error, not
+    // a silent pass.
+    let no_region = "pub const ENGINE_VERSION: &str = \"v\";\n";
+    assert_one(&check_cache_salt("cache.rs", no_region), RULE_SALT_DRIFT, 1);
+}
+
+#[test]
+fn salt_drift_allowed_with_reason() {
+    let salt = "cache/v1";
+    let line = "format_cell(cell)";
+    let mut drifted = cache_fixture(salt, 0x1234, line);
+    drifted = drifted.replace(
+        "    // lint: region(fingerprint: cell-descriptor)",
+        "    // lint: allow(cache-salt-drift): staged migration, re-recorded in the next commit\n\
+         \x20   // lint: region(fingerprint: cell-descriptor)",
+    );
+    assert!(check_cache_salt("cache.rs", &drifted).is_empty());
+}
+
+// ---------------------------------------------- live-source coupling
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn live_cache_source_matches_recorded_fingerprint() {
+    let path = workspace_root().join(therm3d_lint::CACHE_FILE);
+    let source = std::fs::read_to_string(&path).unwrap();
+    let status = therm3d_lint::cache_salt_status(&source).unwrap();
+    assert_eq!(status.salt, therm3d_sweep::ENGINE_VERSION);
+    assert_eq!(
+        status.recorded,
+        therm3d_sweep::DESCRIPTOR_FINGERPRINT,
+        "lint parsed a different constant than the compiled one"
+    );
+    assert_eq!(
+        status.actual, status.recorded,
+        "cache.rs descriptor region drifted from DESCRIPTOR_FINGERPRINT — \
+         bump ENGINE_VERSION and re-record (the lint error prints the new value)"
+    );
+}
+
+#[test]
+fn tampering_with_live_descriptor_fails_without_salt_bump() {
+    let path = workspace_root().join(therm3d_lint::CACHE_FILE);
+    let source = std::fs::read_to_string(&path).unwrap();
+    // Simulate adding a field to the descriptor without touching the
+    // salt: the in-memory edit must flip the lint to failing.
+    let tampered = source.replace("trace_seed={}", "trace_seed={};extra_axis={}");
+    assert_ne!(tampered, source, "descriptor pattern not found; update this test");
+    let diags = check_cache_salt(therm3d_lint::CACHE_FILE, &tampered);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, RULE_SALT_DRIFT);
+    assert!(diags[0].message.contains("bump ENGINE_VERSION"), "{diags:#?}");
+}
+
+#[test]
+fn whole_workspace_is_clean() {
+    let report = lint_workspace(workspace_root()).unwrap();
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace lint must stay clean:\n{}",
+        report.diagnostics.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+    assert!(report.files_scanned > 50, "walk looks truncated: {}", report.files_scanned);
+}

@@ -42,7 +42,7 @@
 //!   (astronomically unlikely) hash collision cannot serve the wrong
 //!   cell's numbers.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -63,6 +63,16 @@ use crate::spec::SweepSpec;
 /// profile — joined the cell descriptor, and noisy sensor seeds are now
 /// derived from the per-cell trace seed; v2 entries miss cleanly.)
 pub const ENGINE_VERSION: &str = "therm3d-sweep-cache/v3";
+
+/// FNV-64 fingerprint of [`ENGINE_VERSION`] plus the source text of the
+/// cell-descriptor serialization region below (the `lint:
+/// region(fingerprint: cell-descriptor)` block in
+/// [`cell_key_salted`]). `therm3d_lint`'s `cache-salt-drift` rule
+/// recomputes it on every run: editing the descriptor without bumping
+/// the salt — which would serve stale cache entries for new semantics —
+/// makes the lint (and CI) fail until both constants are updated
+/// together. The lint's error message prints the new value.
+pub const DESCRIPTOR_FINGERPRINT: u64 = 0x8bc0_d389_2a7b_ab31;
 
 /// File name of the result store inside a cache directory.
 pub const STORE_FILE: &str = "results.tsv";
@@ -121,6 +131,7 @@ pub fn cell_key_salted(spec: &SweepSpec, cell: &SweepCell, salt: &str) -> CellKe
     // implied). The spec name, thread count and cell index are
     // deliberately absent, so renaming or reordering a campaign still
     // reuses its cells.
+    // lint: region(fingerprint: cell-descriptor)
     let descriptor = format!(
         "engine={salt};experiment={};stack_order={};tsv={};sensor={};integrator={};policy={};\
          dpm={};benchmarks={};trace_seed={};policy_seed={};sim_seconds={:?};grid={}x{}",
@@ -138,6 +149,7 @@ pub fn cell_key_salted(spec: &SweepSpec, cell: &SweepCell, salt: &str) -> CellKe
         spec.grid.0,
         spec.grid.1,
     );
+    // lint: end-region
     CellKey { hash: fnv1a64(descriptor.as_bytes()), descriptor }
 }
 
@@ -158,7 +170,7 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct CacheStore {
     path: PathBuf,
-    entries: HashMap<u64, (String, RunResult)>,
+    entries: BTreeMap<u64, (String, RunResult)>,
     stats: CacheStats,
     /// Append handle, opened once on first insert and reused (a cold
     /// 500-cell sweep should not open the file 500 times).
@@ -184,7 +196,7 @@ impl CacheStore {
         };
         std::fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
         let path = dir.join(STORE_FILE);
-        let mut entries = HashMap::new();
+        let mut entries = BTreeMap::new();
         let mut stats = CacheStats::default();
         let mut needs_leading_newline = false;
         match std::fs::read_to_string(&path) {
@@ -310,10 +322,9 @@ impl CacheStore {
     /// appended to.
     pub fn merge_from(&mut self, src: &CacheStore) -> Result<MergeStats, SweepError> {
         let mut stats = MergeStats::default();
-        let mut hashes: Vec<u64> = src.entries.keys().copied().collect();
-        hashes.sort_unstable();
-        for hash in hashes {
-            let (descriptor, result) = &src.entries[&hash];
+        // BTreeMap iterates in ascending key order, so the appended
+        // lines are deterministic regardless of the source's history.
+        for (&hash, (descriptor, result)) in &src.entries {
             if self.entries.get(&hash).is_some_and(|(d, _)| d == descriptor) {
                 stats.skipped += 1;
                 continue;
@@ -382,7 +393,7 @@ impl CacheStore {
         // Newest-wins per key, preserving first-seen order so compaction
         // output is deterministic and diffs stay small.
         let mut order: Vec<u64> = Vec::new();
-        let mut newest: HashMap<u64, (String, RunResult)> = HashMap::new();
+        let mut newest: BTreeMap<u64, (String, RunResult)> = BTreeMap::new();
         for line in text.lines().filter(|l| !l.is_empty()) {
             match decode_entry(line) {
                 Some((hash, descriptor, result)) => {

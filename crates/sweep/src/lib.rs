@@ -70,7 +70,8 @@ pub mod telemetry;
 pub mod toml;
 
 pub use cache::{
-    cell_key, CacheStats, CacheStore, CellKey, CompactStats, MergeStats, ENGINE_VERSION,
+    cell_key, CacheStats, CacheStore, CellKey, CompactStats, MergeStats, DESCRIPTOR_FINGERPRINT,
+    ENGINE_VERSION,
 };
 pub use error::SweepError;
 pub use matrix::{derive_policy_seed, derive_sensor_seed, expand, expand_shard, SweepCell};

@@ -85,6 +85,7 @@ struct CellCost {
 }
 
 fn run_cell_costed(spec: &SweepSpec, cell: &SweepCell, trace: &JobTrace) -> (RunResult, CellCost) {
+    // lint: allow(no-wall-clock): per-cell cost accounting only — never feeds results
     let t_wall = Instant::now();
     // The policy must see the same stack the engine simulates (Adapt3D's
     // thermal indices depend on which layer each core sits on).
@@ -92,6 +93,7 @@ fn run_cell_costed(spec: &SweepSpec, cell: &SweepCell, trace: &JobTrace) -> (Run
     let policy = cell.policy.build_with_dpm(&stack, cell.policy_seed, cell.dpm);
     let mut sim = Simulator::new(sim_config(spec, cell), policy);
     let setup_us = elapsed_us(t_wall);
+    // lint: allow(no-wall-clock): per-cell cost accounting only — never feeds results
     let t_sim = Instant::now();
     let result = sim.run(trace, spec.sim_seconds);
     let cost = CellCost {
@@ -221,6 +223,7 @@ pub fn run_with_telemetry(
     // indices and derived seeds, so everything below — keys, traces,
     // write-back, report rows — is identical whether a cell runs in a
     // sharded process or an unsharded one.
+    // lint: allow(no-wall-clock): expansion-phase telemetry only — never feeds results
     let t_expand = Instant::now();
     let cells = {
         let _span = Span::enter("sweep.expand_us");
@@ -237,6 +240,7 @@ pub fn run_with_telemetry(
     if let Some(store) = cache.as_deref_mut() {
         let _span = Span::enter("cache.lookup_us");
         for (slot, key) in results.iter_mut().zip(&keys) {
+            // lint: allow(no-wall-clock): cache-lookup telemetry only — never feeds results
             let t = Instant::now();
             *slot = store.lookup(key).map(Ok);
             lookup_us.push(elapsed_us(t));
@@ -294,6 +298,7 @@ pub fn run_with_telemetry(
         let cell = &cells[i];
         let key = (cell.experiment.num_cores(), cell.trace_seed);
         traces.entry(key).or_insert_with(|| {
+            // lint: allow(no-wall-clock): trace-generation telemetry only — never feeds results
             let t = Instant::now();
             let trace = generate_mix(&spec.benchmarks, key.0, spec.sim_seconds, key.1);
             if let Some(tel) = telemetry {

@@ -126,6 +126,9 @@ impl ImplicitState {
     /// for one RC network's systems, but corruption-proof beats a
     /// panic deep inside the solver).
     fn factor_shared(&mut self, a: &CsrMatrix, what: &str) -> LdlFactor {
+        // LDLᵀ without pivoting assumes symmetry; an asymmetric system
+        // here means the RC assembly upstream is broken.
+        debug_assert!(a.is_symmetric(1e-9), "{what} must be symmetric for LDL^T");
         let compatible = self
             .symbolic
             .as_ref()

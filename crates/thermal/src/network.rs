@@ -151,8 +151,21 @@ impl RcNetwork {
         }
         debug_assert_eq!(block_nodes.len(), stack.num_blocks());
 
+        let conductance = g.to_csr();
+        // The RC system is only well-posed if G is symmetric (every
+        // conductance added pairwise) and every node has thermal mass;
+        // the implicit integrator's SPD factorization relies on both.
+        debug_assert!(
+            conductance.is_symmetric(1e-9),
+            "conductance matrix must be symmetric (pairwise-added conductances)"
+        );
+        debug_assert!(
+            cap.iter().all(|&c| c > 0.0),
+            "every node needs positive heat capacity for the RC system to be SPD"
+        );
+
         Self {
-            conductance: g.to_csr(),
+            conductance,
             capacitance: cap,
             ambient_conductance: g_amb,
             ambient_k: kelvin_from_celsius(config.ambient_c),

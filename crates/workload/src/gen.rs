@@ -323,7 +323,7 @@ mod tests {
         let cfg = TraceConfig::new(Benchmark::WebHigh, 8, 120.0).with_seed(9);
         let trace = cfg.generate();
         let n_threads = (8.0 * cfg.threads_per_core) as u64;
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for j in trace.jobs() {
             assert!(j.thread_id < n_threads, "thread {} out of range", j.thread_id);
             *counts.entry(j.thread_id).or_insert(0usize) += 1;
