@@ -11,6 +11,13 @@
 //! `samples`) in `meta`. CI archives the file per commit, so regressions
 //! show up as a step in the gauge series under a stable schema.
 //!
+//! A second axis tracks solver scaling: the per-100 ms-tick cost of
+//! the implicit and explicit-RK4 integrators on the two-die stack at
+//! grid resolutions 8×8 → 64×64 lands in `grid{G}.implicit_tick_us` /
+//! `grid{G}.rk4_tick_us` gauges (medians; per-sample timings in
+//! `bench.grid{G}_*_us` histograms). CI asserts the ≥10× implicit
+//! advantage at 64×64 from these gauges.
+//!
 //! Usage: `bench_sweep [OUT.json]` (default `BENCH_sweep.json`);
 //! `THERM3D_BENCH_SMOKE` shrinks the run to 3 samples, recorded in the
 //! `smoke` meta key so smoke and full trajectories are never conflated.
@@ -21,6 +28,7 @@ use therm3d_floorplan::Experiment;
 use therm3d_policies::PolicyKind;
 use therm3d_sweep::{SweepSpec, ENGINE_VERSION};
 use therm3d_telemetry::{elapsed_us, Registry};
+use therm3d_thermal::{Integrator, ThermalConfig, ThermalModel};
 use therm3d_workload::Benchmark;
 
 fn bench_spec() -> SweepSpec {
@@ -37,6 +45,46 @@ fn bench_spec() -> SweepSpec {
 fn median(samples: &mut [u64]) -> u64 {
     samples.sort_unstable();
     samples[samples.len() / 2]
+}
+
+/// The solver-scaling axis: median per-tick cost of each integrator at
+/// grid resolutions up to the 10⁴-node regime, on the two-die EXP-2
+/// stack under the bench power pattern.
+fn grid_axis(registry: &Registry, samples: usize) {
+    let stack = Experiment::Exp2.stack();
+    let powers: Vec<f64> = stack
+        .sites()
+        .iter()
+        .map(|s| match s.kind {
+            therm3d_floorplan::UnitKind::Core => 3.0,
+            therm3d_floorplan::UnitKind::L2Cache => 1.28,
+            _ => 2.0,
+        })
+        .collect();
+    for g in [8usize, 16, 32, 64] {
+        for (integ, label) in
+            [(Integrator::ImplicitCn, "implicit"), (Integrator::ExplicitRk4, "rk4")]
+        {
+            let cfg = ThermalConfig::paper_default().with_grid(g, g).with_integrator(integ);
+            let mut model = ThermalModel::new(&stack, cfg);
+            model.set_block_powers(&powers);
+            // Warm up: the implicit path analyzes and factors on first use.
+            model.step(0.1);
+            let mut tick_us = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let t0 = Instant::now();
+                model.step(0.1);
+                tick_us.push(elapsed_us(t0));
+            }
+            for &us in &tick_us {
+                registry.histogram_us(&format!("bench.grid{g}_{label}_us")).record(us);
+            }
+            let med = median(&mut tick_us);
+            #[allow(clippy::cast_precision_loss)]
+            registry.gauge(&format!("grid{g}.{label}_tick_us")).set(med as f64);
+            println!("bench_sweep/grid{g}.{label}: median {med} us ({samples} samples)");
+        }
+    }
 }
 
 fn main() {
@@ -83,6 +131,8 @@ fn main() {
         registry.gauge(&format!("{phase}.median_us")).set(med as f64);
         println!("bench_sweep/{phase}: median {med} us ({samples} samples)");
     }
+
+    grid_axis(&registry, samples);
 
     let snapshot = registry.snapshot();
     if let Err(e) = std::fs::write(&out_path, snapshot.to_json()) {

@@ -213,6 +213,19 @@ fn check_spec(path: &str, cache_dir: Option<&str>) -> Result<String, String> {
         "  sim: {} s per cell on a {}x{} grid, policy seed {:#06x}",
         spec.sim_seconds, spec.grid.0, spec.grid.1, spec.policy_seed
     );
+    // Cells that agree on the RC network and integrator share one
+    // symbolic analysis and one factor set at run time, so the distinct
+    // count is the campaign's real solver-setup cost.
+    let models = cells
+        .iter()
+        .map(|cell| therm3d_sweep::model_fingerprint(&spec, cell))
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    let _ = writeln!(
+        out,
+        "  thermal models: {models} distinct across {total} cell(s) \
+         (each analyzed and factored once per run)"
+    );
 
     if spec.shard.is_full() {
         let _ = writeln!(out, "  shard: full matrix (split with --shard K/N or `shard-plan`)");
@@ -646,6 +659,9 @@ mod tests {
         assert!(out.contains("policies:     Default, Adapt3D"), "{out}");
         assert!(out.contains("dpm:          off, on"), "{out}");
         assert!(out.contains("full matrix"), "{out}");
+        // 2 policies x 2 dpm only differ in control, never in the RC
+        // network: one thermal model serves all four cells.
+        assert!(out.contains("thermal models: 1 distinct across 4 cell(s)"), "{out}");
         assert!(out.contains("0 warm, 4 cold"), "{out}");
 
         // Simulate the campaign into the cache, then the same preflight

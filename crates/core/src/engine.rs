@@ -10,7 +10,7 @@ use therm3d_metrics::{
 use therm3d_policies::{MultiQueue, Observation, Policy, QueueHint};
 use therm3d_power::{CorePowerInput, PowerModel};
 use therm3d_telemetry::Span;
-use therm3d_thermal::ThermalModel;
+use therm3d_thermal::{FactorShare, ThermalModel};
 use therm3d_workload::JobTrace;
 
 use crate::config::SimConfig;
@@ -73,6 +73,24 @@ impl Simulator {
     /// Panics if `config` is inconsistent (see [`SimConfig::validate`]).
     #[must_use]
     pub fn new(config: SimConfig, policy: Box<dyn Policy>) -> Self {
+        Self::with_factor_share(config, policy, None)
+    }
+
+    /// Like [`new`](Self::new), but attaches a [`FactorShare`] to the
+    /// thermal model before any factorization happens, so cells of a
+    /// sweep that resolve to the same thermal model reuse one symbolic
+    /// analysis and one factor set. Results are bit-identical with or
+    /// without a share; only the redundant work disappears.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is inconsistent (see [`SimConfig::validate`]).
+    #[must_use]
+    pub fn with_factor_share(
+        config: SimConfig,
+        policy: Box<dyn Policy>,
+        share: Option<FactorShare>,
+    ) -> Self {
         config.validate();
         let stack = config.experiment.stack_with_order(config.scenario.stack_order);
         // The scenario owns the interlayer unless the caller explicitly
@@ -87,6 +105,9 @@ impl Simulator {
             config.thermal.clone()
         };
         let mut thermal = ThermalModel::new(&stack, thermal_cfg);
+        if let Some(share) = share {
+            thermal.set_factor_share(share);
+        }
         let power = PowerModel::new(&stack, config.power.clone(), config.vf.clone());
         let n_cores = stack.num_cores();
         let core_sites: Vec<usize> = stack.core_ids().map(|c| stack.core_block_index(c)).collect();

@@ -19,6 +19,7 @@
 //! | `no-wall-clock` | everywhere except `telemetry`, `bench` | `Instant::now` / `SystemTime` (simulation results must be a pure function of the spec) |
 //! | `alloc-free-region` | inside `region(alloc-free: …)` markers | `Vec::new`, `vec![`, `format!`, `.to_string()`, `.to_owned()`, `.collect`, `Box::new`, `String::new`, `.clone()` |
 //! | `stdout-hygiene` | library crates (everywhere except `cli`, `bench`, `lint`) | `println!` / `print!` (stdout byte-identity is CI-guarded; diagnostics belong on stderr) |
+//! | `no-thread-spawn` | everywhere except `crates/sweep/src/runner.rs` | `thread::spawn` / `thread::scope` (cell-level parallelism lives in the sweep runner alone, so thread count can never change simulation output or defeat run-scoped factor sharing) |
 //! | `cache-salt-drift` | `crates/sweep/src/cache.rs` | editing the cell-descriptor serialization region without updating `DESCRIPTOR_FINGERPRINT` (which requires an `ENGINE_VERSION` bump, since the salt is part of the hash) |
 //! | `lint-directive` | everywhere | malformed/unknown `// lint:` markers and reason-less suppressions |
 //!
@@ -47,14 +48,22 @@ pub const RULE_WALL_CLOCK: &str = "no-wall-clock";
 pub const RULE_ALLOC_FREE: &str = "alloc-free-region";
 /// Forbid `println!`/`print!` in library crates.
 pub const RULE_STDOUT: &str = "stdout-hygiene";
+/// Forbid `thread::spawn`/`thread::scope` outside the sweep runner.
+pub const RULE_THREAD_SPAWN: &str = "no-thread-spawn";
 /// Fail when the cell-descriptor region drifts from its fingerprint.
 pub const RULE_SALT_DRIFT: &str = "cache-salt-drift";
 /// Malformed or unknown `// lint:` directives, reason-less `allow`s.
 pub const RULE_DIRECTIVE: &str = "lint-directive";
 
 /// Every suppressible rule name (what `allow(<rule>)` may name).
-pub const RULES: &[&str] =
-    &[RULE_NONDET_ITER, RULE_WALL_CLOCK, RULE_ALLOC_FREE, RULE_STDOUT, RULE_SALT_DRIFT];
+pub const RULES: &[&str] = &[
+    RULE_NONDET_ITER,
+    RULE_WALL_CLOCK,
+    RULE_ALLOC_FREE,
+    RULE_STDOUT,
+    RULE_THREAD_SPAWN,
+    RULE_SALT_DRIFT,
+];
 
 /// Crates whose output reaches CSV/JSON/cache files, where hash-order
 /// iteration would make reports nondeterministic.
@@ -64,6 +73,10 @@ const WALL_CLOCK_CRATES: &[&str] = &["telemetry", "bench"];
 /// Crates whose `src` holds binary entry points that legitimately own
 /// stdout (the CLI report, bench tables, this lint's own output).
 const STDOUT_CRATES: &[&str] = &["cli", "bench", "lint"];
+/// The one file allowed to spawn OS threads: the sweep runner owns all
+/// cell-level parallelism (its worker pool is what makes thread count
+/// output-invariant and what run-scoped factor sharing is keyed to).
+const THREAD_SPAWN_FILES: &[&str] = &["crates/sweep/src/runner.rs"];
 
 /// One finding, anchored to a file and 1-indexed line.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -590,6 +603,25 @@ fn check_alloc_free(lines: &[Line], regions: &[Region], out: &mut Vec<(usize, St
     }
 }
 
+fn check_thread_spawn(lines: &[Line], out: &mut Vec<(usize, String)>) {
+    for (i, line) in lines.iter().enumerate() {
+        for pat in ["thread::spawn", "thread::scope", "thread::Builder"] {
+            if has_token(&line.code, pat) {
+                out.push((
+                    i,
+                    format!(
+                        "`{pat}` outside the sweep runner: all cell-level parallelism \
+                         belongs to `crates/sweep/src/runner.rs`, so thread count can \
+                         never change simulation output or bypass run-scoped factor \
+                         sharing (route work through the runner, or suppress with a \
+                         reason for an opt-in pool that never runs inside sweep cells)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 fn check_stdout_hygiene(lines: &[Line], out: &mut Vec<(usize, String)>) {
     for (i, line) in lines.iter().enumerate() {
         for pat in ["println!", "print!"] {
@@ -632,6 +664,10 @@ pub fn lint_source(crate_name: &str, file: &str, source: &str) -> Vec<Diagnostic
     if !STDOUT_CRATES.contains(&crate_name) {
         check_stdout_hygiene(&lines, &mut findings);
         raw.extend(findings.drain(..).map(|(i, m)| (i, RULE_STDOUT, m)));
+    }
+    if !THREAD_SPAWN_FILES.contains(&file) {
+        check_thread_spawn(&lines, &mut findings);
+        raw.extend(findings.drain(..).map(|(i, m)| (i, RULE_THREAD_SPAWN, m)));
     }
 
     let mut diags: Vec<Diagnostic> = markers

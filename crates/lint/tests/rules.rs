@@ -6,7 +6,7 @@ use std::path::Path;
 
 use therm3d_lint::{
     check_cache_salt, lint_source, lint_workspace, RULE_ALLOC_FREE, RULE_DIRECTIVE,
-    RULE_NONDET_ITER, RULE_SALT_DRIFT, RULE_STDOUT, RULE_WALL_CLOCK,
+    RULE_NONDET_ITER, RULE_SALT_DRIFT, RULE_STDOUT, RULE_THREAD_SPAWN, RULE_WALL_CLOCK,
 };
 
 /// Asserts exactly one diagnostic of `rule` at `line`.
@@ -219,6 +219,59 @@ fn stdout_allowed_with_reason() {
 }
 
 // -------------------------------------------------------- rule 5
+
+#[test]
+fn thread_spawn_positive() {
+    let src = "fn f() {\n\
+               \x20   std::thread::spawn(|| {});\n\
+               }\n";
+    assert_one(&lint_source("core", "f.rs", src), RULE_THREAD_SPAWN, 2);
+    // `scope` and `Builder` are spawns too, and the rule fires in every
+    // crate — including `sweep` itself when the file is not the runner.
+    let src = "fn f() { std::thread::scope(|s| { drop(s); }); }\n";
+    assert_one(&lint_source("sweep", "crates/sweep/src/cache.rs", src), RULE_THREAD_SPAWN, 1);
+    let src = "fn f() { let _ = thread::Builder::new(); }\n";
+    assert_one(&lint_source("thermal", "f.rs", src), RULE_THREAD_SPAWN, 1);
+}
+
+#[test]
+fn thread_spawn_negative() {
+    // The sweep runner is the one sanctioned spawn site.
+    let src = "fn f() {\n\
+               \x20   std::thread::scope(|s| { drop(s); });\n\
+               \x20   std::thread::spawn(|| {});\n\
+               }\n";
+    assert!(lint_source("sweep", "crates/sweep/src/runner.rs", src).is_empty());
+    // Reading the core count is not spawning, and mentions in comments
+    // or strings never fire.
+    let src = "fn f() -> usize {\n\
+               \x20   // thread::spawn is banned here\n\
+               \x20   let s = \"thread::spawn\";\n\
+               \x20   drop(s);\n\
+               \x20   std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)\n\
+               }\n";
+    assert!(lint_source("core", "f.rs", src).is_empty());
+}
+
+#[test]
+fn thread_spawn_allowed_with_reason() {
+    let src = "fn f() {\n\
+               \x20   // lint: allow(no-thread-spawn): opt-in pool, never inside sweep cells\n\
+               \x20   std::thread::scope(|s| { drop(s); });\n\
+               }\n";
+    assert!(lint_source("thermal", "f.rs", src).is_empty());
+    // A reason-less allow suppresses nothing.
+    let src = "fn f() {\n\
+               \x20   // lint: allow(no-thread-spawn)\n\
+               \x20   std::thread::spawn(|| {});\n\
+               }\n";
+    let diags = lint_source("thermal", "f.rs", src);
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert!(diags.iter().any(|d| d.rule == RULE_DIRECTIVE && d.line == 2), "{diags:#?}");
+    assert!(diags.iter().any(|d| d.rule == RULE_THREAD_SPAWN && d.line == 3), "{diags:#?}");
+}
+
+// -------------------------------------------------------- rule 6
 
 /// A minimal stand-in for `cache.rs` with salt, fingerprint and region.
 fn cache_fixture(salt: &str, fingerprint: u64, descriptor_line: &str) -> String {

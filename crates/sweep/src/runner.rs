@@ -28,6 +28,7 @@ use std::time::Instant;
 use therm3d::{RunResult, ScenarioConfig, SimConfig, Simulator};
 use therm3d_telemetry::span::elapsed_us;
 use therm3d_telemetry::{CellMetrics, Event, Span};
+use therm3d_thermal::{FactorShare, ThermalConfig};
 use therm3d_workload::{generate_mix, JobTrace};
 
 use crate::cache::{cell_key, CacheStore, ENGINE_VERSION};
@@ -53,6 +54,37 @@ pub fn sim_config(spec: &SweepSpec, cell: &SweepCell) -> SimConfig {
     cfg
 }
 
+/// The resolved thermal-model identity of one cell: every axis that
+/// changes the RC network, its ordering or its factors — experiment,
+/// stack order, effective TSV variant, grid, integrator and the tick
+/// the implicit substep sizes derive from. Cells with equal
+/// fingerprints build bit-identical conductance systems, so the runner
+/// hands them one [`FactorShare`] and the whole group pays for one
+/// symbolic analysis and one factor set.
+///
+/// The TSV variant only reaches the network when the thermal config
+/// keeps the paper's interlayer (the same rule `Simulator::new`
+/// applies); a custom interlayer folds the variant out of the
+/// fingerprint instead of splitting identical models apart.
+#[must_use]
+pub fn model_fingerprint(spec: &SweepSpec, cell: &SweepCell) -> String {
+    let cfg = sim_config(spec, cell);
+    let tsv = if cfg.thermal.interlayer == ThermalConfig::paper_default().interlayer {
+        format!("{:?}", cell.tsv)
+    } else {
+        "custom-interlayer".to_owned()
+    };
+    format!(
+        "{}|{:?}|{tsv}|{}x{}|{:?}|{:016x}",
+        cell.experiment,
+        cell.stack_order,
+        spec.grid.0,
+        spec.grid.1,
+        cell.integrator,
+        cfg.tick_s.to_bits()
+    )
+}
+
 /// Runs a single cell in isolation, generating its trace on the fly.
 ///
 /// The figure binaries use this for one-off cells; [`run`] amortizes
@@ -69,7 +101,7 @@ pub fn run_cell(spec: &SweepSpec, cell: &SweepCell) -> RunResult {
 }
 
 fn run_cell_with_trace(spec: &SweepSpec, cell: &SweepCell, trace: &JobTrace) -> RunResult {
-    run_cell_costed(spec, cell, trace).0
+    run_cell_costed(spec, cell, trace, None).0
 }
 
 /// The cost of simulating one cell: wall-clock split by phase plus the
@@ -84,14 +116,19 @@ struct CellCost {
     symbolic_analyses: u64,
 }
 
-fn run_cell_costed(spec: &SweepSpec, cell: &SweepCell, trace: &JobTrace) -> (RunResult, CellCost) {
+fn run_cell_costed(
+    spec: &SweepSpec,
+    cell: &SweepCell,
+    trace: &JobTrace,
+    share: Option<&FactorShare>,
+) -> (RunResult, CellCost) {
     // lint: allow(no-wall-clock): per-cell cost accounting only — never feeds results
     let t_wall = Instant::now();
     // The policy must see the same stack the engine simulates (Adapt3D's
     // thermal indices depend on which layer each core sits on).
     let stack = cell.experiment.stack_with_order(cell.stack_order);
     let policy = cell.policy.build_with_dpm(&stack, cell.policy_seed, cell.dpm);
-    let mut sim = Simulator::new(sim_config(spec, cell), policy);
+    let mut sim = Simulator::with_factor_share(sim_config(spec, cell), policy, share.cloned());
     let setup_us = elapsed_us(t_wall);
     // lint: allow(no-wall-clock): per-cell cost accounting only — never feeds results
     let t_sim = Instant::now();
@@ -112,8 +149,9 @@ fn try_run_cell(
     spec: &SweepSpec,
     cell: &SweepCell,
     trace: &JobTrace,
+    share: Option<&FactorShare>,
 ) -> Result<(RunResult, CellCost), String> {
-    std::panic::catch_unwind(AssertUnwindSafe(|| run_cell_costed(spec, cell, trace)))
+    std::panic::catch_unwind(AssertUnwindSafe(|| run_cell_costed(spec, cell, trace, share)))
         .map_err(|payload| panic_message(payload.as_ref()))
 }
 
@@ -123,15 +161,16 @@ fn run_cell_observed(
     spec: &SweepSpec,
     cell: &SweepCell,
     trace: &JobTrace,
+    share: Option<&FactorShare>,
     key_hex: &str,
     shard: &str,
     telemetry: Option<&RunTelemetry>,
 ) -> Result<(RunResult, CellCost), String> {
-    let Some(tel) = telemetry else { return try_run_cell(spec, cell, trace) };
+    let Some(tel) = telemetry else { return try_run_cell(spec, cell, trace, share) };
     if let Some(events) = &tel.events {
         events.emit(&Event::CellStart { shard, cell: cell.index, key: key_hex });
     }
-    let outcome = try_run_cell(spec, cell, trace);
+    let outcome = try_run_cell(spec, cell, trace, share);
     if let Some(events) = &tel.events {
         match &outcome {
             Ok((_, cost)) => events.emit(&Event::CellFinish {
@@ -308,13 +347,28 @@ pub fn run_with_telemetry(
         });
     }
 
+    // One factor share per distinct thermal-model fingerprint among the
+    // pending cells: every cell whose model resolves identically adopts
+    // the group's symbolic analysis and factors instead of recomputing
+    // them. Cached cells never build a model, so they take no share.
+    let shares: BTreeMap<String, FactorShare> =
+        pending.iter().map(|&i| (model_fingerprint(spec, &cells[i]), FactorShare::new())).collect();
+    let share_of = |i: usize| shares.get(&model_fingerprint(spec, &cells[i]));
+
     let mut costs: Vec<Option<CellCost>> = vec![None; cells.len()];
     if threads == 1 {
         for &i in &pending {
             let cell = &cells[i];
             let trace = &traces[&(cell.experiment.num_cores(), cell.trace_seed)];
-            let outcome =
-                run_cell_observed(spec, cell, trace, &keys[i].hex(), &shard_label, telemetry);
+            let outcome = run_cell_observed(
+                spec,
+                cell,
+                trace,
+                share_of(i),
+                &keys[i].hex(),
+                &shard_label,
+                telemetry,
+            );
             results[i] = Some(match outcome {
                 Ok((result, cost)) => {
                     costs[i] = Some(cost);
@@ -341,6 +395,7 @@ pub fn run_with_telemetry(
                         spec,
                         cell,
                         trace,
+                        share_of(i),
                         &keys_ref[i].hex(),
                         shard_ref,
                         telemetry,
@@ -363,6 +418,28 @@ pub fn run_with_telemetry(
     }
     if let Some(progress) = telemetry.and_then(|tel| tel.progress.as_ref()) {
         progress.finish();
+    }
+
+    // Run-level solver totals come from the shares, not by summing the
+    // per-cell counters: a shared factor was *computed* once however
+    // many cells used it, so these are the deduplicated work totals (and
+    // they are scheduling-independent — compute-under-lock makes the
+    // split between computed and adopted exact, not racy). A fully
+    // cached run builds no models and reports no solver work.
+    if let Some(tel) = telemetry {
+        if !shares.is_empty() {
+            let (mut analyses, mut factors, mut hits) = (0u64, 0u64, 0u64);
+            for share in shares.values() {
+                analyses += share.symbolic_analyses() as u64;
+                factors += share.factorizations() as u64;
+                hits += share.hits() as u64;
+            }
+            let reg = &tel.registry;
+            reg.counter("sweep.thermal_models").add(shares.len() as u64);
+            reg.counter("sweep.factor_share_hits").add(hits);
+            reg.counter("thermal.symbolic_analyses").add(analyses);
+            reg.counter("thermal.factor_numeric").add(factors);
+        }
     }
 
     // Write-back and assembly in canonical order. A failed cell makes
@@ -443,7 +520,10 @@ fn cell_metrics(
     metrics
 }
 
-/// Folds one cell's record into the run-local aggregates.
+/// Folds one cell's record into the run-local aggregates. The solver
+/// counters stay per-cell only: the run-level `thermal.*` totals are
+/// derived from the factor shares (deduplicated computed work), not by
+/// summing the cells' "ensured" counts.
 fn record_cell_metrics(registry: &therm3d_telemetry::Registry, metrics: &CellMetrics) {
     registry.histogram_us("cell.wall_us").record(metrics.wall_us);
     for (phase, us) in &metrics.phases {
@@ -451,9 +531,6 @@ fn record_cell_metrics(registry: &therm3d_telemetry::Registry, metrics: &CellMet
     }
     if !metrics.cached {
         registry.counter("sweep.cells_simulated").inc();
-        for (name, count) in &metrics.counters {
-            registry.counter(&format!("thermal.{name}")).add(*count);
-        }
     }
     registry.record_cell(metrics.clone());
 }

@@ -91,6 +91,32 @@ fn snapshot_deterministic_subset_is_thread_count_invariant() {
 }
 
 #[test]
+fn factor_share_dedupes_solver_work_across_cells() {
+    let tel = RunTelemetry::new();
+    let report = run_with_telemetry(&tiny_spec(4), None, Some(&tel)).unwrap();
+    let snap = tel.snapshot();
+    // All four cells differ only in policy/DPM, so they resolve to one
+    // thermal model …
+    assert_eq!(snap.counters["sweep.thermal_models"], 1);
+    // … which pays for exactly one symbolic analysis and one factor
+    // set, however many cells and worker threads the sweep used.
+    assert_eq!(snap.counters["thermal.symbolic_analyses"], 1);
+    let computed = snap.counters["thermal.factor_numeric"];
+    let per_cell: Vec<u64> =
+        report.rows.iter().map(|r| r.timing.as_ref().unwrap().counters["factor_numeric"]).collect();
+    // Per-cell counters keep their "ensured" semantics (adopting a
+    // shared factor counts like computing it), so each cell reports the
+    // same work it would have done alone …
+    assert!(per_cell.iter().all(|&c| c == per_cell[0]), "{per_cell:?}");
+    assert!((1..=per_cell[0]).contains(&computed), "computed {computed} of {}", per_cell[0]);
+    // … while the run-level total splits exactly into one computation
+    // per distinct factor plus share hits for everything else.
+    let hits = snap.counters["sweep.factor_share_hits"];
+    assert_eq!(hits + computed, per_cell.iter().sum::<u64>());
+    assert!(hits >= 3 * per_cell[0], "3 of 4 cells adopt every factor: {hits}");
+}
+
+#[test]
 fn events_cover_every_cell_with_start_before_finish() {
     let buf = SharedBuf::default();
     let tel = RunTelemetry::new().with_events(EventSink::to_writer(Box::new(buf.clone())));

@@ -9,11 +9,19 @@
 //! magnitude smaller and correspondingly faster, at the cost of washing
 //! out within-block temperature variation; the `model_fidelity` ablation
 //! binary quantifies the difference against the grid model.
+//!
+//! Like the grid model, transients default to the implicit TR-BDF2
+//! integrator against a cached LDLᵀ factorization and steady states are
+//! solved directly ([`Integrator::ImplicitCn`] in the shared config);
+//! the pre-implicit forward-Euler path survives under
+//! [`Integrator::ExplicitRk4`] as the golden reference.
 
 use therm3d_floorplan::Stack3d;
 
-use crate::config::ThermalConfig;
-use crate::sparse::{solve_cg, CsrMatrix, TripletMatrix};
+use crate::config::{Integrator, ThermalConfig};
+use crate::model::{MAX_IMPLICIT_STEP_S, TRBDF2_C1, TRBDF2_C2, TRBDF2_SHIFT};
+use crate::sparse::factor::{analyze, LdlFactor, Symbolic};
+use crate::sparse::{CsrMatrix, TripletMatrix};
 use crate::units::{celsius_from_kelvin, kelvin_from_celsius};
 
 /// Block-granularity thermal model with the same public shape as
@@ -48,6 +56,15 @@ pub struct BlockThermalModel {
     powers_w: Vec<f64>,
     /// Conservative stable explicit step bound, seconds.
     stable_dt: f64,
+    /// The transient integrator (same config knob as the grid model).
+    integrator: Integrator,
+    /// One symbolic analysis serves `G` and every `α·C + G` (the shift
+    /// only touches the structurally-full diagonal).
+    symbolic: Option<Symbolic>,
+    /// Direct factor of `G` for steady states.
+    steady: Option<LdlFactor>,
+    /// Factor of `(TRBDF2_SHIFT/h)·C + G` for the last substep size.
+    step_factor: Option<(u64, LdlFactor)>,
 }
 
 impl BlockThermalModel {
@@ -157,6 +174,10 @@ impl BlockThermalModel {
             temps_k: vec![ambient_k; n + 2],
             powers_w: vec![0.0; n],
             stable_dt: stable_dt.max(1e-6),
+            integrator: config.integrator,
+            symbolic: None,
+            steady: None,
+            step_factor: None,
         }
     }
 
@@ -197,26 +218,94 @@ impl BlockThermalModel {
         p
     }
 
-    /// Solves `G·T = P` and adopts the result as the current state,
-    /// returning block temperatures in °C.
+    /// Solves `G·T = P` directly (LDLᵀ, factored once and cached) and
+    /// adopts the result as the current state, returning block
+    /// temperatures in °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conductance matrix is not positive definite
+    /// (indicates a non-physical configuration).
     #[must_use]
     pub fn initialize_steady_state(&mut self, powers: &[f64]) -> Vec<f64> {
         self.set_block_powers(powers);
         let b = self.node_power();
-        let sol = solve_cg(&self.conductance, &b, &self.temps_k, 1e-9, 2000);
-        self.temps_k = sol.x;
+        if self.steady.is_none() {
+            self.ensure_symbolic();
+            let sym = self.symbolic.as_ref().expect("analyzed above");
+            self.steady = Some(
+                sym.factor_numeric(&self.conductance)
+                    .expect("block conductance matrix is positive definite"),
+            );
+        }
+        let mut scratch = Vec::new();
+        self.steady.as_ref().expect("factored above").solve_into(
+            &b,
+            &mut scratch,
+            &mut self.temps_k,
+        );
         self.block_temperatures_c()
     }
 
-    /// Advances the transient solution by `dt` seconds (forward-Euler
-    /// sub-stepped under the stability bound; the block network is small
-    /// enough that this is cheap).
+    /// Advances the transient solution by `dt` seconds.
+    ///
+    /// Under [`Integrator::ImplicitCn`] (the default config) the
+    /// interval is subdivided into TR-BDF2 substeps of at most
+    /// 35 ms against one cached LDLᵀ factorization of
+    /// `(2+√2)/h·C + G` — the same scheme, constants and substep
+    /// bound as the grid model, so the two models' transients are
+    /// directly comparable. Under [`Integrator::ExplicitRk4`] the
+    /// historical forward-Euler path sub-steps under the stability
+    /// bound (the block network is small enough that this is cheap);
+    /// it is retained as the golden reference the cross-check tests
+    /// integrate against.
     ///
     /// # Panics
     ///
     /// Panics if `dt` is not positive.
     pub fn step(&mut self, dt: f64) {
         assert!(dt > 0.0 && dt.is_finite(), "step must be positive");
+        match self.integrator {
+            Integrator::ImplicitCn => self.step_implicit(dt),
+            Integrator::ExplicitRk4 => self.step_explicit(dt),
+        }
+    }
+
+    /// TR-BDF2 substeps mirroring `ThermalModel::trbdf2_substep`: with
+    /// `α = (2+√2)/h`, `M = α·C + G` and `b = P + g_amb·T_amb`, stage 1
+    /// solves `M·T_γ = α·C·T − G·T + 2b` and stage 2
+    /// `M·T' = α·C·(c1·T_γ − c2·T) + b`.
+    fn step_implicit(&mut self, dt: f64) {
+        let substeps = (dt / MAX_IMPLICIT_STEP_S).ceil().max(1.0) as usize;
+        let h = dt / substeps as f64;
+        self.ensure_step_factor(h);
+        let alpha = TRBDF2_SHIFT / h;
+        let b = self.node_power();
+        let n = self.node_count();
+        let mut gt = vec![0.0; n];
+        let mut rhs = vec![0.0; n];
+        let mut stage = vec![0.0; n];
+        let mut scratch = Vec::new();
+        let factored = &self.step_factor.as_ref().expect("factored above").1;
+        for _ in 0..substeps {
+            self.conductance.mul_into(&self.temps_k, &mut gt);
+            for i in 0..n {
+                rhs[i] = alpha * self.capacitance[i] * self.temps_k[i] - gt[i] + 2.0 * b[i];
+            }
+            factored.solve_into(&rhs, &mut scratch, &mut stage);
+            for i in 0..n {
+                rhs[i] = alpha
+                    * self.capacitance[i]
+                    * (TRBDF2_C1 * stage[i] - TRBDF2_C2 * self.temps_k[i])
+                    + b[i];
+            }
+            factored.solve_into(&rhs, &mut scratch, &mut self.temps_k);
+        }
+    }
+
+    /// Forward Euler under the stability bound — the pre-implicit
+    /// reference integrator.
+    fn step_explicit(&mut self, dt: f64) {
         let p = self.node_power();
         let n = self.node_count();
         let mut remaining = dt;
@@ -231,6 +320,30 @@ impl BlockThermalModel {
             }
             remaining -= h;
         }
+    }
+
+    fn ensure_symbolic(&mut self) {
+        if self.symbolic.is_none() {
+            self.symbolic = Some(analyze(&self.conductance));
+        }
+    }
+
+    /// Caches the factor of `(TRBDF2_SHIFT/h)·C + G` for substep size
+    /// `h`; the shift touches only the (structurally full) diagonal, so
+    /// the one symbolic analysis serves every `h` and `G` itself.
+    fn ensure_step_factor(&mut self, h: f64) {
+        let h_bits = h.to_bits();
+        if self.step_factor.as_ref().is_some_and(|(bits, _)| *bits == h_bits) {
+            return;
+        }
+        self.ensure_symbolic();
+        let alpha = TRBDF2_SHIFT / h;
+        let shift: Vec<f64> = self.capacitance.iter().map(|&c| alpha * c).collect();
+        let system = self.conductance.with_added_diagonal(&shift);
+        let sym = self.symbolic.as_ref().expect("analyzed above");
+        let factored =
+            sym.factor_numeric(&system).expect("shifted block system is positive definite");
+        self.step_factor = Some((h_bits, factored));
     }
 
     /// Current block temperatures, °C.
@@ -318,6 +431,61 @@ mod tests {
             for (i, (a, b)) in tg.iter().zip(&tb).enumerate() {
                 assert!((a - b).abs() < 6.0, "{exp} block {i}: grid {a:.1} vs block-model {b:.1}");
             }
+        }
+    }
+
+    #[test]
+    fn implicit_trajectory_tracks_the_explicit_reference() {
+        // The migration cross-check: the implicit TR-BDF2 path must
+        // integrate the same physics as the historical explicit path.
+        let stack = Experiment::Exp2.stack();
+        let powers: Vec<f64> =
+            (0..stack.num_blocks()).map(|i| 0.5 + 0.2 * (i % 4) as f64).collect();
+        let mut implicit = BlockThermalModel::new(
+            &stack,
+            ThermalConfig::paper_default().with_integrator(crate::Integrator::ImplicitCn),
+        );
+        let mut explicit = BlockThermalModel::new(
+            &stack,
+            ThermalConfig::paper_default().with_integrator(crate::Integrator::ExplicitRk4),
+        );
+        for m in [&mut implicit, &mut explicit] {
+            m.reset_uniform(45.0);
+            m.set_block_powers(&powers);
+        }
+        for tick in 0..200 {
+            implicit.step(0.1);
+            explicit.step(0.1);
+            if tick % 40 == 0 {
+                for (i, (a, b)) in implicit
+                    .block_temperatures_c()
+                    .iter()
+                    .zip(&explicit.block_temperatures_c())
+                    .enumerate()
+                {
+                    assert!(
+                        (a - b).abs() < 0.2,
+                        "tick {tick} block {i}: implicit {a:.3} vs explicit {b:.3}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_matches_between_direct_and_transient_integrators() {
+        // Direct LDL^T steady state == where both transients settle.
+        let (stack, mut m) = model(Experiment::Exp3);
+        let powers = vec![0.8; stack.num_blocks()];
+        let steady = m.initialize_steady_state(&powers);
+        let mut t = BlockThermalModel::new(&stack, ThermalConfig::paper_default());
+        t.reset_uniform(45.0);
+        t.set_block_powers(&powers);
+        for _ in 0..4000 {
+            t.step(0.1);
+        }
+        for (a, b) in steady.iter().zip(&t.block_temperatures_c()) {
+            assert!((a - b).abs() < 0.5, "{a} vs {b}");
         }
     }
 

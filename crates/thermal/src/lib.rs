@@ -37,6 +37,7 @@ pub mod grid;
 pub mod material;
 pub mod model;
 pub mod network;
+pub mod share;
 pub mod sparse;
 pub mod tsv;
 pub mod units;
@@ -46,4 +47,5 @@ pub use config::{Integrator, ThermalConfig};
 pub use material::Material;
 pub use model::ThermalModel;
 pub use network::RcNetwork;
+pub use share::FactorShare;
 pub use tsv::{TsvSpec, TsvVariant};

@@ -2,13 +2,18 @@
 //! crate.
 
 use std::f64::consts::SQRT_2;
+use std::sync::Arc;
 
 use therm3d_floorplan::Stack3d;
 use therm3d_telemetry::Span;
 
 use crate::config::{Integrator, ThermalConfig};
 use crate::network::RcNetwork;
-use crate::sparse::factor::{analyze, LdlFactor, Symbolic};
+use crate::share::FactorShare;
+use crate::sparse::factor::{
+    analyze, analyze_with_perm, LdlFactor, SupernodalPlan, Symbolic, BLOCKED_MIN_DIM,
+};
+use crate::sparse::level::{LevelSchedule, LevelScratch};
 use crate::sparse::CsrMatrix;
 use crate::units::{celsius_from_kelvin, kelvin_from_celsius};
 
@@ -23,17 +28,17 @@ const RK4_STABILITY: f64 = 2.78;
 /// swings while a tick remains ≥15× cheaper than RK4's ~70–80
 /// stability-bounded substeps; one substep per tick would be ~2× faster
 /// but drifts by ~0.8 °C on mid-frequency (tens-of-ms) thermal modes.
-const MAX_IMPLICIT_STEP_S: f64 = 0.035;
+pub(crate) const MAX_IMPLICIT_STEP_S: f64 = 0.035;
 /// Cap on simultaneously cached implicit factorizations, evicted LRU
 /// (each distinct substep size needs one; real drivers use one or two).
 const MAX_CACHED_FACTORS: usize = 8;
 /// TR-BDF2 with γ = 2 − √2: both stages share the system
 /// `(shift/h)·C + G` with shift = 2/γ = 2 + √2.
-const TRBDF2_SHIFT: f64 = 2.0 + SQRT_2;
+pub(crate) const TRBDF2_SHIFT: f64 = 2.0 + SQRT_2;
 /// Stage-2 state blend `c1·T_γ − c2·T_n`, c1 = 1/(γ(2−γ)) = (√2+1)/2.
-const TRBDF2_C1: f64 = (SQRT_2 + 1.0) / 2.0;
+pub(crate) const TRBDF2_C1: f64 = (SQRT_2 + 1.0) / 2.0;
 /// c2 = (1−γ)²/(γ(2−γ)) = (√2−1)/2.
-const TRBDF2_C2: f64 = (SQRT_2 - 1.0) / 2.0;
+pub(crate) const TRBDF2_C2: f64 = (SQRT_2 - 1.0) / 2.0;
 
 /// A transient 3D thermal simulator for a die stack.
 ///
@@ -89,7 +94,16 @@ pub struct ThermalModel {
 struct StepCache {
     /// Exact bit pattern of the substep size `h` this factor serves.
     h_bits: u64,
-    factor: LdlFactor,
+    factor: Arc<LdlFactor>,
+}
+
+/// Which shared-factor slot a factorization request targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FactorKey {
+    /// The conductance matrix `G` (steady-state solves).
+    Steady,
+    /// `(TRBDF2_SHIFT/h)·C + G` for the substep with these `h` bits.
+    Step(u64),
 }
 
 /// Lazily built direct-solver state: factorization caches plus reusable
@@ -99,20 +113,36 @@ struct ImplicitState {
     /// Per-substep-size factorizations, most recently created last.
     caches: Vec<StepCache>,
     /// Factorization of `G` alone, for direct steady-state solves.
-    steady: Option<LdlFactor>,
+    steady: Option<Arc<LdlFactor>>,
     /// Shared symbolic analysis: the pattern of `α·C + G` is
     /// α-independent (C is diagonal, G has a full structural diagonal)
     /// and equals the pattern of `G` itself, so the ordering,
     /// elimination tree and fill counts are computed once and every
     /// factorization after the first runs only its numeric phase.
-    symbolic: Option<Symbolic>,
-    /// Total numeric factorizations performed over the model's lifetime
-    /// (tests assert cache reuse through
-    /// [`ThermalModel::factorization_count`]).
+    symbolic: Option<Arc<Symbolic>>,
+    /// Supernodal plan for the blocked numeric phase; built alongside
+    /// the analysis once the system is at least [`BLOCKED_MIN_DIM`].
+    plan: Option<Arc<SupernodalPlan>>,
+    /// Optional cross-model share (sweep cells with one fingerprint).
+    share: Option<FactorShare>,
+    /// Nested-dissection ordering hint for large networks, where the
+    /// exact minimum-degree search is intractable.
+    perm_hint: Option<Vec<usize>>,
+    /// Level-set schedule for parallel triangular solves; built lazily
+    /// from the first factor once `solver_threads > 1`.
+    schedule: Option<Arc<LevelSchedule>>,
+    level_scratch: LevelScratch,
+    /// Worker count for the level-set solves (1 = serial reference
+    /// path; the sweep runner keeps cells at 1 and parallelizes across
+    /// cells instead).
+    solver_threads: usize,
+    /// Factorizations *ensured* over the model's lifetime — computed
+    /// locally or adopted ready-made from the attached share; the count
+    /// is identical either way, so it is scheduling-independent (tests
+    /// assert cache reuse through [`ThermalModel::factorization_count`]).
     factor_count: usize,
-    /// Total symbolic analyses performed (tests assert via
-    /// [`ThermalModel::symbolic_analysis_count`] that only numeric
-    /// phases repeat across step sizes).
+    /// Symbolic analyses ensured (same semantics; see
+    /// [`ThermalModel::symbolic_analysis_count`]).
     symbolic_count: usize,
     rhs: Vec<f64>,
     stage: Vec<f64>,
@@ -120,30 +150,125 @@ struct ImplicitState {
 }
 
 impl ImplicitState {
-    /// Factors `a` numerically, reusing (or lazily computing) the shared
-    /// symbolic analysis. Falls back to a fresh analysis if `a`'s
-    /// pattern size ever diverges from the analyzed one (cannot happen
-    /// for one RC network's systems, but corruption-proof beats a
-    /// panic deep inside the solver).
-    fn factor_shared(&mut self, a: &CsrMatrix, what: &str) -> LdlFactor {
+    /// Runs the symbolic analysis for `a`, with the nested-dissection
+    /// hint and the supernodal plan once the system is large enough for
+    /// the blocked path.
+    fn analyze_for(
+        a: &CsrMatrix,
+        perm_hint: Option<&Vec<usize>>,
+    ) -> (Symbolic, Option<SupernodalPlan>) {
+        let symbolic = match perm_hint {
+            Some(p) if p.len() == a.dim() => analyze_with_perm(a, p.clone()),
+            _ => analyze(a),
+        };
+        let plan = (a.dim() >= BLOCKED_MIN_DIM).then(|| symbolic.supernodal_plan(a));
+        (symbolic, plan)
+    }
+
+    /// Runs the numeric phase — blocked when a supernodal plan exists,
+    /// scalar (the golden reference) otherwise.
+    fn numeric_phase(
+        symbolic: &Symbolic,
+        plan: Option<&SupernodalPlan>,
+        a: &CsrMatrix,
+        what: &str,
+    ) -> LdlFactor {
+        let _span = Span::enter("thermal.factor_numeric_us");
+        let result = match plan {
+            Some(p) => symbolic.factor_numeric_blocked(a, p),
+            None => symbolic.factor_numeric(a),
+        };
+        result.unwrap_or_else(|e| panic!("{what} must be SPD: {e}"))
+    }
+
+    /// Ensures a factorization of `a` for `key`: reuses (or lazily
+    /// computes) the shared symbolic analysis, and — when a
+    /// [`FactorShare`] is attached — adopts the factor from the share
+    /// or computes it exactly once *under the share lock*. Falls back
+    /// to a fresh analysis if `a`'s pattern size ever diverges from the
+    /// analyzed one (cannot happen for one RC network's systems, but
+    /// corruption-proof beats a panic deep inside the solver).
+    fn factor_shared(&mut self, a: &CsrMatrix, what: &str, key: FactorKey) -> Arc<LdlFactor> {
         // LDLᵀ without pivoting assumes symmetry; an asymmetric system
         // here means the RC assembly upstream is broken.
         debug_assert!(a.is_symmetric(1e-9), "{what} must be symmetric for LDL^T");
-        let compatible = self
+        let locally_compatible = self
             .symbolic
             .as_ref()
             .is_some_and(|s| s.dim() == a.dim() && s.pattern_nnz() == a.nnz());
-        if !compatible {
-            let _span = Span::enter("thermal.symbolic_analyze_us");
-            self.symbolic = Some(analyze(a));
+
+        let Some(share) = self.share.clone() else {
+            // Unshared path: the pre-share behaviour, unchanged.
+            if !locally_compatible {
+                let _span = Span::enter("thermal.symbolic_analyze_us");
+                let (symbolic, plan) = Self::analyze_for(a, self.perm_hint.as_ref());
+                self.symbolic = Some(Arc::new(symbolic));
+                self.plan = plan.map(Arc::new);
+                self.symbolic_count += 1;
+            }
+            let symbolic = self.symbolic.as_ref().expect("analyzed above");
+            let factored = Arc::new(Self::numeric_phase(symbolic, self.plan.as_deref(), a, what));
+            self.factor_count += 1;
+            return factored;
+        };
+
+        let mut state = share.lock();
+        if !locally_compatible {
+            let share_compatible = state
+                .symbolic
+                .as_ref()
+                .is_some_and(|s| s.dim() == a.dim() && s.pattern_nnz() == a.nnz());
+            if !share_compatible {
+                let _span = Span::enter("thermal.symbolic_analyze_us");
+                let (symbolic, plan) = Self::analyze_for(a, self.perm_hint.as_ref());
+                state.symbolic = Some(Arc::new(symbolic));
+                state.plan = plan.map(Arc::new);
+                state.symbolic_analyses += 1;
+            }
+            self.symbolic = state.symbolic.clone();
+            self.plan = state.plan.clone();
+            // Ensured semantics: adopting counts exactly like computing,
+            // so per-model counters stay scheduling-independent.
             self.symbolic_count += 1;
         }
-        let symbolic = self.symbolic.as_ref().expect("analyzed above");
-        let _span = Span::enter("thermal.factor_numeric_us");
-        let factored =
-            symbolic.factor_numeric(a).unwrap_or_else(|e| panic!("{what} must be SPD: {e}"));
+        let existing = match key {
+            FactorKey::Steady => state.steady.clone(),
+            FactorKey::Step(h) => {
+                state.steps.iter().find(|(hb, _)| *hb == h).map(|(_, f)| Arc::clone(f))
+            }
+        };
+        let factored = if let Some(f) = existing {
+            state.hits += 1;
+            f
+        } else {
+            let symbolic = self.symbolic.as_ref().expect("ensured above");
+            let f = Arc::new(Self::numeric_phase(symbolic, self.plan.as_deref(), a, what));
+            match key {
+                FactorKey::Steady => state.steady = Some(Arc::clone(&f)),
+                FactorKey::Step(h) => state.steps.push((h, Arc::clone(&f))),
+            }
+            state.factorizations += 1;
+            f
+        };
         self.factor_count += 1;
         factored
+    }
+
+    /// Solves against `factored` — level-set parallel when configured,
+    /// the serial reference sweep otherwise. Both are bit-identical.
+    fn solve_with(
+        factored: &LdlFactor,
+        schedule: Option<&LevelSchedule>,
+        level_scratch: &mut LevelScratch,
+        threads: usize,
+        rhs: &[f64],
+        solve_scratch: &mut Vec<f64>,
+        out: &mut [f64],
+    ) {
+        match schedule {
+            Some(s) if threads > 1 => s.solve_into(factored, rhs, level_scratch, out, threads),
+            _ => factored.solve_into(rhs, solve_scratch, out),
+        }
     }
 }
 
@@ -183,6 +308,13 @@ impl ThermalModel {
         let n = network.node_count();
         let temps_k = vec![network.ambient_k(); n];
         let stable_dt = RK4_SAFETY * RK4_STABILITY / network.stiffness_bound();
+        let mut implicit = ImplicitState { solver_threads: 1, ..ImplicitState::default() };
+        // Production-scale grids get the geometric nested-dissection
+        // order (the exact minimum-degree search is quadratic-plus) and,
+        // through `analyze_for`, the blocked numeric phase.
+        if n >= BLOCKED_MIN_DIM {
+            implicit.perm_hint = Some(network.nested_dissection_perm());
+        }
         Self {
             temps_k,
             node_power: vec![0.0; n],
@@ -190,9 +322,34 @@ impl ThermalModel {
             scratch: Rk4Scratch::new(n),
             stable_dt,
             integrator: config.integrator,
-            implicit: ImplicitState::default(),
+            implicit,
             network,
         }
+    }
+
+    /// Attaches a cross-model [`FactorShare`]: factorizations this
+    /// model needs are adopted from the share when present and computed
+    /// into it (exactly once, under the share lock) when not. Attach
+    /// before the first factorization — typically right after
+    /// construction — so nothing is computed twice.
+    pub fn set_factor_share(&mut self, share: FactorShare) {
+        self.implicit.share = Some(share);
+    }
+
+    /// Sets the worker count for the level-set triangular solves.
+    /// The default of 1 keeps the serial reference path; any value is
+    /// bit-identical to any other (see
+    /// [`crate::sparse::level::LevelSchedule`]), so this is purely a
+    /// wall-clock knob for large grids. Sweep cells stay at 1 — their
+    /// parallelism lives across cells in the runner.
+    pub fn set_solver_threads(&mut self, threads: usize) {
+        self.implicit.solver_threads = threads.max(1);
+    }
+
+    /// Current level-set solve worker count.
+    #[must_use]
+    pub fn solver_threads(&self) -> usize {
+        self.implicit.solver_threads
     }
 
     /// The transient integration scheme this model steps with.
@@ -201,22 +358,28 @@ impl ThermalModel {
         self.integrator
     }
 
-    /// Numeric sparse factorizations performed so far (steady-state plus
+    /// Numeric sparse factorizations *ensured* so far (steady-state plus
     /// one per distinct implicit substep size). Stepping repeatedly at
     /// the same `dt` — or at any recently seen `dt` — must not grow
     /// this: factors are cached per substep size with LRU eviction, so
     /// only a driver cycling through more than `MAX_CACHED_FACTORS` (8)
-    /// distinct step sizes ever re-factorizes.
+    /// distinct step sizes ever re-factorizes. With a [`FactorShare`]
+    /// attached, a factor adopted ready-made counts exactly like one
+    /// computed locally, so the number is identical with or without
+    /// sharing (and independent of which sibling cell computed first);
+    /// the share's own [`FactorShare::factorizations`] counts actual
+    /// computations.
     #[must_use]
     pub fn factorization_count(&self) -> usize {
         self.implicit.factor_count
     }
 
     /// Symbolic analyses (fill-reducing ordering + elimination tree +
-    /// fill counts) performed so far. The pattern of `α·C + G` is
+    /// fill counts) ensured so far. The pattern of `α·C + G` is
     /// α-independent and matches `G`'s, so however many step sizes and
     /// steady solves a driver mixes, this stays at **1**: only numeric
-    /// phases repeat.
+    /// phases repeat. Same ensured semantics under sharing as
+    /// [`factorization_count`](Self::factorization_count).
     #[must_use]
     pub fn symbolic_analysis_count(&self) -> usize {
         self.implicit.symbolic_count
@@ -310,12 +473,26 @@ impl ThermalModel {
             return self.implicit.caches.len() - 1;
         }
         let system = self.network.shifted_system(TRBDF2_SHIFT / h);
-        let factored = self.implicit.factor_shared(&system, "implicit thermal system");
+        let factored = self.implicit.factor_shared(
+            &system,
+            "implicit thermal system",
+            FactorKey::Step(h_bits),
+        );
         if self.implicit.caches.len() >= MAX_CACHED_FACTORS {
             self.implicit.caches.remove(0);
         }
+        self.ensure_level_schedule(&factored);
         self.implicit.caches.push(StepCache { h_bits, factor: factored });
         self.implicit.caches.len() - 1
+    }
+
+    /// Builds the level-set solve schedule from the first factor once
+    /// parallel solves are requested (the schedule is structure-only,
+    /// so any factor of the shared pattern works).
+    fn ensure_level_schedule(&mut self, factored: &LdlFactor) {
+        if self.implicit.solver_threads > 1 && self.implicit.schedule.is_none() {
+            self.implicit.schedule = Some(Arc::new(LevelSchedule::new(factored)));
+        }
     }
 
     /// One TR-BDF2 step of size `h` against the cached factor in `slot`.
@@ -331,8 +508,18 @@ impl ThermalModel {
         let amb = self.network.ambient_k();
         let cap = self.network.capacitance();
         let g_amb = self.network.ambient_conductance();
-        let ImplicitState { caches, rhs, stage, solve_scratch, .. } = &mut self.implicit;
+        let ImplicitState {
+            caches,
+            rhs,
+            stage,
+            solve_scratch,
+            schedule,
+            level_scratch,
+            solver_threads,
+            ..
+        } = &mut self.implicit;
         let factored = &caches[slot].factor;
+        let (schedule, threads) = (schedule.as_deref(), *solver_threads);
         rhs.resize(n, 0.0);
         stage.resize(n, 0.0);
 
@@ -343,14 +530,30 @@ impl ThermalModel {
             let b = self.node_power[i] + g_amb[i] * amb;
             rhs[i] = alpha * cap[i] * self.temps_k[i] - gt[i] + 2.0 * b;
         }
-        factored.solve_into(rhs, solve_scratch, stage);
+        ImplicitState::solve_with(
+            factored,
+            schedule,
+            level_scratch,
+            threads,
+            rhs,
+            solve_scratch,
+            stage,
+        );
 
         // Stage 2 right-hand side: α·C·(c1·T_γ − c2·T_n) + b.
         for i in 0..n {
             let b = self.node_power[i] + g_amb[i] * amb;
             rhs[i] = alpha * cap[i] * (TRBDF2_C1 * stage[i] - TRBDF2_C2 * self.temps_k[i]) + b;
         }
-        factored.solve_into(rhs, solve_scratch, &mut self.temps_k);
+        ImplicitState::solve_with(
+            factored,
+            schedule,
+            level_scratch,
+            threads,
+            rhs,
+            solve_scratch,
+            &mut self.temps_k,
+        );
     }
 
     fn rk4_substep(&mut self, h: f64) {
@@ -439,11 +642,23 @@ impl ThermalModel {
         if self.implicit.steady.is_none() {
             // `G` shares the shifted systems' pattern (full structural
             // diagonal), so this also reuses the one symbolic analysis.
-            let factored =
-                self.implicit.factor_shared(self.network.conductance(), "conductance matrix");
+            let factored = self.implicit.factor_shared(
+                self.network.conductance(),
+                "conductance matrix",
+                FactorKey::Steady,
+            );
+            self.ensure_level_schedule(&factored);
             self.implicit.steady = Some(factored);
         }
-        let ImplicitState { steady, rhs, solve_scratch, .. } = &mut self.implicit;
+        let ImplicitState {
+            steady,
+            rhs,
+            solve_scratch,
+            schedule,
+            level_scratch,
+            solver_threads,
+            ..
+        } = &mut self.implicit;
         rhs.clear();
         rhs.extend(
             self.node_power
@@ -451,7 +666,15 @@ impl ThermalModel {
                 .zip(self.network.ambient_conductance())
                 .map(|(&p, &g)| p + g * amb),
         );
-        steady.as_ref().expect("factored above").solve_into(rhs, solve_scratch, &mut self.temps_k);
+        ImplicitState::solve_with(
+            steady.as_ref().expect("factored above"),
+            schedule.as_deref(),
+            level_scratch,
+            *solver_threads,
+            rhs,
+            solve_scratch,
+            &mut self.temps_k,
+        );
         self.block_temperatures_c()
     }
 
@@ -711,6 +934,80 @@ mod tests {
         model.initialize_steady_state(&p);
         assert_eq!(model.factorization_count(), 4);
         assert_eq!(model.symbolic_analysis_count(), 1);
+    }
+
+    #[test]
+    fn factor_share_computes_once_and_adoption_is_bit_identical() {
+        let stack = Experiment::Exp3.stack();
+        let cfg = ThermalConfig::paper_default().with_grid(4, 4);
+        let p = {
+            let mut p = vec![0.0; stack.num_blocks()];
+            for c in stack.core_ids() {
+                p[stack.core_block_index(c)] = 2.0;
+            }
+            p
+        };
+        // Reference: an unshared model.
+        let mut lone = ThermalModel::new(&stack, cfg.clone());
+        lone.initialize_steady_state(&p);
+        lone.step(0.1);
+        lone.step(0.05);
+
+        let share = crate::share::FactorShare::new();
+        let mut first = ThermalModel::new(&stack, cfg.clone());
+        first.set_factor_share(share.clone());
+        let mut second = ThermalModel::new(&stack, cfg);
+        second.set_factor_share(share.clone());
+        for m in [&mut first, &mut second] {
+            m.initialize_steady_state(&p);
+            m.step(0.1);
+            m.step(0.05);
+        }
+
+        // One analysis and one factor per key across BOTH models …
+        assert_eq!(share.symbolic_analyses(), 1);
+        assert_eq!(share.factorizations(), 3, "steady + two distinct substep sizes");
+        assert_eq!(share.factors_cached(), 3);
+        // … the second model adopted all three.
+        assert_eq!(share.hits(), 3);
+        // Ensured per-model counters are identical to the unshared ones.
+        for m in [&first, &second] {
+            assert_eq!(m.factorization_count(), lone.factorization_count());
+            assert_eq!(m.symbolic_analysis_count(), lone.symbolic_analysis_count());
+        }
+        // Adoption changes nothing numerically: bit-identical state.
+        let reference = lone.node_temperatures_k();
+        for m in [&first, &second] {
+            for (a, b) in m.node_temperatures_k().iter().zip(reference) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_solver_threads_are_bit_identical_to_serial() {
+        let stack = Experiment::Exp2.stack();
+        let cfg = ThermalConfig::paper_default().with_grid(8, 8);
+        let p = {
+            let mut p = vec![0.0; stack.num_blocks()];
+            for c in stack.core_ids() {
+                p[stack.core_block_index(c)] = 3.0;
+            }
+            p
+        };
+        let mut serial = ThermalModel::new(&stack, cfg.clone());
+        let mut parallel = ThermalModel::new(&stack, cfg);
+        parallel.set_solver_threads(4);
+        assert_eq!(parallel.solver_threads(), 4);
+        for m in [&mut serial, &mut parallel] {
+            m.initialize_steady_state(&p);
+            for _ in 0..20 {
+                m.step(0.1);
+            }
+        }
+        for (a, b) in parallel.node_temperatures_k().iter().zip(serial.node_temperatures_k()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "leveled solves must match serial bit-for-bit");
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! transient integrator leans on.
 
 pub mod factor;
+pub mod level;
 
 use std::fmt;
 

@@ -1,0 +1,391 @@
+//! Level-set scheduled triangular solves over an [`LdlFactor`].
+//!
+//! The serial [`LdlFactor::solve_into`] sweeps columns in order, which
+//! at 64×64-per-layer networks (≥20k nodes) leaves every core but one
+//! idle during the two triangular sweeps. This module partitions the
+//! rows of `L` (and, for the backward sweep, its columns) into
+//! *level sets* — level 0 has no dependencies, level `k` depends only
+//! on levels `< k` — so every row inside one level can be processed
+//! concurrently.
+//!
+//! Determinism is non-negotiable here (the sweep's byte-identical
+//! report guarantee rides on it), so the parallel solve is built to be
+//! **bit-identical to the serial one at any thread count**:
+//!
+//! * the forward sweep is recast from column-scatter to row-gather
+//!   (per row, subtractions run in ascending column order — exactly
+//!   the order the serial scatter applies them, against operands that
+//!   are final in both schedules);
+//! * the backward sweep is already a per-column gather and keeps its
+//!   entry order;
+//! * levels run in a fixed order with a full barrier between them, and
+//!   each value is written by exactly one row's owner.
+//!
+//! The schedule depends only on the factor's *structure*, so one
+//! [`LevelSchedule`] serves every factor sharing a sparsity pattern —
+//! all shifted systems `α·C + G` of one network.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use super::factor::LdlFactor;
+
+/// Structure-only schedule for level-set parallel triangular solves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSchedule {
+    n: usize,
+    /// Stored-entry count of `L` (guard that a solve uses a factor with
+    /// the structure this schedule was built from).
+    nnz: usize,
+    /// Row-CSR of `L`: row pointers, column indices (ascending within a
+    /// row) and, per entry, the index of its value in the factor's
+    /// column-major value array — so the schedule needs no values of
+    /// its own and serves every same-structure factor.
+    frow_ptr: Vec<usize>,
+    fcol: Vec<usize>,
+    fval_src: Vec<usize>,
+    /// Forward level sets: rows of level `v` are
+    /// `frows[flevel_ptr[v]..flevel_ptr[v+1]]`, ascending within a level.
+    flevel_ptr: Vec<usize>,
+    frows: Vec<usize>,
+    /// Backward level sets over columns, same layout.
+    blevel_ptr: Vec<usize>,
+    bcols: Vec<usize>,
+}
+
+/// Reusable solve workspace: the permuted intermediate as atomic bit
+/// patterns (plain `f64` reads/writes under the barrier discipline —
+/// the atomics only provide safe shared mutability across the worker
+/// scope, never read-modify-write contention).
+#[derive(Debug, Default)]
+pub struct LevelScratch {
+    z: Vec<AtomicU64>,
+}
+
+impl LevelScratch {
+    /// An empty workspace; sized lazily by the first solve.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clone for LevelScratch {
+    /// Scratch contents are meaningless between solves, so a clone is
+    /// simply a fresh workspace (atomics are not `Clone`).
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+/// Splits `len` items into `threads` near-equal contiguous chunks;
+/// returns chunk `tid`'s bounds. Deterministic in all arguments.
+fn chunk(len: usize, tid: usize, threads: usize) -> (usize, usize) {
+    let per = len / threads;
+    let rem = len % threads;
+    let lo = tid * per + tid.min(rem);
+    (lo, lo + per + usize::from(tid < rem))
+}
+
+/// Buckets items by level: returns `(level_ptr, items)` with items of
+/// level `v` at `items[level_ptr[v]..level_ptr[v+1]]`, ascending.
+fn bucket_levels(level: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let max_level = level.iter().copied().max().unwrap_or(0);
+    let mut ptr = vec![0usize; max_level + 2];
+    for &lv in level {
+        ptr[lv + 1] += 1;
+    }
+    for v in 0..=max_level {
+        ptr[v + 1] += ptr[v];
+    }
+    let mut fill = ptr.clone();
+    let mut items = vec![0usize; level.len()];
+    for (i, &lv) in level.iter().enumerate() {
+        items[fill[lv]] = i;
+        fill[lv] += 1;
+    }
+    (ptr, items)
+}
+
+impl LevelSchedule {
+    /// Builds the schedule from a factor's structure. Reusable across
+    /// every factor with the same sparsity pattern (same `Symbolic`).
+    #[must_use]
+    pub fn new(factor: &LdlFactor) -> Self {
+        let n = factor.dim();
+        let col_ptr = factor.l_col_ptr();
+        let row_idx = factor.l_row_idx();
+        let nnz = col_ptr[n];
+
+        // Transpose L's column storage into row-CSR. Filling by
+        // ascending column keeps each row's entries column-sorted,
+        // which is what makes the gather order match the serial sweep.
+        let mut frow_ptr = vec![0usize; n + 1];
+        for p in 0..nnz {
+            frow_ptr[row_idx[p] + 1] += 1;
+        }
+        for i in 0..n {
+            frow_ptr[i + 1] += frow_ptr[i];
+        }
+        let mut fill = frow_ptr.clone();
+        let mut fcol = vec![0usize; nnz];
+        let mut fval_src = vec![0usize; nnz];
+        for j in 0..n {
+            for p in col_ptr[j]..col_ptr[j + 1] {
+                let q = fill[row_idx[p]];
+                fcol[q] = j;
+                fval_src[q] = p;
+                fill[row_idx[p]] = q + 1;
+            }
+        }
+
+        // Forward levels: a row depends on every column it gathers from.
+        let mut level = vec![0usize; n];
+        for i in 0..n {
+            let mut lv = 0;
+            for q in frow_ptr[i]..frow_ptr[i + 1] {
+                lv = lv.max(level[fcol[q]] + 1);
+            }
+            level[i] = lv;
+        }
+        let (flevel_ptr, frows) = bucket_levels(&level);
+
+        // Backward levels: column j depends on every row of its column
+        // list (all > j), so levels are computed descending.
+        let mut blevel = vec![0usize; n];
+        for j in (0..n).rev() {
+            let mut lv = 0;
+            for p in col_ptr[j]..col_ptr[j + 1] {
+                lv = lv.max(blevel[row_idx[p]] + 1);
+            }
+            blevel[j] = lv;
+        }
+        let (blevel_ptr, bcols) = bucket_levels(&blevel);
+
+        Self { n, nnz, frow_ptr, fcol, fval_src, flevel_ptr, frows, blevel_ptr, bcols }
+    }
+
+    /// Number of forward level sets (the critical-path length of the
+    /// forward sweep).
+    #[must_use]
+    pub fn forward_levels(&self) -> usize {
+        self.flevel_ptr.len() - 1
+    }
+
+    /// Number of backward level sets.
+    #[must_use]
+    pub fn backward_levels(&self) -> usize {
+        self.blevel_ptr.len() - 1
+    }
+
+    /// Solves `A·x = b` with `factor`, running the triangular sweeps
+    /// level-by-level across `threads` workers. Bit-identical to
+    /// [`LdlFactor::solve_into`] at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor`'s structure differs from the one this
+    /// schedule was built from, or on length mismatches.
+    pub fn solve_into(
+        &self,
+        factor: &LdlFactor,
+        b: &[f64],
+        scratch: &mut LevelScratch,
+        x: &mut [f64],
+        threads: usize,
+    ) {
+        let n = self.n;
+        assert_eq!(factor.dim(), n, "factor dimension mismatch");
+        assert_eq!(factor.l_col_ptr()[n], self.nnz, "schedule built for a different structure");
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        assert_eq!(x.len(), n, "solution length mismatch");
+        let threads = threads.clamp(1, n.max(1));
+
+        if scratch.z.len() != n {
+            scratch.z = (0..n).map(|_| AtomicU64::new(0)).collect();
+        }
+        let z = &scratch.z[..];
+        let perm = factor.permutation();
+        for (zi, &old) in z.iter().zip(perm) {
+            zi.store(b[old].to_bits(), Ordering::Relaxed);
+        }
+
+        if threads == 1 {
+            self.run_worker(factor, z, 0, 1, None);
+        } else {
+            let barrier = Barrier::new(threads);
+            // The worker pool exists only for the duration of one solve;
+            // every other thread in the workspace must ride the sweep
+            // runner's workers.
+            // lint: allow(no-thread-spawn): opt-in level-set solver pool, never constructed inside sweep cells (the sweep path solves with threads=1 and its parallelism stays in the runner)
+            std::thread::scope(|scope| {
+                for tid in 1..threads {
+                    let barrier = &barrier;
+                    scope.spawn(move || self.run_worker(factor, z, tid, threads, Some(barrier)));
+                }
+                self.run_worker(factor, z, 0, threads, Some(&barrier));
+            });
+        }
+
+        for (zi, &old) in z.iter().zip(perm) {
+            x[old] = f64::from_bits(zi.load(Ordering::Relaxed));
+        }
+    }
+
+    /// One worker's share of the three sweep phases. Every worker walks
+    /// the same fixed level order; barriers separate levels and phases,
+    /// so each load observes only values finalized in earlier levels.
+    fn run_worker(
+        &self,
+        factor: &LdlFactor,
+        z: &[AtomicU64],
+        tid: usize,
+        threads: usize,
+        barrier: Option<&Barrier>,
+    ) {
+        let values = factor.l_values();
+        let col_ptr = factor.l_col_ptr();
+        let row_idx = factor.l_row_idx();
+        let d = factor.pivots();
+        let wait = |b: Option<&Barrier>| {
+            if let Some(b) = b {
+                b.wait();
+            }
+        };
+        // Forward: L·y = P·b, row-gather in ascending column order.
+        for lv in 0..self.flevel_ptr.len() - 1 {
+            let rows = &self.frows[self.flevel_ptr[lv]..self.flevel_ptr[lv + 1]];
+            let (lo, hi) = chunk(rows.len(), tid, threads);
+            for &i in &rows[lo..hi] {
+                let mut zi = f64::from_bits(z[i].load(Ordering::Relaxed));
+                for q in self.frow_ptr[i]..self.frow_ptr[i + 1] {
+                    let zk = f64::from_bits(z[self.fcol[q]].load(Ordering::Relaxed));
+                    zi -= values[self.fval_src[q]] * zk;
+                }
+                z[i].store(zi.to_bits(), Ordering::Relaxed);
+            }
+            wait(barrier);
+        }
+        // Diagonal: D·w = y (elementwise, any split is exact).
+        let (lo, hi) = chunk(self.n, tid, threads);
+        for (i, di) in (lo..hi).zip(&d[lo..hi]) {
+            let zi = f64::from_bits(z[i].load(Ordering::Relaxed)) / di;
+            z[i].store(zi.to_bits(), Ordering::Relaxed);
+        }
+        wait(barrier);
+        // Backward: Lᵀ·v = w, per-column gather in storage order.
+        for lv in 0..self.blevel_ptr.len() - 1 {
+            let cols = &self.bcols[self.blevel_ptr[lv]..self.blevel_ptr[lv + 1]];
+            let (lo, hi) = chunk(cols.len(), tid, threads);
+            for &j in &cols[lo..hi] {
+                let mut zj = f64::from_bits(z[j].load(Ordering::Relaxed));
+                for p in col_ptr[j]..col_ptr[j + 1] {
+                    zj -= values[p] * f64::from_bits(z[row_idx[p]].load(Ordering::Relaxed));
+                }
+                z[j].store(zj.to_bits(), Ordering::Relaxed);
+            }
+            wait(barrier);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::factor::{analyze, factor};
+    use crate::sparse::TripletMatrix;
+
+    fn grid_laplacian(rows: usize, cols: usize) -> crate::sparse::CsrMatrix {
+        let idx = |r: usize, c: usize| r * cols + c;
+        let mut t = TripletMatrix::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    t.add_conductance(idx(r, c), idx(r, c + 1), 1.0 + (r + c) as f64 * 0.1);
+                }
+                if r + 1 < rows {
+                    t.add_conductance(idx(r, c), idx(r + 1, c), 2.0 + c as f64 * 0.1);
+                }
+                t.add_grounded_conductance(idx(r, c), 0.01);
+            }
+        }
+        t.to_csr()
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn leveled_solve_is_bitwise_identical_to_serial_at_any_thread_count() {
+        let a = grid_laplacian(13, 11);
+        let f = factor(&a).unwrap();
+        let schedule = LevelSchedule::new(&f);
+        assert!(schedule.forward_levels() > 1, "a grid factor must have real levels");
+        let n = a.dim();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 29) % 13) as f64 * 0.375 - 1.5).collect();
+        let serial = f.solve(&b);
+        let mut scratch = LevelScratch::new();
+        let mut x = vec![0.0; n];
+        for threads in [1, 2, 3, 8] {
+            schedule.solve_into(&f, &b, &mut scratch, &mut x, threads);
+            assert_eq!(bits(&x), bits(&serial), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn one_schedule_serves_every_shift_of_a_pattern() {
+        let g = grid_laplacian(8, 9);
+        let symbolic = analyze(&g);
+        let base = symbolic.factor_numeric(&g).unwrap();
+        let schedule = LevelSchedule::new(&base);
+        let b: Vec<f64> = (0..g.dim()).map(|i| (i % 5) as f64 - 2.0).collect();
+        let mut scratch = LevelScratch::new();
+        let mut x = vec![0.0; g.dim()];
+        for alpha in [0.5, 40.0] {
+            let diag: Vec<f64> = (0..g.dim()).map(|i| alpha * (1.0 + i as f64 * 0.03)).collect();
+            let f = symbolic.factor_numeric(&g.with_added_diagonal(&diag)).unwrap();
+            schedule.solve_into(&f, &b, &mut scratch, &mut x, 4);
+            assert_eq!(bits(&x), bits(&f.solve(&b)), "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn levels_partition_all_rows_and_columns() {
+        let a = grid_laplacian(6, 10);
+        let f = factor(&a).unwrap();
+        let s = LevelSchedule::new(&f);
+        let mut seen = vec![false; a.dim()];
+        for &i in &s.frows {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        let mut seen = vec![false; a.dim()];
+        for &j in &s.bcols {
+            assert!(!seen[j]);
+            seen[j] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert!(s.backward_levels() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different structure")]
+    fn schedule_rejects_a_different_structure() {
+        let f_small = factor(&grid_laplacian(4, 4)).unwrap();
+        let f_other = {
+            let mut t = TripletMatrix::new(16);
+            for i in 0..15 {
+                t.add_conductance(i, i + 1, 1.0);
+            }
+            t.add_grounded_conductance(0, 1.0);
+            factor(&t.to_csr()).unwrap()
+        };
+        let schedule = LevelSchedule::new(&f_small);
+        let b = vec![1.0; 16];
+        let mut scratch = LevelScratch::new();
+        let mut x = vec![0.0; 16];
+        schedule.solve_into(&f_other, &b, &mut scratch, &mut x, 2);
+    }
+}
