@@ -104,6 +104,10 @@ pub enum Command {
         trace_out: Option<String>,
         /// Metrics-snapshot JSON path (`--metrics-out`).
         metrics_out: Option<String>,
+        /// Stream traces instead of materializing them (`--streaming`);
+        /// bit-identical results, O(1) memory in `sim_seconds`. Only
+        /// ever turns streaming *on* over the spec's `streaming` key.
+        streaming: bool,
     },
     /// Validate a sweep spec and print a preflight report — expansion
     /// count, per-axis summary, shard balance and a cache warm/cold
@@ -180,7 +184,7 @@ USAGE:
                       [--integrator I] [--stack-order O] [--tsv V] [--sensor S] [--csv]
   therm3d sweep       SPEC.toml [--threads N] [--format table|csv|json] [--csv]
                       [--cache-dir DIR] [--no-cache] [--cache-stats] [--shard K/N]
-                      [--progress] [--trace-out FILE] [--metrics-out FILE]
+                      [--progress] [--trace-out FILE] [--metrics-out FILE] [--streaming]
   therm3d check       SPEC.toml [--cache-dir DIR]
   therm3d shard-plan  SPEC.toml --count N [--cache-dir DIR] [--threads N]
   therm3d merge       OUT.csv SHARD.csv [SHARD.csv ...]
@@ -234,7 +238,13 @@ USAGE:
   event (cell_start, cache_hit, cell_finish, cell_panic) to FILE;
   --metrics-out FILE writes the final metrics snapshot (per-phase
   timing histograms, cache hit/miss and factorization counters, one
-  record per cell) as pretty-printed JSON to FILE.";
+  record per cell) as pretty-printed JSON to FILE.
+
+  --streaming (or `streaming = true` in the spec) runs every cell in
+  throughput mode: jobs stream from the generator straight into the
+  engine, so peak memory is independent of sim_seconds. Results, cell
+  keys and report bytes are identical to the materialized path — the
+  two share one cache.";
 
 struct Tokens {
     items: Vec<String>,
@@ -377,6 +387,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
     let mut progress = false;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut streaming = false;
     let mut sim_flags: Vec<String> = Vec::new();
 
     while t.pos + 1 < t.items.len() {
@@ -434,6 +445,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             "--progress" => progress = true,
             "--trace-out" => trace_out = Some(t.next_value("--trace-out")?),
             "--metrics-out" => metrics_out = Some(t.next_value("--metrics-out")?),
+            "--streaming" => streaming = true,
             "--dpm" => sim.dpm = true,
             "--csv" => csv = true,
             other => return Err(ParseCliError(format!("unknown flag `{other}`"))),
@@ -462,6 +474,9 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             "`--progress`, `--trace-out` and `--metrics-out` only apply to `sweep SPEC.toml`"
                 .into(),
         ));
+    }
+    if streaming && !spec_sweep {
+        return Err(ParseCliError("`--streaming` only applies to `sweep SPEC.toml`".into()));
     }
     if count.is_some() && !shard_plan {
         return Err(ParseCliError("`--count` only applies to `shard-plan SPEC.toml`".into()));
@@ -525,6 +540,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
                     progress,
                     trace_out,
                     metrics_out,
+                    streaming,
                 })
             }
             None => Ok(Command::Sweep { sim, csv }),
@@ -877,7 +893,8 @@ mod tests {
                 shard: None,
                 progress: false,
                 trace_out: None,
-                metrics_out: None
+                metrics_out: None,
+                streaming: false
             }
         );
     }
@@ -898,7 +915,8 @@ mod tests {
                 shard: None,
                 progress: false,
                 trace_out: None,
-                metrics_out: None
+                metrics_out: None,
+                streaming: false
             }
         );
         let cmd = parse(argv("sweep --threads 2 campaign.toml --csv")).unwrap();
@@ -913,7 +931,8 @@ mod tests {
                 shard: None,
                 progress: false,
                 trace_out: None,
-                metrics_out: None
+                metrics_out: None,
+                streaming: false
             }
         );
     }
@@ -932,7 +951,8 @@ mod tests {
                 shard: None,
                 progress: false,
                 trace_out: None,
-                metrics_out: None
+                metrics_out: None,
+                streaming: false
             }
         );
         let cmd = parse(argv("sweep campaign.toml --csv")).unwrap();
@@ -947,7 +967,8 @@ mod tests {
                 shard: None,
                 progress: false,
                 trace_out: None,
-                metrics_out: None
+                metrics_out: None,
+                streaming: false
             }
         );
     }
@@ -1051,6 +1072,20 @@ mod tests {
         );
         // Anywhere else the flags would be silently dropped.
         for line in ["run --progress", "sweep --trace-out x.jsonl", "trace --metrics-out m.json"] {
+            let err = parse(argv(line)).unwrap_err().0;
+            assert!(err.contains("sweep SPEC.toml"), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn streaming_flag_parses_on_spec_file_sweeps() {
+        let cmd = parse(argv("sweep s.toml --streaming")).unwrap();
+        assert!(matches!(cmd, Command::SweepFile { streaming: true, .. }), "{cmd:?}");
+        // Off by default — the spec's own `streaming` key stays in charge.
+        let cmd = parse(argv("sweep s.toml")).unwrap();
+        assert!(matches!(cmd, Command::SweepFile { streaming: false, .. }), "{cmd:?}");
+        // Anywhere else the flag would be silently dropped.
+        for line in ["run --streaming", "sweep --streaming", "check s.toml --streaming"] {
             let err = parse(argv(line)).unwrap_err().0;
             assert!(err.contains("sweep SPEC.toml"), "{line}: {err}");
         }

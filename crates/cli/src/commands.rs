@@ -88,6 +88,9 @@ impl SweepTelemetryOpts<'_> {
 ///
 /// Returns `(report, Option<stats line>)` so tests can assert on the
 /// counters without capturing stderr; [`execute`] routes them.
+// One flat parameter per CLI flag: grouping them into structs would
+// just move the argument list into a builder at every call site.
+#[allow(clippy::too_many_arguments)]
 fn run_sweep_file(
     path: &str,
     threads: Option<usize>,
@@ -96,6 +99,7 @@ fn run_sweep_file(
     cache_stats: bool,
     shard: Option<therm3d_sweep::ShardSpec>,
     telemetry_opts: &SweepTelemetryOpts<'_>,
+    streaming: bool,
 ) -> Result<(String, Option<String>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let mut spec =
@@ -105,6 +109,11 @@ fn run_sweep_file(
     }
     if let Some(shard) = shard {
         spec = spec.with_shard(shard);
+    }
+    // `--streaming` only ever turns throughput mode *on*: results are
+    // bit-identical either way, so there is nothing to turn off.
+    if streaming {
+        spec = spec.with_streaming(true);
     }
     let mut store = match cache_dir {
         Some(dir) => {
@@ -213,6 +222,38 @@ fn check_spec(path: &str, cache_dir: Option<&str>) -> Result<String, String> {
         "  sim: {} s per cell on a {}x{} grid, policy seed {:#06x}",
         spec.sim_seconds, spec.grid.0, spec.grid.1, spec.policy_seed
     );
+    // Memory model: the materialized path holds one JobTrace per
+    // distinct (core-count, trace-seed) pair for the whole run, so its
+    // footprint grows linearly with sim_seconds; streaming replaces
+    // that with O(1) generator state per in-flight cell.
+    if spec.streaming {
+        let _ = writeln!(out, "  memory model: streaming (trace memory is O(1) in sim_seconds)");
+    } else {
+        let job_bytes = std::mem::size_of::<therm3d_workload::Job>() as f64;
+        let core_counts: std::collections::BTreeSet<usize> =
+            spec.experiments.iter().map(|e| e.num_cores()).collect();
+        let traces = core_counts.len() * spec.seeds.len();
+        let mib = core_counts
+            .iter()
+            .map(|&cores| spec.estimated_trace_jobs(cores) * job_bytes)
+            .sum::<f64>()
+            * spec.seeds.len() as f64
+            / (1024.0 * 1024.0);
+        let _ = writeln!(
+            out,
+            "  memory model: materialized, ~{mib:.1} MiB of jobs across {traces} trace(s)"
+        );
+        // A week-long campaign would have blown the old memory model;
+        // flag it before the user finds out the hard way.
+        const WARN_MIB: f64 = 256.0;
+        if mib > WARN_MIB {
+            let _ = writeln!(
+                out,
+                "  warning: materializing ~{mib:.0} MiB of trace jobs; set `streaming = true` \
+                 (or pass --streaming to `sweep`) for O(1) trace memory"
+            );
+        }
+    }
     // Cells that agree on the RC network and integrator share one
     // symbolic analysis and one factor set at run time, so the distinct
     // count is the campaign's real solver-setup cost.
@@ -452,6 +493,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             progress,
             trace_out,
             metrics_out,
+            streaming,
         } => {
             let telemetry_opts = SweepTelemetryOpts {
                 progress: *progress,
@@ -466,6 +508,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 *cache_stats,
                 *shard,
                 &telemetry_opts,
+                *streaming,
             )?;
             out.push_str(&report);
             if let Some(stats) = stats {
@@ -676,6 +719,7 @@ mod tests {
             progress: false,
             trace_out: None,
             metrics_out: None,
+            streaming: false,
         })
         .unwrap();
         let out = check_spec(&spec_path, Some(&cache)).unwrap();
@@ -711,6 +755,72 @@ mod tests {
     }
 
     #[test]
+    fn check_reports_the_memory_model_and_warns_on_huge_traces() {
+        let dir = std::env::temp_dir().join("therm3d_cli_check_memory_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = "experiments = [\"exp1\"]\n\
+             policies = [\"Default\"]\n\
+             benchmarks = [\"gzip\"]\n\
+             grid = 4\n";
+
+        // A short materialized campaign: model stated, no warning.
+        let short = dir.join("short.toml");
+        std::fs::write(&short, format!("name = \"short\"\n{base}sim_seconds = 2.0\n")).unwrap();
+        let out = check_spec(short.to_str().unwrap(), None).unwrap();
+        assert!(out.contains("memory model: materialized"), "{out}");
+        assert!(!out.contains("warning:"), "{out}");
+
+        // A week-long multi-seed materialized campaign would blow the
+        // old memory model; the preflight says so and names the fix.
+        let axes = "seeds = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]\nsim_seconds = 604800.0\n";
+        let week = dir.join("week.toml");
+        std::fs::write(&week, format!("name = \"week\"\n{base}{axes}")).unwrap();
+        let out = check_spec(week.to_str().unwrap(), None).unwrap();
+        assert!(out.contains("warning:"), "{out}");
+        assert!(out.contains("streaming = true"), "{out}");
+
+        // The same campaign with streaming on is O(1) — no warning.
+        let streamed = dir.join("streamed.toml");
+        std::fs::write(&streamed, format!("name = \"week\"\n{base}{axes}streaming = true\n"))
+            .unwrap();
+        let out = check_spec(streamed.to_str().unwrap(), None).unwrap();
+        assert!(out.contains("memory model: streaming"), "{out}");
+        assert!(!out.contains("warning:"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_file_streaming_flag_is_byte_identical() {
+        let spec_path = std::env::temp_dir().join("therm3d_cli_streaming_sweep.toml");
+        std::fs::write(
+            &spec_path,
+            "name = \"cli-streaming\"\n\
+             experiments = [\"exp1\"]\n\
+             policies = [\"Default\", \"Adapt3D\"]\n\
+             benchmarks = [\"gzip\"]\n\
+             sim_seconds = 3.0\n\
+             grid = 4\n",
+        )
+        .unwrap();
+        let run = |streaming| {
+            run_sweep_file(
+                spec_path.to_str().unwrap(),
+                Some(2),
+                SweepFormat::Csv,
+                None,
+                false,
+                None,
+                &SweepTelemetryOpts::default(),
+                streaming,
+            )
+            .unwrap()
+            .0
+        };
+        assert_eq!(run(true), run(false), "streaming is an execution detail");
+    }
+
+    #[test]
     fn sweep_file_runs_a_tiny_campaign_in_every_format() {
         let path = std::env::temp_dir().join("therm3d_cli_sweep_test.toml");
         std::fs::write(
@@ -737,6 +847,7 @@ mod tests {
             progress: false,
             trace_out: None,
             metrics_out: None,
+            streaming: false,
         })
         .unwrap();
         assert!(table.contains("sweep 'cli-test': 4 cells"), "{table}");
@@ -752,6 +863,7 @@ mod tests {
             progress: false,
             trace_out: None,
             metrics_out: None,
+            streaming: false,
         })
         .unwrap();
         let mut lines = csv.lines();
@@ -777,6 +889,7 @@ mod tests {
             progress: false,
             trace_out: None,
             metrics_out: None,
+            streaming: false,
         })
         .unwrap();
         assert!(json.contains("\"name\": \"cli-test\""), "{json}");
@@ -808,6 +921,7 @@ mod tests {
                 true,
                 None,
                 &SweepTelemetryOpts::default(),
+                false,
             )
             .unwrap()
         };
@@ -831,6 +945,7 @@ mod tests {
             progress: false,
             trace_out: None,
             metrics_out: None,
+            streaming: false,
         })
         .unwrap();
         assert_eq!(uncached, warm);
@@ -865,6 +980,7 @@ mod tests {
                 true,
                 None,
                 &SweepTelemetryOpts::default(),
+                false,
             )
             .unwrap()
         };
@@ -917,6 +1033,7 @@ mod tests {
             false,
             None,
             &SweepTelemetryOpts::default(),
+            false,
         )
         .unwrap();
 
@@ -934,6 +1051,7 @@ mod tests {
                 true,
                 Some(shard),
                 &SweepTelemetryOpts::default(),
+                false,
             )
             .unwrap();
             assert!(stats.unwrap().starts_with(&format!("cache[{k}/3]: 0 hits")), "shard {k}");
@@ -968,6 +1086,7 @@ mod tests {
             true,
             None,
             &SweepTelemetryOpts::default(),
+            false,
         )
         .unwrap();
         assert!(stats.unwrap().starts_with("cache: 4 hits, 0 misses, 0 inserted"), "fully warm");
@@ -1018,6 +1137,7 @@ mod tests {
             false,
             None,
             &SweepTelemetryOpts::default(),
+            false,
         )
         .unwrap();
 
@@ -1029,7 +1149,7 @@ mod tests {
             metrics_out: Some(metrics_path.to_str().unwrap()),
         };
         let (telemetered, _) =
-            run_sweep_file(spec, None, SweepFormat::Csv, None, false, None, &opts).unwrap();
+            run_sweep_file(spec, None, SweepFormat::Csv, None, false, None, &opts, false).unwrap();
         assert_eq!(plain, telemetered, "sidecar sinks must not touch stdout");
 
         // The event stream covers all 4 cells, two events each.
@@ -1149,6 +1269,7 @@ mod tests {
             progress: false,
             trace_out: None,
             metrics_out: None,
+            streaming: false,
         })
         .unwrap_err();
         assert!(err.starts_with("cannot read"), "{err}");
@@ -1165,6 +1286,7 @@ mod tests {
             progress: false,
             trace_out: None,
             metrics_out: None,
+            streaming: false,
         })
         .unwrap_err();
         assert!(err.starts_with("invalid sweep spec"), "{err}");

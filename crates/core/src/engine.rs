@@ -11,7 +11,7 @@ use therm3d_policies::{MultiQueue, Observation, Policy, QueueHint};
 use therm3d_power::{CorePowerInput, PowerModel};
 use therm3d_telemetry::Span;
 use therm3d_thermal::{FactorShare, ThermalModel};
-use therm3d_workload::JobTrace;
+use therm3d_workload::{JobSource, JobTrace, SourceCursor};
 
 use crate::config::SimConfig;
 use crate::result::RunResult;
@@ -124,7 +124,11 @@ impl Simulator {
         }
 
         Self {
-            queues: MultiQueue::new(n_cores),
+            // Per-job completion records are never read back by the
+            // engine — turnaround statistics come from the queue's online
+            // fold — so the log is suppressed and memory stays O(1) in
+            // the number of jobs executed.
+            queues: MultiQueue::new(n_cores).without_completion_log(),
             utilization: vec![0.0; n_cores],
             idle_time: vec![0.0; n_cores],
             now_s: 0.0,
@@ -192,6 +196,25 @@ impl Simulator {
         &mut self,
         trace: &JobTrace,
         duration_s: f64,
+        observer: impl FnMut(&TickSample<'_>),
+    ) -> RunResult {
+        self.run_source_with_observer(trace.cursor(), duration_s, observer)
+    }
+
+    /// Runs any [`JobSource`] — a materialized trace's cursor or a lazy
+    /// streaming generator — for `duration_s` of simulated time. With a
+    /// streaming source the engine holds at most one job of lookahead,
+    /// so memory is O(1) in the simulated duration; results are
+    /// bit-identical to the materialized path over the same jobs.
+    pub fn run_source(&mut self, source: impl JobSource, duration_s: f64) -> RunResult {
+        self.run_source_with_observer(source, duration_s, |_| {})
+    }
+
+    /// Like [`run_source`](Self::run_source), with a per-tick observer.
+    pub fn run_source_with_observer(
+        &mut self,
+        source: impl JobSource,
+        duration_s: f64,
         mut observer: impl FnMut(&TickSample<'_>),
     ) -> RunResult {
         assert!(duration_s > 0.0, "duration must be positive");
@@ -208,7 +231,7 @@ impl Simulator {
         let mut vertical = VerticalGradientTracker::new(self.config.vertical_threshold_c);
         let mut energy = EnergyMeter::new();
 
-        let mut cursor = trace.cursor();
+        let mut cursor = SourceCursor::new(source);
         let deadline = duration_s + self.config.drain_max_s;
 
         // Persistent per-tick buffers: the loop below runs ten times per
@@ -229,7 +252,7 @@ impl Simulator {
         // lint: region(alloc-free: engine-tick)
         while self.now_s < duration_s
             || (self.queues.in_flight() > 0 && self.now_s < deadline)
-            || (cursor.remaining() > 0 && self.now_s < deadline)
+            || (cursor.has_pending() && self.now_s < deadline)
         {
             // Inert (one relaxed load, no allocation) unless the global
             // telemetry registry was enabled by an embedder, so the
@@ -274,10 +297,10 @@ impl Simulator {
 
             // 4. Job arrivals, placed one at a time with fresh queue state
             // (each enqueue changes the statistics, so the buffers are
-            // refilled per job, still without reallocating; the arrival
-            // slice borrows the trace, not the simulator, and `Job` is
-            // `Copy`).
-            for &job in cursor.take_until(self.now_s) {
+            // refilled per job, still without reallocating; `Job` is
+            // `Copy`, and the cursor holds at most one job of lookahead
+            // whatever the source).
+            while let Some(job) = cursor.next_until(self.now_s) {
                 queued_work.clear();
                 queued_work.extend((0..n_cores).map(|c| self.queues.queued_work_s(CoreId(c))));
                 queue_len.clear();
@@ -369,8 +392,6 @@ impl Simulator {
         }
         // lint: end-region
 
-        let turnarounds: Vec<f64> =
-            self.queues.completed().iter().map(|c| c.turnaround_s()).collect();
         RunResult {
             policy: self.policy.name().to_owned(),
             experiment: self.config.experiment,
@@ -381,7 +402,11 @@ impl Simulator {
             vertical_peak_c: vertical.peak_c(),
             vertical_mean_c: vertical.mean_c(),
             peak_temp_c: hotspots.peak_c(),
-            perf: PerformanceStats::from_turnarounds(&turnarounds),
+            perf: PerformanceStats::from_accumulated(
+                self.queues.completed_count(),
+                self.queues.turnaround_total_s(),
+                self.queues.turnaround_max_s(),
+            ),
             energy_j: energy.joules(),
             mean_power_w: energy.mean_power_w(),
             migrations: self.queues.migration_count(),
@@ -446,6 +471,24 @@ mod tests {
         let a = run_policy(PolicyKind::Adapt3d, Benchmark::Gcc, 6.0);
         let b = run_policy(PolicyKind::Adapt3d, Benchmark::Gcc, 6.0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streamed_source_is_bit_identical_to_materialized() {
+        let cfg = TraceConfig::new(Benchmark::WebMed, 8, 8.0).with_seed(11);
+        let stack = Experiment::Exp1.stack();
+        let trace = cfg.generate();
+        let materialized = Simulator::new(
+            SimConfig::fast(Experiment::Exp1),
+            PolicyKind::Adapt3d.build(&stack, 0xBEEF),
+        )
+        .run(&trace, 8.0);
+        let streamed = Simulator::new(
+            SimConfig::fast(Experiment::Exp1),
+            PolicyKind::Adapt3d.build(&stack, 0xBEEF),
+        )
+        .run_source(cfg.stream(), 8.0);
+        assert_eq!(materialized, streamed);
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! Bounded-memory recording for long simulations: every paper metric
+//! folded online from the observer hook, plus an optional fixed-size
+//! ring-buffer tail for trace output — nothing here grows with the
+//! simulated duration, so a cell can simulate hours or weeks of load at
+//! O(1) memory.
+
+use therm3d_floorplan::Stack3d;
+use therm3d_metrics::{
+    max_layer_gradient, max_vertical_gradient, EnergyMeter, HotSpotTracker, SpatialGradientTracker,
+    ThermalCycleTracker, VerticalGradientTracker,
+};
+
+use crate::config::SimConfig;
+use crate::engine::TickSample;
+
+/// A bounded-memory tick recorder: the streaming counterpart of the
+/// facade's `TempHistory`, folding hot-spot / gradient / cycling /
+/// vertical / energy metrics online and keeping only a fixed-capacity
+/// tail of recent samples for trace output.
+///
+/// Construct it with the same [`SimConfig`] the simulator runs under so
+/// the thresholds match, feed it every [`TickSample`] from an observer,
+/// and read the aggregates afterwards; with the same inputs the
+/// percentages and peaks are bit-identical to the engine's own
+/// [`RunResult`](crate::RunResult) fields (both fold the same trackers
+/// in the same order).
+///
+/// # Examples
+///
+/// ```
+/// use therm3d::{SimConfig, Simulator, StreamingRecorder};
+/// use therm3d_floorplan::Experiment;
+/// use therm3d_policies::PolicyKind;
+/// use therm3d_workload::{Benchmark, TraceConfig};
+///
+/// let cfg = SimConfig::fast(Experiment::Exp1);
+/// let stack = Experiment::Exp1.stack();
+/// let mut rec = StreamingRecorder::new(&cfg, &stack).with_tail(16);
+/// let policy = PolicyKind::Default.build(&stack, 1);
+/// let cfg2 = cfg.clone();
+/// let mut sim = Simulator::new(cfg2, policy);
+/// let trace = TraceConfig::new(Benchmark::Gzip, 8, 3.0).generate();
+/// let result = sim.run_with_observer(&trace, 3.0, |s| rec.record(s));
+/// assert_eq!(rec.peak_c(), result.peak_temp_c);
+/// assert!(rec.tail_len() <= 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingRecorder {
+    n_cores: usize,
+    hotspots: HotSpotTracker,
+    gradients: SpatialGradientTracker,
+    cycles: ThermalCycleTracker,
+    vertical: VerticalGradientTracker,
+    vertical_pairs: Vec<(usize, usize)>,
+    energy: EnergyMeter,
+    samples: u64,
+    temp_sum_c: f64,
+    peak_spread_c: f64,
+    /// Ring-buffer tail, chronological modulo `tail_head`.
+    tail_cap: usize,
+    tail_times_s: Vec<f64>,
+    /// Row-major `[slot][core]`, `tail_cap × n_cores` once warm.
+    tail_temps_c: Vec<f64>,
+    tail_power_w: Vec<f64>,
+    tail_head: usize,
+    tail_len: usize,
+}
+
+impl StreamingRecorder {
+    /// A recorder matching `config`'s metric thresholds over `stack`'s
+    /// geometry, with no tail (aggregates only).
+    #[must_use]
+    pub fn new(config: &SimConfig, stack: &Stack3d) -> Self {
+        let n_cores = stack.num_cores();
+        Self {
+            n_cores,
+            hotspots: HotSpotTracker::new(config.hotspot_threshold_c),
+            gradients: SpatialGradientTracker::new(config.gradient_threshold_c),
+            cycles: ThermalCycleTracker::new(
+                config.cycle_threshold_c,
+                config.cycle_window,
+                n_cores,
+            ),
+            vertical: VerticalGradientTracker::new(config.vertical_threshold_c),
+            vertical_pairs: stack.vertical_adjacency(),
+            energy: EnergyMeter::new(),
+            samples: 0,
+            temp_sum_c: 0.0,
+            peak_spread_c: 0.0,
+            tail_cap: 0,
+            tail_times_s: Vec::new(),
+            tail_temps_c: Vec::new(),
+            tail_power_w: Vec::new(),
+            tail_head: 0,
+            tail_len: 0,
+        }
+    }
+
+    /// Keeps the last `capacity` samples in a pre-allocated ring buffer
+    /// (capacity 0 disables the tail). The buffers are sized here, once;
+    /// recording never allocates again.
+    #[must_use]
+    pub fn with_tail(mut self, capacity: usize) -> Self {
+        self.tail_cap = capacity;
+        self.tail_times_s = vec![0.0; capacity];
+        self.tail_temps_c = vec![0.0; capacity * self.n_cores];
+        self.tail_power_w = vec![0.0; capacity];
+        self.tail_head = 0;
+        self.tail_len = 0;
+        self
+    }
+
+    /// Folds one tick sample into the aggregates (and the tail ring, if
+    /// enabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample's core count differs from the stack's.
+    // lint: region(alloc-free: recorder-record)
+    pub fn record(&mut self, sample: &TickSample<'_>) {
+        assert_eq!(sample.core_temps_c.len(), self.n_cores, "core count mismatch");
+        self.energy.add(sample.chip_power_w, sample.tick_s);
+        self.hotspots.record(sample.core_temps_c);
+        self.gradients.record(max_layer_gradient(sample.block_temps_c, sample.layer_of_block));
+        self.vertical.record(max_vertical_gradient(sample.block_temps_c, &self.vertical_pairs));
+        self.cycles.record(sample.core_temps_c);
+
+        let mut hi = f64::NEG_INFINITY;
+        let mut lo = f64::INFINITY;
+        for &t in sample.core_temps_c {
+            self.temp_sum_c += t;
+            hi = hi.max(t);
+            lo = lo.min(t);
+        }
+        self.peak_spread_c = self.peak_spread_c.max(hi - lo);
+        self.samples += 1;
+
+        if self.tail_cap > 0 {
+            let slot = self.tail_head;
+            self.tail_times_s[slot] = sample.now_s;
+            self.tail_temps_c[slot * self.n_cores..(slot + 1) * self.n_cores]
+                .copy_from_slice(sample.core_temps_c);
+            self.tail_power_w[slot] = sample.chip_power_w;
+            self.tail_head = (self.tail_head + 1) % self.tail_cap;
+            self.tail_len = (self.tail_len + 1).min(self.tail_cap);
+        }
+    }
+    // lint: end-region
+
+    /// Number of cores per sample.
+    #[must_use]
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Ticks folded so far.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Hottest core temperature ever recorded, °C (matches
+    /// `RunResult::peak_temp_c`).
+    #[must_use]
+    pub fn peak_c(&self) -> f64 {
+        self.hotspots.peak_c()
+    }
+
+    /// Mean of all recorded core temperatures, °C (NaN when empty).
+    #[must_use]
+    pub fn mean_c(&self) -> f64 {
+        self.temp_sum_c / (self.samples * self.n_cores as u64) as f64
+    }
+
+    /// Largest core-to-core spread within a single sample, °C.
+    #[must_use]
+    pub fn peak_spread_c(&self) -> f64 {
+        self.peak_spread_c
+    }
+
+    /// Percent of samples with a core above the hot-spot threshold.
+    #[must_use]
+    pub fn hotspot_pct(&self) -> f64 {
+        self.hotspots.percent()
+    }
+
+    /// Percent of samples with a spatial gradient above threshold.
+    #[must_use]
+    pub fn gradient_pct(&self) -> f64 {
+        self.gradients.percent()
+    }
+
+    /// Percent of windows with a thermal cycle above threshold.
+    #[must_use]
+    pub fn cycle_pct(&self) -> f64 {
+        self.cycles.percent()
+    }
+
+    /// Peak vertical (inter-layer) gradient, °C.
+    #[must_use]
+    pub fn vertical_peak_c(&self) -> f64 {
+        self.vertical.peak_c()
+    }
+
+    /// Mean vertical gradient, °C.
+    #[must_use]
+    pub fn vertical_mean_c(&self) -> f64 {
+        self.vertical.mean_c()
+    }
+
+    /// Total energy folded, J.
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        self.energy.joules()
+    }
+
+    /// Mean chip power, W.
+    #[must_use]
+    pub fn mean_power_w(&self) -> f64 {
+        self.energy.mean_power_w()
+    }
+
+    /// Samples currently held in the tail (≤ the configured capacity).
+    #[must_use]
+    pub fn tail_len(&self) -> usize {
+        self.tail_len
+    }
+
+    /// Tail capacity configured via [`with_tail`](Self::with_tail).
+    #[must_use]
+    pub fn tail_capacity(&self) -> usize {
+        self.tail_cap
+    }
+
+    /// The `i`-th oldest retained sample as
+    /// `(time_s, core_temps_c, power_w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= tail_len()`.
+    #[must_use]
+    pub fn tail_sample(&self, i: usize) -> (f64, &[f64], f64) {
+        assert!(i < self.tail_len, "tail sample {i} out of range");
+        // Once the ring wraps, the oldest sample sits at `tail_head`.
+        let slot =
+            if self.tail_len < self.tail_cap { i } else { (self.tail_head + i) % self.tail_cap };
+        (
+            self.tail_times_s[slot],
+            &self.tail_temps_c[slot * self.n_cores..(slot + 1) * self.n_cores],
+            self.tail_power_w[slot],
+        )
+    }
+
+    /// Serializes the retained tail as CSV in chronological order, in
+    /// the facade `TempHistory` format
+    /// (`time_s,core0,...,coreN,power_w`, 3 decimals).
+    #[must_use]
+    pub fn tail_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("time_s");
+        for c in 0..self.n_cores {
+            let _ = write!(out, ",core{c}");
+        }
+        out.push_str(",power_w\n");
+        for i in 0..self.tail_len {
+            let (time_s, temps, power_w) = self.tail_sample(i);
+            let _ = write!(out, "{time_s:.3}");
+            for &t in temps {
+                let _ = write!(out, ",{t:.3}");
+            }
+            let _ = writeln!(out, ",{power_w:.3}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use therm3d_floorplan::Experiment;
+    use therm3d_policies::PolicyKind;
+    use therm3d_workload::{Benchmark, TraceConfig};
+
+    fn run_recorded(tail: usize, secs: f64) -> (crate::RunResult, StreamingRecorder) {
+        let exp = Experiment::Exp1;
+        let cfg = SimConfig::fast(exp);
+        let stack = exp.stack();
+        let mut rec = StreamingRecorder::new(&cfg, &stack).with_tail(tail);
+        let policy = PolicyKind::Adapt3d.build(&stack, 0xBEEF);
+        let trace = TraceConfig::new(Benchmark::WebMed, 8, secs).with_seed(3).generate();
+        let mut sim = Simulator::new(cfg, policy);
+        let result = sim.run_with_observer(&trace, secs, |s| rec.record(s));
+        (result, rec)
+    }
+
+    #[test]
+    fn aggregates_are_bit_identical_to_run_result() {
+        let (result, rec) = run_recorded(8, 6.0);
+        assert_eq!(rec.hotspot_pct(), result.hotspot_pct);
+        assert_eq!(rec.gradient_pct(), result.gradient_pct);
+        assert_eq!(rec.cycle_pct(), result.cycle_pct);
+        assert_eq!(rec.vertical_peak_c(), result.vertical_peak_c);
+        assert_eq!(rec.vertical_mean_c(), result.vertical_mean_c);
+        assert_eq!(rec.peak_c(), result.peak_temp_c);
+        assert_eq!(rec.energy_j(), result.energy_j);
+        assert_eq!(rec.mean_power_w(), result.mean_power_w);
+    }
+
+    #[test]
+    fn tail_keeps_only_the_most_recent_samples() {
+        let (_result, rec) = run_recorded(5, 4.0);
+        assert!(rec.samples() > 5, "run long enough to wrap the ring");
+        assert_eq!(rec.tail_len(), 5);
+        assert_eq!(rec.tail_capacity(), 5);
+        // Chronological and contiguous at the tick period.
+        let times: Vec<f64> = (0..5).map(|i| rec.tail_sample(i).0).collect();
+        for w in times.windows(2) {
+            assert!((w[1] - w[0] - 0.1).abs() < 1e-9, "ticks contiguous: {w:?}");
+        }
+        // The newest retained sample is the last tick of the run.
+        let last = times[4];
+        let expected_last = (rec.samples() - 1) as f64 * 0.1;
+        assert!((last - expected_last).abs() < 1e-9, "{last} vs {expected_last}");
+    }
+
+    #[test]
+    fn tail_csv_matches_temp_history_format() {
+        let (_result, rec) = run_recorded(3, 2.0);
+        let csv = rec.tail_csv();
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header, "time_s,core0,core1,core2,core3,core4,core5,core6,core7,power_w");
+        assert_eq!(csv.lines().count(), 1 + 3);
+        for row in csv.lines().skip(1) {
+            assert_eq!(row.split(',').count(), 10, "row width: {row}");
+        }
+    }
+
+    #[test]
+    fn zero_tail_recorder_still_folds() {
+        let (result, rec) = run_recorded(0, 2.0);
+        assert_eq!(rec.tail_len(), 0);
+        assert_eq!(rec.tail_capacity(), 0);
+        assert_eq!(rec.peak_c(), result.peak_temp_c);
+        assert!(rec.samples() > 0);
+        assert!(rec.mean_c() > 0.0);
+        assert!(rec.peak_spread_c() >= 0.0);
+        assert_eq!(rec.tail_csv().lines().count(), 1, "header only");
+    }
+}

@@ -176,6 +176,25 @@ fn alloc_free_allowed_with_reason() {
 }
 
 #[test]
+fn alloc_free_catches_a_buffering_job_advance_regression() {
+    // Throughput-mode regression fixture: a "streaming" source that
+    // secretly materializes its jobs inside the job-advance region —
+    // exactly the bug the alloc-free coverage of the streaming path is
+    // there to catch.
+    let src = "impl JobSource for BufferingStream {\n\
+               \x20   fn next_job(&mut self) -> Option<Job> {\n\
+               \x20       // lint: region(alloc-free: job-advance)\n\
+               \x20       if self.buffered.is_none() {\n\
+               \x20           self.buffered = Some(self.cfg.phases().collect::<Vec<_>>());\n\
+               \x20       }\n\
+               \x20       // lint: end-region\n\
+               \x20       self.buffered.as_mut().and_then(|jobs| jobs.pop())\n\
+               \x20   }\n\
+               }\n";
+    assert_one(&lint_source("workload", "f.rs", src), RULE_ALLOC_FREE, 5);
+}
+
+#[test]
 fn unbalanced_regions_are_reported() {
     let open = "fn f() {\n\
                 \x20   // lint: region(alloc-free: r)\n\

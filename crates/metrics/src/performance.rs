@@ -39,6 +39,23 @@ impl PerformanceStats {
         }
     }
 
+    /// Builds statistics from an online fold over turnaround times, for
+    /// consumers that never hold the per-job list: accumulate
+    /// `total += t`, `max = max.max(t)` (seeded at 0.0) and a count in
+    /// completion order, and the result is bit-identical to
+    /// [`from_turnarounds`](Self::from_turnarounds) over the same
+    /// sequence (`iter().sum()` and `fold(0.0, f64::max)` associate
+    /// left-to-right exactly like the running fold).
+    #[must_use]
+    pub fn from_accumulated(completed: usize, total_s: f64, max_s: f64) -> Self {
+        Self {
+            completed,
+            mean_turnaround_s: if completed == 0 { 0.0 } else { total_s / completed as f64 },
+            max_turnaround_s: max_s,
+            total_turnaround_s: total_s,
+        }
+    }
+
     /// Performance normalized to a baseline: `baseline_mean / self_mean`
     /// (1.0 = as fast as the baseline, smaller = slower), the quantity on
     /// Figure 3's right axis.
@@ -145,6 +162,27 @@ mod tests {
         assert!((slower.normalized_vs(&base) - 0.5).abs() < 1e-12);
         assert!((slower.delay_percent_vs(&base) - 100.0).abs() < 1e-12);
         assert!((base.normalized_vs(&base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulated_fold_is_bit_identical_to_slice_form() {
+        let turnarounds = [0.5, 2.5, 1.0, 0.125, 7.25e-3];
+        let mut count = 0usize;
+        let mut total = 0.0f64;
+        let mut max = 0.0f64;
+        for &t in &turnarounds {
+            count += 1;
+            total += t;
+            max = max.max(t);
+        }
+        assert_eq!(
+            PerformanceStats::from_accumulated(count, total, max),
+            PerformanceStats::from_turnarounds(&turnarounds)
+        );
+        assert_eq!(
+            PerformanceStats::from_accumulated(0, 0.0, 0.0),
+            PerformanceStats::from_turnarounds(&[])
+        );
     }
 
     #[test]

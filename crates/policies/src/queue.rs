@@ -66,6 +66,12 @@ pub struct MultiQueue {
     queues: Vec<VecDeque<ResidentJob>>,
     completed: Vec<CompletedJob>,
     migrations: u64,
+    /// When set, completions update the turnaround fold only and never
+    /// reach the per-job log — O(1) memory over any simulated duration.
+    discard_completed: bool,
+    completed_count: usize,
+    turnaround_total_s: f64,
+    turnaround_max_s: f64,
 }
 
 impl MultiQueue {
@@ -76,7 +82,23 @@ impl MultiQueue {
             queues: (0..n_cores).map(|_| VecDeque::new()).collect(),
             completed: Vec::new(),
             migrations: 0,
+            discard_completed: false,
+            completed_count: 0,
+            turnaround_total_s: 0.0,
+            turnaround_max_s: 0.0,
         }
+    }
+
+    /// Drops the per-job completion log: completions still feed the
+    /// online turnaround fold ([`completed_count`](Self::completed_count),
+    /// [`turnaround_total_s`](Self::turnaround_total_s),
+    /// [`turnaround_max_s`](Self::turnaround_max_s)) but
+    /// [`completed`](Self::completed) stays empty, so memory no longer
+    /// grows with the number of jobs executed.
+    #[must_use]
+    pub fn without_completion_log(mut self) -> Self {
+        self.discard_completed = true;
+        self
     }
 
     /// Number of cores.
@@ -179,7 +201,16 @@ impl MultiQueue {
             t += run;
             if front.remaining_s <= 1e-12 {
                 let done = q.pop_front().expect("front exists");
-                self.completed.push(CompletedJob { job: done.job, completed_s: tick_start_s + t });
+                let record = CompletedJob { job: done.job, completed_s: tick_start_s + t };
+                // Fold in completion order: bit-identical to summing /
+                // max-folding the log after the fact.
+                self.completed_count += 1;
+                let turnaround = record.turnaround_s();
+                self.turnaround_total_s += turnaround;
+                self.turnaround_max_s = self.turnaround_max_s.max(turnaround);
+                if !self.discard_completed {
+                    self.completed.push(record);
+                }
             }
         }
         t.min(wall_dt)
@@ -213,10 +244,30 @@ impl MultiQueue {
         true
     }
 
-    /// All completed jobs so far.
+    /// All completed jobs so far (always empty under
+    /// [`without_completion_log`](Self::without_completion_log)).
     #[must_use]
     pub fn completed(&self) -> &[CompletedJob] {
         &self.completed
+    }
+
+    /// Number of jobs completed, log or no log.
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.completed_count
+    }
+
+    /// Sum of turnaround times over all completions, seconds.
+    #[must_use]
+    pub fn turnaround_total_s(&self) -> f64 {
+        self.turnaround_total_s
+    }
+
+    /// Maximum turnaround time over all completions, seconds (0 before
+    /// the first completion).
+    #[must_use]
+    pub fn turnaround_max_s(&self) -> f64 {
+        self.turnaround_max_s
     }
 
     /// Total migrations performed.
@@ -255,7 +306,7 @@ impl fmt::Display for MultiQueue {
             "MultiQueue[{} cores, {} in flight, {} done, {} migrations]",
             self.n_cores(),
             self.in_flight(),
-            self.completed.len(),
+            self.completed_count,
             self.migrations
         )
     }
@@ -373,6 +424,32 @@ mod tests {
         assert_eq!(mq.memory_intensity(CoreId(0)), 0.0);
         mq.enqueue(CoreId(0), Job::new(0, 0.0, 1.0, 0.9, Benchmark::WebHigh));
         assert!((mq.memory_intensity(CoreId(0)) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_fold_matches_completion_log() {
+        let mut logged = MultiQueue::new(2);
+        let mut folded = MultiQueue::new(2).without_completion_log();
+        for mq in [&mut logged, &mut folded] {
+            mq.enqueue(CoreId(0), Job::new(0, 0.0, 0.05, 0.5, Benchmark::Gcc));
+            mq.enqueue(CoreId(0), Job::new(1, 0.02, 0.03, 0.5, Benchmark::Gcc));
+            mq.enqueue(CoreId(1), Job::new(2, 0.0, 0.25, 0.5, Benchmark::Gcc));
+            for tick in 0..3 {
+                let t0 = tick as f64 * 0.1;
+                mq.execute(CoreId(0), 0.1, 1.0, t0);
+                mq.execute(CoreId(1), 0.1, 1.0, t0);
+            }
+        }
+        assert_eq!(logged.completed().len(), 3);
+        assert!(folded.completed().is_empty(), "log suppressed");
+        let total: f64 = logged.completed().iter().map(CompletedJob::turnaround_s).sum();
+        let max = logged.completed().iter().map(CompletedJob::turnaround_s).fold(0.0, f64::max);
+        assert_eq!(folded.completed_count(), 3);
+        assert_eq!(folded.turnaround_total_s(), total, "bit-identical sum");
+        assert_eq!(folded.turnaround_max_s(), max, "bit-identical max");
+        // The logging queue folds too.
+        assert_eq!(logged.completed_count(), 3);
+        assert_eq!(logged.turnaround_total_s(), total);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use therm3d::{RunResult, ScenarioConfig, SimConfig, Simulator};
 use therm3d_telemetry::span::elapsed_us;
 use therm3d_telemetry::{CellMetrics, Event, Span};
 use therm3d_thermal::{FactorShare, ThermalConfig};
-use therm3d_workload::{generate_mix, JobTrace};
+use therm3d_workload::{generate_mix, stream_mix, JobTrace};
 
 use crate::cache::{cell_key, CacheStore, ENGINE_VERSION};
 use crate::error::SweepError;
@@ -88,9 +88,15 @@ pub fn model_fingerprint(spec: &SweepSpec, cell: &SweepCell) -> String {
 /// Runs a single cell in isolation, generating its trace on the fly.
 ///
 /// The figure binaries use this for one-off cells; [`run`] amortizes
-/// trace generation across the matrix instead.
+/// trace generation across the matrix instead. With `spec.streaming`
+/// set, the trace is never materialized: jobs stream straight from the
+/// generator into the engine (bit-identical results, O(1) memory in
+/// `sim_seconds`).
 #[must_use]
 pub fn run_cell(spec: &SweepSpec, cell: &SweepCell) -> RunResult {
+    if spec.streaming {
+        return run_cell_costed(spec, cell, None, None).0;
+    }
     let trace = generate_mix(
         &spec.benchmarks,
         cell.experiment.num_cores(),
@@ -101,7 +107,7 @@ pub fn run_cell(spec: &SweepSpec, cell: &SweepCell) -> RunResult {
 }
 
 fn run_cell_with_trace(spec: &SweepSpec, cell: &SweepCell, trace: &JobTrace) -> RunResult {
-    run_cell_costed(spec, cell, trace, None).0
+    run_cell_costed(spec, cell, Some(trace), None).0
 }
 
 /// The cost of simulating one cell: wall-clock split by phase plus the
@@ -116,10 +122,14 @@ struct CellCost {
     symbolic_analyses: u64,
 }
 
+/// Simulates one cell. A `Some(trace)` runs the classic materialized
+/// path; `None` streams the cell's job mix directly from the generator
+/// ([`stream_mix`]) without ever building a [`JobTrace`] — results are
+/// bit-identical either way, so both paths share one cache key.
 fn run_cell_costed(
     spec: &SweepSpec,
     cell: &SweepCell,
-    trace: &JobTrace,
+    trace: Option<&JobTrace>,
     share: Option<&FactorShare>,
 ) -> (RunResult, CellCost) {
     // lint: allow(no-wall-clock): per-cell cost accounting only — never feeds results
@@ -132,7 +142,18 @@ fn run_cell_costed(
     let setup_us = elapsed_us(t_wall);
     // lint: allow(no-wall-clock): per-cell cost accounting only — never feeds results
     let t_sim = Instant::now();
-    let result = sim.run(trace, spec.sim_seconds);
+    let result = match trace {
+        Some(trace) => sim.run(trace, spec.sim_seconds),
+        None => {
+            let source = stream_mix(
+                &spec.benchmarks,
+                cell.experiment.num_cores(),
+                spec.sim_seconds,
+                cell.trace_seed,
+            );
+            sim.run_source(source, spec.sim_seconds)
+        }
+    };
     let cost = CellCost {
         wall_us: elapsed_us(t_wall),
         setup_us,
@@ -148,7 +169,7 @@ fn run_cell_costed(
 fn try_run_cell(
     spec: &SweepSpec,
     cell: &SweepCell,
-    trace: &JobTrace,
+    trace: Option<&JobTrace>,
     share: Option<&FactorShare>,
 ) -> Result<(RunResult, CellCost), String> {
     std::panic::catch_unwind(AssertUnwindSafe(|| run_cell_costed(spec, cell, trace, share)))
@@ -160,7 +181,7 @@ fn try_run_cell(
 fn run_cell_observed(
     spec: &SweepSpec,
     cell: &SweepCell,
-    trace: &JobTrace,
+    trace: Option<&JobTrace>,
     share: Option<&FactorShare>,
     key_hex: &str,
     shard: &str,
@@ -331,20 +352,25 @@ pub fn run_with_telemetry(
     }
 
     // One trace per (core-count, seed): generated up front for the
-    // pending cells only, shared read-only by every worker.
+    // pending cells only, shared read-only by every worker. In
+    // streaming mode no trace is ever materialized — each worker pulls
+    // jobs straight from a per-cell generator, so the map stays empty
+    // and peak memory is independent of `sim_seconds`.
     let mut traces: BTreeMap<(usize, u64), JobTrace> = BTreeMap::new();
-    for &i in &pending {
-        let cell = &cells[i];
-        let key = (cell.experiment.num_cores(), cell.trace_seed);
-        traces.entry(key).or_insert_with(|| {
-            // lint: allow(no-wall-clock): trace-generation telemetry only — never feeds results
-            let t = Instant::now();
-            let trace = generate_mix(&spec.benchmarks, key.0, spec.sim_seconds, key.1);
-            if let Some(tel) = telemetry {
-                tel.registry.histogram_us("sweep.trace_gen_us").record(elapsed_us(t));
-            }
-            trace
-        });
+    if !spec.streaming {
+        for &i in &pending {
+            let cell = &cells[i];
+            let key = (cell.experiment.num_cores(), cell.trace_seed);
+            traces.entry(key).or_insert_with(|| {
+                // lint: allow(no-wall-clock): trace-generation telemetry only — never feeds results
+                let t = Instant::now();
+                let trace = generate_mix(&spec.benchmarks, key.0, spec.sim_seconds, key.1);
+                if let Some(tel) = telemetry {
+                    tel.registry.histogram_us("sweep.trace_gen_us").record(elapsed_us(t));
+                }
+                trace
+            });
+        }
     }
 
     // One factor share per distinct thermal-model fingerprint among the
@@ -359,7 +385,7 @@ pub fn run_with_telemetry(
     if threads == 1 {
         for &i in &pending {
             let cell = &cells[i];
-            let trace = &traces[&(cell.experiment.num_cores(), cell.trace_seed)];
+            let trace = traces.get(&(cell.experiment.num_cores(), cell.trace_seed));
             let outcome = run_cell_observed(
                 spec,
                 cell,
@@ -390,7 +416,7 @@ pub fn run_with_telemetry(
                     let slot = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&i) = pending_ref.get(slot) else { break };
                     let cell = &cells_ref[i];
-                    let trace = &traces_ref[&(cell.experiment.num_cores(), cell.trace_seed)];
+                    let trace = traces_ref.get(&(cell.experiment.num_cores(), cell.trace_seed));
                     let outcome = run_cell_observed(
                         spec,
                         cell,
@@ -440,6 +466,14 @@ pub fn run_with_telemetry(
             reg.counter("thermal.symbolic_analyses").add(analyses);
             reg.counter("thermal.factor_numeric").add(factors);
         }
+        // Heap accounting from the counting allocator, when the binary
+        // installs one (benches, memory tests); inert zeros otherwise.
+        // This is where throughput mode shows up: with `streaming` on,
+        // the high-water mark stops scaling with `sim_seconds`.
+        let reg = &tel.registry;
+        reg.gauge("sweep.heap_live_bytes").set(therm3d_telemetry::alloc::live_bytes() as f64);
+        reg.gauge("sweep.heap_high_water_bytes")
+            .set(therm3d_telemetry::alloc::high_water_bytes() as f64);
     }
 
     // Write-back and assembly in canonical order. A failed cell makes
@@ -586,6 +620,24 @@ mod tests {
         // An out-of-range shard is an invalid spec, not an empty report.
         let err = run(&tiny_spec(1).with_shard(ShardSpec { index: 3, count: 3 })).unwrap_err();
         assert!(matches!(err, SweepError::InvalidSpec(_)), "{err}");
+    }
+
+    #[test]
+    fn streaming_report_is_byte_identical_to_materialized() {
+        let materialized = run(&tiny_spec(2).with_dpm(&[false, true])).unwrap();
+        let streamed = run(&tiny_spec(2).with_dpm(&[false, true]).with_streaming(true)).unwrap();
+        assert_eq!(streamed.rows, materialized.rows);
+        assert_eq!(streamed.csv(), materialized.csv());
+        // Same cell keys too: streaming is an execution detail, so both
+        // paths address one shared cache.
+        let keys: Vec<_> = streamed.rows.iter().map(|r| &r.key).collect();
+        let expect: Vec<_> = materialized.rows.iter().map(|r| &r.key).collect();
+        assert_eq!(keys, expect);
+        // And the one-off cell entry point honors the flag the same way.
+        let spec = tiny_spec(1).with_streaming(true);
+        let cells = expand_shard(&spec).into_iter().next().unwrap();
+        let lone = run_cell(&spec, &cells);
+        assert_eq!(lone, streamed.rows[0].result);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! A counting global allocator for memory-profile harnesses: wraps the
+//! system allocator and tracks live bytes, the high-water mark, and the
+//! total allocation count with relaxed atomics.
+//!
+//! Install it per-binary (benches, release-gated memory tests):
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator;
+//! ```
+//!
+//! then bracket the region of interest with
+//! [`reset_high_water`] / [`high_water_bytes`] to measure its heap
+//! high-water delta, or diff [`allocation_count`] to count allocations.
+//! The counters are process-global and racy-by-design (relaxed
+//! ordering): measurements are exact on a single thread and a faithful
+//! upper bound under concurrency, which is all a regression tripwire
+//! needs. When the allocator is *not* installed every reader returns 0,
+//! so gauges fed from here are safely inert in ordinary binaries.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static HIGH_WATER: AtomicUsize = AtomicUsize::new(0);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`System`]-backed allocator that counts bytes and allocations.
+pub struct CountingAllocator;
+
+// SAFETY: delegates allocation entirely to `System`; the bookkeeping
+// only touches lock-free atomics, which is allocator-reentrancy safe.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            ALLOCS.fetch_add(1, Relaxed);
+            let live = LIVE.fetch_add(layout.size(), Relaxed) + layout.size();
+            HIGH_WATER.fetch_max(live, Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            ALLOCS.fetch_add(1, Relaxed);
+            if new_size >= layout.size() {
+                let live =
+                    LIVE.fetch_add(new_size - layout.size(), Relaxed) + new_size - layout.size();
+                HIGH_WATER.fetch_max(live, Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Relaxed);
+            }
+        }
+        new_ptr
+    }
+}
+
+/// Bytes currently allocated (0 when the allocator is not installed).
+#[must_use]
+pub fn live_bytes() -> usize {
+    LIVE.load(Relaxed)
+}
+
+/// Peak live bytes since process start or the last
+/// [`reset_high_water`] (0 when the allocator is not installed).
+#[must_use]
+pub fn high_water_bytes() -> usize {
+    HIGH_WATER.load(Relaxed)
+}
+
+/// Total successful allocations (including growing reallocs) since
+/// process start (0 when the allocator is not installed).
+#[must_use]
+pub fn allocation_count() -> usize {
+    ALLOCS.load(Relaxed)
+}
+
+/// Rebases the high-water mark to the current live size, so the next
+/// [`high_water_bytes`] reading measures only the region after this
+/// call. Returns the live size it rebased to.
+pub fn reset_high_water() -> usize {
+    let live = LIVE.load(Relaxed);
+    HIGH_WATER.store(live, Relaxed);
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    // The allocator is deliberately NOT installed in this crate's own
+    // test binary (installing a process-global allocator from a unit
+    // test would tax every other test), so the readers are exercised in
+    // their uninstalled, all-zeros mode here and for real in the bench
+    // crate's release-gated throughput test.
+    use super::*;
+
+    #[test]
+    fn uninstalled_readers_are_inert_zeros() {
+        assert_eq!(live_bytes(), 0);
+        assert_eq!(high_water_bytes(), 0);
+        assert_eq!(allocation_count(), 0);
+        assert_eq!(reset_high_water(), 0);
+        assert_eq!(high_water_bytes(), 0);
+    }
+}

@@ -37,7 +37,12 @@
 //!   (start / cache-hit / finish / panic) for `--trace-out`.
 //! - [`Progress`] — a throttled, single-line stderr progress reporter
 //!   for `--progress` (cells done/total, cells/s, hit rate, ETA).
+//! - [`CountingAllocator`] — an opt-in, per-binary counting global
+//!   allocator (live / high-water bytes, allocation counts) backing the
+//!   throughput-mode memory gauges and the bench alloc-profile
+//!   tripwire; its readers are inert zeros when not installed.
 
+pub mod alloc;
 pub mod events;
 pub mod json;
 pub mod metrics;
@@ -46,6 +51,7 @@ pub mod registry;
 pub mod snapshot;
 pub mod span;
 
+pub use alloc::CountingAllocator;
 pub use events::{Event, EventSink};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, DEFAULT_US_EDGES};

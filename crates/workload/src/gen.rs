@@ -113,17 +113,44 @@ impl TraceConfig {
         self
     }
 
+    /// The thread-population size the Zipf dispatcher draws from.
+    #[must_use]
+    pub fn n_threads(&self) -> usize {
+        ((self.n_cores as f64 * self.threads_per_core).round() as usize).max(1)
+    }
+
+    /// A lazy, arrival-ordered stream of the exact jobs
+    /// [`generate`](Self::generate) would materialize — same RNG
+    /// consumption order, bit-identical jobs — at O(1) memory in the
+    /// trace duration. See [`TraceStream`](crate::source::TraceStream).
+    #[must_use]
+    pub fn stream(&self) -> crate::source::TraceStream {
+        crate::source::TraceStream::new(self)
+    }
+
     /// Generates the job trace.
     #[must_use]
     pub fn generate(&self) -> JobTrace {
+        self.generate_with_sampler(&ZipfSampler::new(self.n_threads(), self.zipf_s))
+    }
+
+    /// [`generate`](Self::generate) against a caller-provided thread
+    /// sampler (which must match [`n_threads`](Self::n_threads) and
+    /// `zipf_s`), so batch generators amortize the CDF build across
+    /// traces instead of rebuilding it per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` was built for a different population size.
+    #[must_use]
+    pub fn generate_with_sampler(&self, threads: &ZipfSampler) -> JobTrace {
+        assert_eq!(threads.len(), self.n_threads(), "sampler population mismatch");
         let stats = self.benchmark.stats();
         let mut rng = StdRng::seed_from_u64(self.seed ^ hash_benchmark(self.benchmark));
         // Offered load = λ · E[S] = U · N  ⇒  λ = U·N / E[S].
         let base_rate = stats.avg_utilization * self.n_cores as f64 / self.mean_job_s;
         let mu = self.mean_job_s.ln() - self.job_sigma * self.job_sigma / 2.0;
         let mem = stats.memory_intensity();
-        let n_threads = ((self.n_cores as f64 * self.threads_per_core).round() as usize).max(1);
-        let thread_cdf = zipf_cdf(n_threads, self.zipf_s);
 
         let mut jobs = Vec::new();
         let mut t = 0.0;
@@ -153,7 +180,7 @@ impl TraceConfig {
             }
             let work = sample_lognormal(&mut rng, mu, self.job_sigma).clamp(0.005, 30.0);
             let mem_jitter = (mem + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0);
-            let thread = sample_cdf(&mut rng, &thread_cdf) as u64;
+            let thread = threads.sample(&mut rng) as u64;
             jobs.push(Job::new(id, t, work, mem_jitter, self.benchmark).with_thread(thread));
             id += 1;
         }
@@ -178,9 +205,13 @@ pub fn generate_mix(
     let slot = duration_s / benchmarks.len() as f64;
     let mut all = Vec::new();
     let mut next_id = 0u64;
+    // Every slot shares the same thread population (n_cores and the Zipf
+    // shape are slot-independent), so build the sampler once.
+    let first = TraceConfig::new(benchmarks[0], n_cores, slot);
+    let threads = ZipfSampler::new(first.n_threads(), first.zipf_s);
     for (i, &b) in benchmarks.iter().enumerate() {
         let sub = TraceConfig::new(b, n_cores, slot).with_seed(seed.wrapping_add(i as u64));
-        for j in sub.generate().jobs() {
+        for j in sub.generate_with_sampler(&threads).jobs() {
             all.push(
                 Job::new(
                     next_id,
@@ -198,7 +229,48 @@ pub fn generate_mix(
     JobTrace::new(all)
 }
 
-fn hash_benchmark(b: Benchmark) -> u64 {
+/// Inverse-transform sampler over a Zipf thread-popularity law.
+///
+/// The CDF is built once and reused across every draw — and, via
+/// [`TraceConfig::generate_with_sampler`] or the streaming sources,
+/// across whole traces — instead of being rebuilt per `generate` call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for a Zipf law with exponent `s` over `n`
+    /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one thread");
+        Self { cdf: zipf_cdf(n, s) }
+    }
+
+    /// The population size the sampler was built for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: the population is non-empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a thread index in `0..len()`, allocation-free.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        sample_cdf(rng, &self.cdf)
+    }
+}
+
+pub(crate) fn hash_benchmark(b: Benchmark) -> u64 {
     // Stable per-benchmark stream separation so that the same seed gives
     // independent traces per benchmark.
     0x9e37_79b9_7f4a_7c15u64.wrapping_mul(b.table_index() as u64)
@@ -227,13 +299,13 @@ fn sample_cdf(rng: &mut StdRng, cdf: &[f64]) -> usize {
 }
 
 /// Exponential variate with rate `lambda` via inverse transform.
-fn sample_exp(rng: &mut StdRng, lambda: f64) -> f64 {
+pub(crate) fn sample_exp(rng: &mut StdRng, lambda: f64) -> f64 {
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
     -u.ln() / lambda
 }
 
 /// Lognormal variate `exp(N(mu, sigma))` via Box–Muller.
-fn sample_lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+pub(crate) fn sample_lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
@@ -344,6 +416,20 @@ mod tests {
             assert!(w[1] > w[0]);
         }
         assert!(cdf[0] > 0.2, "head item carries Zipf mass");
+    }
+
+    #[test]
+    fn shared_sampler_matches_per_call_generation() {
+        let cfg = TraceConfig::new(Benchmark::Database, 8, 30.0).with_seed(5);
+        let threads = ZipfSampler::new(cfg.n_threads(), cfg.zipf_s);
+        assert_eq!(cfg.generate_with_sampler(&threads), cfg.generate());
+    }
+
+    #[test]
+    #[should_panic(expected = "sampler population mismatch")]
+    fn wrong_sampler_population_rejected() {
+        let cfg = TraceConfig::new(Benchmark::Database, 8, 30.0);
+        let _ = cfg.generate_with_sampler(&ZipfSampler::new(3, cfg.zipf_s));
     }
 
     #[test]

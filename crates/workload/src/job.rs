@@ -169,6 +169,18 @@ impl<'a> JobCursor<'a> {
     pub fn remaining(&self) -> usize {
         self.trace.jobs.len() - self.next
     }
+
+    /// The next job in arrival order, or `None` once the trace is
+    /// drained. This is the [`JobSource`](crate::source::JobSource) view
+    /// of the cursor, letting a materialized trace feed any consumer a
+    /// streaming generator can.
+    pub fn next_job(&mut self) -> Option<Job> {
+        let job = self.trace.jobs.get(self.next).copied();
+        if job.is_some() {
+            self.next += 1;
+        }
+        job
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,9 @@
 pub mod benchmark;
 pub mod gen;
 pub mod job;
+pub mod source;
 
 pub use benchmark::{Benchmark, ParseBenchmarkError, WorkloadStats};
-pub use gen::{generate_mix, TraceConfig};
+pub use gen::{generate_mix, TraceConfig, ZipfSampler};
 pub use job::{Job, JobCursor, JobTrace};
+pub use source::{stream_mix, JobSource, MixStream, SourceCursor, TraceStream};

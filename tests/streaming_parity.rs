@@ -1,0 +1,41 @@
+//! End-to-end parity for throughput mode: a simulation fed by the
+//! streaming [`JobSource`] path must produce a `RunResult` bit-identical
+//! to the classic materialized [`JobTrace`] path — across every
+//! experiment configuration and both integrators. Not "close": equal to
+//! the last bit, because the stream replays the generator's exact RNG
+//! consumption order and the engine's metric folds match the slice
+//! forms operation for operation.
+
+use therm3d::{SimConfig, Simulator};
+use therm3d_floorplan::Experiment;
+use therm3d_policies::PolicyKind;
+use therm3d_thermal::Integrator;
+use therm3d_workload::{generate_mix, stream_mix, Benchmark};
+
+const BENCHMARKS: [Benchmark; 2] = [Benchmark::WebMed, Benchmark::Gzip];
+const DURATION_S: f64 = 4.0;
+const SEED: u64 = 11;
+
+fn simulator(exp: Experiment, integrator: Integrator) -> Simulator {
+    let mut cfg = SimConfig::paper_default(exp);
+    cfg.thermal = cfg.thermal.with_grid(4, 4).with_integrator(integrator);
+    let policy = PolicyKind::Adapt3d.build_with_dpm(&exp.stack(), 0xACE1, false);
+    Simulator::new(cfg, policy)
+}
+
+#[test]
+fn streamed_runs_are_bit_identical_across_experiments_and_integrators() {
+    for exp in Experiment::ALL {
+        for integrator in [Integrator::ImplicitCn, Integrator::ExplicitRk4] {
+            let trace = generate_mix(&BENCHMARKS, exp.num_cores(), DURATION_S, SEED);
+            let materialized = simulator(exp, integrator).run(&trace, DURATION_S);
+            let streamed = simulator(exp, integrator)
+                .run_source(stream_mix(&BENCHMARKS, exp.num_cores(), DURATION_S, SEED), DURATION_S);
+            assert!(materialized.perf.completed > 0, "{exp}/{integrator:?} must simulate work");
+            assert_eq!(
+                streamed, materialized,
+                "{exp}/{integrator:?}: streamed RunResult must be bit-identical"
+            );
+        }
+    }
+}
