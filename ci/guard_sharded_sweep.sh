@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Guard distributed sweeps: the 16-cell scenario campaign run as 3
+# shards (separate cache dirs, as 3 machines would) must merge —
+# reports and caches — back to exactly the single-process run: the
+# merged CSV is byte-identical, and a warm full run over the union of
+# the shard caches serves all 16 cells with 0 misses.
+set -euo pipefail
+BIN="${THERM3D_BIN:-target/release/therm3d}"
+OUT="${TMPDIR:-/tmp}/therm3d-ci-shard"
+rm -rf "$OUT" && mkdir -p "$OUT"
+
+"$BIN" sweep examples/sweep_scenarios.toml --format csv > "$OUT/full.csv"
+for K in 0 1 2; do
+  "$BIN" sweep examples/sweep_scenarios.toml --format csv --shard "$K/3" \
+      --cache-dir "$OUT/cache-$K" --cache-stats \
+      > "$OUT/shard-$K.csv" 2> "$OUT/shard-$K.err"
+  grep -E "^cache\[$K/3\]: 0 hits, [1-9][0-9]* misses" "$OUT/shard-$K.err"
+done
+"$BIN" merge "$OUT/merged.csv" \
+    "$OUT/shard-0.csv" "$OUT/shard-1.csv" "$OUT/shard-2.csv"
+diff "$OUT/full.csv" "$OUT/merged.csv"
+"$BIN" cache merge --cache-dir "$OUT/cache-all" \
+    "$OUT/cache-0" "$OUT/cache-1" "$OUT/cache-2"
+"$BIN" cache compact --cache-dir "$OUT/cache-all"
+"$BIN" sweep examples/sweep_scenarios.toml --format csv \
+    --cache-dir "$OUT/cache-all" --cache-stats \
+    > "$OUT/warm.csv" 2> "$OUT/warm.err"
+grep -E '^cache: 16 hits, 0 misses, 0 inserted' "$OUT/warm.err"
+diff "$OUT/full.csv" "$OUT/warm.csv"
+echo "sharded sweep guard ok"

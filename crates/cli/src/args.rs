@@ -120,16 +120,57 @@ pub enum Command {
         cache_dir: Option<String>,
     },
     /// Print ready-to-run command lines splitting a spec over N shards
-    /// (`therm3d shard-plan SPEC.toml --count N`).
+    /// (`therm3d shard-plan SPEC.toml --count N`), or — with `--serve`
+    /// — the serve/work lines of a leased campaign over N workers.
     ShardPlan {
         /// Sweep-spec path (validated before the plan is printed).
         path: String,
-        /// Number of shards the matrix is split over.
+        /// Number of shards (or, with `--serve`, workers).
         count: usize,
-        /// Per-shard cache directories `DIR-K` in the printed lines.
+        /// Per-shard cache directories `DIR-K` in the printed lines
+        /// (with `--serve`, the coordinator's single cache directory).
         cache_dir: Option<String>,
         /// `--threads` forwarded to every printed shard command.
         threads: Option<usize>,
+        /// Emit `therm3d serve` + N `therm3d work` lines instead of the
+        /// static `--shard K/N` split (`--serve`).
+        serve: bool,
+    },
+    /// Coordinate a leased campaign over TCP
+    /// (`therm3d serve SPEC.toml --listen ADDR`).
+    Serve {
+        /// Sweep-spec path; the coordinator owns the canonical expansion.
+        path: String,
+        /// Listen address, e.g. `127.0.0.1:7103` (port 0 = OS-assigned).
+        listen: String,
+        /// Cells per lease (`--lease N`); `None` = auto from the
+        /// expansion size.
+        lease: Option<usize>,
+        /// Seconds a lease may go silent before its range is re-issued
+        /// (`--lease-timeout SECS`); `None` = 30 s.
+        lease_timeout: Option<f64>,
+        /// Single canonical result cache fed by all workers' results.
+        cache_dir: Option<String>,
+        /// Report format for the merged campaign report on stdout.
+        format: SweepFormat,
+        /// Live progress line on stderr (`--progress`).
+        progress: bool,
+        /// Write the bound address to this file once listening
+        /// (`--port-file FILE`) — how scripts discover a port-0 bind.
+        port_file: Option<String>,
+    },
+    /// Join a leased campaign as a worker
+    /// (`therm3d work --connect ADDR`).
+    Work {
+        /// Coordinator address, e.g. `127.0.0.1:7103`.
+        connect: String,
+        /// Worker-thread override for leased cells (`--threads N`).
+        threads: Option<usize>,
+        /// Optional worker-local result cache.
+        cache_dir: Option<String>,
+        /// Test/ops knob: compute one cell at a time, sleeping this many
+        /// milliseconds between cells (`--throttle-ms N`).
+        throttle_ms: u64,
     },
     /// Merge shard CSV reports back into the canonical unsharded CSV
     /// (`therm3d merge OUT.csv SHARD.csv ...`).
@@ -186,7 +227,11 @@ USAGE:
                       [--cache-dir DIR] [--no-cache] [--cache-stats] [--shard K/N]
                       [--progress] [--trace-out FILE] [--metrics-out FILE] [--streaming]
   therm3d check       SPEC.toml [--cache-dir DIR]
-  therm3d shard-plan  SPEC.toml --count N [--cache-dir DIR] [--threads N]
+  therm3d shard-plan  SPEC.toml --count N [--cache-dir DIR] [--threads N] [--serve]
+  therm3d serve       SPEC.toml --listen ADDR [--lease N] [--lease-timeout SECS]
+                      [--cache-dir DIR] [--format table|csv|json] [--csv]
+                      [--progress] [--port-file FILE]
+  therm3d work        --connect ADDR [--threads N] [--cache-dir DIR] [--throttle-ms N]
   therm3d merge       OUT.csv SHARD.csv [SHARD.csv ...]
   therm3d steady      [--exp E] [--grid N]
   therm3d trace       [--benchmark B] [--cores N] [-t SECS] [--seed N] [--csv]
@@ -230,7 +275,19 @@ USAGE:
   canonical report (byte-identical to an unsharded run) and `cache
   merge` unions shard cache directories (follow with `cache compact`
   to drop shadowed lines). `shard-plan` prints the N command lines
-  (plus merge hints) that execute such a split, one shard per line.
+  (plus merge hints) that execute such a split, one shard per line;
+  with --serve it prints the serve/work lines of a leased campaign
+  over N workers instead.
+
+  `serve` + `work` run a campaign as a service with work stealing:
+  the coordinator owns the canonical expansion and leases cell ranges
+  over TCP; workers request leases, simulate through the ordinary
+  cached runner, and stream verified results back. A worker that dies
+  or goes silent past --lease-timeout has its range re-issued, so the
+  campaign always completes, and the merged report/CSV is
+  byte-identical to a single-process `therm3d sweep` of the same spec
+  for any number of workers. --port-file writes the bound address
+  (useful with port 0) once the coordinator is listening.
 
   Observability (stderr/sidecar only; stdout stays byte-identical):
   --progress redraws a throttled cells/s + hit-rate + ETA line on
@@ -330,11 +387,11 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             }
         }
     }
-    // `sweep`, `shard-plan` and `check` take an optional positional
-    // spec file anywhere among their flags; skip over tokens that are
-    // values of value-taking flags.
+    // `sweep`, `shard-plan`, `check` and `serve` take an optional
+    // positional spec file anywhere among their flags; skip over tokens
+    // that are values of value-taking flags.
     let mut spec_path: Option<String> = None;
-    if sub == "sweep" || sub == "shard-plan" || sub == "check" {
+    if sub == "sweep" || sub == "shard-plan" || sub == "check" || sub == "serve" {
         let takes_value = |flag: &str| {
             matches!(
                 flag,
@@ -357,6 +414,12 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
                     | "--count"
                     | "--trace-out"
                     | "--metrics-out"
+                    | "--listen"
+                    | "--connect"
+                    | "--lease"
+                    | "--lease-timeout"
+                    | "--throttle-ms"
+                    | "--port-file"
             )
         };
         let mut i = 1;
@@ -388,6 +451,13 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut streaming = false;
+    let mut listen: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut lease: Option<usize> = None;
+    let mut lease_timeout: Option<f64> = None;
+    let mut throttle_ms: Option<u64> = None;
+    let mut port_file: Option<String> = None;
+    let mut serve_plan = false;
     let mut sim_flags: Vec<String> = Vec::new();
 
     while t.pos + 1 < t.items.len() {
@@ -446,6 +516,18 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             "--trace-out" => trace_out = Some(t.next_value("--trace-out")?),
             "--metrics-out" => metrics_out = Some(t.next_value("--metrics-out")?),
             "--streaming" => streaming = true,
+            "--listen" => listen = Some(t.next_value("--listen")?),
+            "--connect" => connect = Some(t.next_value("--connect")?),
+            "--lease" => lease = Some(parse_num("--lease", &t.next_value("--lease")?)?),
+            "--lease-timeout" => {
+                lease_timeout =
+                    Some(parse_num("--lease-timeout", &t.next_value("--lease-timeout")?)?);
+            }
+            "--throttle-ms" => {
+                throttle_ms = Some(parse_num("--throttle-ms", &t.next_value("--throttle-ms")?)?);
+            }
+            "--port-file" => port_file = Some(t.next_value("--port-file")?),
+            "--serve" => serve_plan = true,
             "--dpm" => sim.dpm = true,
             "--csv" => csv = true,
             other => return Err(ParseCliError(format!("unknown flag `{other}`"))),
@@ -459,19 +541,27 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
     }
     let spec_sweep = sub == "sweep" && spec_path.is_some();
     let shard_plan = sub == "shard-plan";
+    let serve_cmd = sub == "serve";
+    let work_cmd = sub == "work";
     // Only a spec-file sweep consumes these; reject them anywhere else
     // rather than dropping them silently. `shard-plan` forwards
-    // `--threads` into the lines it prints.
-    if (threads.is_some() && !(spec_sweep || shard_plan)) || (format.is_some() && !spec_sweep) {
+    // `--threads` into the lines it prints; `serve` renders a report
+    // (`--format`) and `work` runs leased cells (`--threads`).
+    if (threads.is_some() && !(spec_sweep || shard_plan || work_cmd))
+        || (format.is_some() && !(spec_sweep || serve_cmd))
+    {
         return Err(ParseCliError(
             "`--threads` and `--format` only apply to `sweep SPEC.toml` \
-             (`shard-plan` also forwards `--threads`)"
+             (`shard-plan` and `work` also take `--threads`; `serve` also takes `--format`)"
                 .into(),
         ));
     }
-    if (progress || trace_out.is_some() || metrics_out.is_some()) && !spec_sweep {
+    if (progress && !(spec_sweep || serve_cmd))
+        || ((trace_out.is_some() || metrics_out.is_some()) && !spec_sweep)
+    {
         return Err(ParseCliError(
-            "`--progress`, `--trace-out` and `--metrics-out` only apply to `sweep SPEC.toml`"
+            "`--progress`, `--trace-out` and `--metrics-out` only apply to `sweep SPEC.toml` \
+             (`serve` also takes `--progress`)"
                 .into(),
         ));
     }
@@ -481,13 +571,29 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
     if count.is_some() && !shard_plan {
         return Err(ParseCliError("`--count` only applies to `shard-plan SPEC.toml`".into()));
     }
-    if (cache_dir.is_some() && !(spec_sweep || shard_plan || sub == "cache" || sub == "check"))
+    if serve_plan && !shard_plan {
+        return Err(ParseCliError("`--serve` only applies to `shard-plan SPEC.toml`".into()));
+    }
+    if (listen.is_some() || lease.is_some() || lease_timeout.is_some() || port_file.is_some())
+        && !serve_cmd
+    {
+        return Err(ParseCliError(
+            "`--listen`, `--lease`, `--lease-timeout` and `--port-file` only apply to \
+             `serve SPEC.toml`"
+                .into(),
+        ));
+    }
+    if (connect.is_some() || throttle_ms.is_some()) && !work_cmd {
+        return Err(ParseCliError("`--connect` and `--throttle-ms` only apply to `work`".into()));
+    }
+    if (cache_dir.is_some()
+        && !(spec_sweep || shard_plan || serve_cmd || work_cmd || sub == "cache" || sub == "check"))
         || ((no_cache || cache_stats) && !spec_sweep)
     {
         return Err(ParseCliError(
-            "`--cache-dir` only applies to `sweep SPEC.toml`, `shard-plan`, `check`, \
-             `cache compact` and `cache merge`; `--no-cache` and `--cache-stats` only apply \
-             to `sweep SPEC.toml`"
+            "`--cache-dir` only applies to `sweep SPEC.toml`, `shard-plan`, `check`, `serve`, \
+             `work`, `cache compact` and `cache merge`; `--no-cache` and `--cache-stats` only \
+             apply to `sweep SPEC.toml`"
                 .into(),
         ));
     }
@@ -567,8 +673,8 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             };
             if !sim_flags.is_empty() || csv {
                 return Err(ParseCliError(format!(
-                    "`shard-plan` only takes `--count N`, `--cache-dir DIR` and `--threads N`; \
-                     set the matrix in `{path}` instead"
+                    "`shard-plan` only takes `--count N`, `--cache-dir DIR`, `--threads N` and \
+                     `--serve`; set the matrix in `{path}` instead"
                 )));
             }
             let Some(count) = count else {
@@ -577,7 +683,54 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseCl
             if count == 0 {
                 return Err(ParseCliError("`--count` must be at least 1".into()));
             }
-            Ok(Command::ShardPlan { path, count, cache_dir, threads })
+            Ok(Command::ShardPlan { path, count, cache_dir, threads, serve: serve_plan })
+        }
+        "serve" => {
+            let Some(path) = spec_path else {
+                return Err(ParseCliError(
+                    "`serve` needs a spec file: `therm3d serve SPEC.toml --listen ADDR`".into(),
+                ));
+            };
+            if !sim_flags.is_empty() {
+                return Err(ParseCliError(format!(
+                    "`serve` does not take simulation flags; set the matrix in `{path}` instead"
+                )));
+            }
+            let Some(listen) = listen else {
+                return Err(ParseCliError(
+                    "`serve` requires `--listen ADDR` (use port 0 for an OS-assigned port)".into(),
+                ));
+            };
+            if lease == Some(0) {
+                return Err(ParseCliError("`--lease` must be at least 1 cell".into()));
+            }
+            if lease_timeout.is_some_and(|t| t <= 0.0) {
+                return Err(ParseCliError("`--lease-timeout` must be positive".into()));
+            }
+            Ok(Command::Serve {
+                path,
+                listen,
+                lease,
+                lease_timeout,
+                cache_dir,
+                // `--csv` is shorthand for `--format csv`, as on sweep.
+                format: format.unwrap_or(if csv { SweepFormat::Csv } else { SweepFormat::Table }),
+                progress,
+                port_file,
+            })
+        }
+        "work" => {
+            if !sim_flags.is_empty() || csv {
+                return Err(ParseCliError(
+                    "`work` only takes `--connect ADDR`, `--threads N`, `--cache-dir DIR` and \
+                     `--throttle-ms N` — the coordinator's spec owns everything else"
+                        .into(),
+                ));
+            }
+            let Some(connect) = connect else {
+                return Err(ParseCliError("`work` requires `--connect ADDR`".into()));
+            };
+            Ok(Command::Work { connect, threads, cache_dir, throttle_ms: throttle_ms.unwrap_or(0) })
         }
         "steady" | "trace" => {
             // These subcommands cannot honor the scenario flags; reject
@@ -1095,7 +1248,13 @@ mod tests {
     fn shard_plan_parses_and_validates() {
         assert_eq!(
             parse(argv("shard-plan s.toml --count 4")).unwrap(),
-            Command::ShardPlan { path: "s.toml".into(), count: 4, cache_dir: None, threads: None }
+            Command::ShardPlan {
+                path: "s.toml".into(),
+                count: 4,
+                cache_dir: None,
+                threads: None,
+                serve: false
+            }
         );
         // Forwarded flags ride along; the positional may follow them.
         assert_eq!(
@@ -1104,9 +1263,23 @@ mod tests {
                 path: "s.toml".into(),
                 count: 3,
                 cache_dir: Some("/tmp/c".into()),
-                threads: Some(2)
+                threads: Some(2),
+                serve: false
             }
         );
+        // `--serve` switches the plan to serve/work lines.
+        assert_eq!(
+            parse(argv("shard-plan s.toml --count 3 --serve")).unwrap(),
+            Command::ShardPlan {
+                path: "s.toml".into(),
+                count: 3,
+                cache_dir: None,
+                threads: None,
+                serve: true
+            }
+        );
+        // ... and means nothing elsewhere.
+        assert!(parse(argv("sweep s.toml --serve")).unwrap_err().0.contains("shard-plan"));
         // Missing pieces and misuse are named, not silently defaulted.
         assert!(parse(argv("shard-plan s.toml")).unwrap_err().0.contains("--count"));
         assert!(parse(argv("shard-plan --count 4")).unwrap_err().0.contains("spec file"));
@@ -1138,6 +1311,90 @@ mod tests {
         // Run-only flags stay rejected here.
         assert!(parse(argv("check s.toml --threads 2")).unwrap_err().0.contains("--threads"));
         assert!(parse(argv("check s.toml --shard 0/2")).unwrap_err().0.contains("--shard"));
+    }
+
+    #[test]
+    fn serve_parses_and_validates() {
+        assert_eq!(
+            parse(argv("serve s.toml --listen 127.0.0.1:0")).unwrap(),
+            Command::Serve {
+                path: "s.toml".into(),
+                listen: "127.0.0.1:0".into(),
+                lease: None,
+                lease_timeout: None,
+                cache_dir: None,
+                format: SweepFormat::Table,
+                progress: false,
+                port_file: None,
+            }
+        );
+        // Everything at once; the positional may follow the flags, and
+        // `--csv` is the usual shorthand.
+        assert_eq!(
+            parse(argv(
+                "serve --listen 0.0.0.0:7103 --lease 4 --lease-timeout 2.5 --cache-dir /tmp/c \
+                 --csv --progress --port-file /tmp/port s.toml"
+            ))
+            .unwrap(),
+            Command::Serve {
+                path: "s.toml".into(),
+                listen: "0.0.0.0:7103".into(),
+                lease: Some(4),
+                lease_timeout: Some(2.5),
+                cache_dir: Some("/tmp/c".into()),
+                format: SweepFormat::Csv,
+                progress: true,
+                port_file: Some("/tmp/port".into()),
+            }
+        );
+        // Missing pieces and misuse are named, not silently defaulted.
+        assert!(parse(argv("serve s.toml")).unwrap_err().0.contains("--listen"));
+        assert!(parse(argv("serve --listen :0")).unwrap_err().0.contains("spec file"));
+        assert!(parse(argv("serve s.toml --listen :0 --lease 0")).unwrap_err().0.contains("lease"));
+        let err = parse(argv("serve s.toml --listen :0 --lease-timeout 0")).unwrap_err().0;
+        assert!(err.contains("positive"), "{err}");
+        let err = parse(argv("serve s.toml --listen :0 --exp exp1")).unwrap_err().0;
+        assert!(err.contains("s.toml"), "{err}");
+        let err = parse(argv("serve s.toml --listen :0 --format json --csv")).unwrap_err().0;
+        assert!(err.contains("shorthand"), "{err}");
+        // Serve-only flags mean nothing elsewhere.
+        for line in ["run --listen :0", "sweep s.toml --port-file p", "check s.toml --lease 2"] {
+            let err = parse(argv(line)).unwrap_err().0;
+            assert!(err.contains("serve SPEC.toml"), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn work_parses_and_validates() {
+        assert_eq!(
+            parse(argv("work --connect 127.0.0.1:7103")).unwrap(),
+            Command::Work {
+                connect: "127.0.0.1:7103".into(),
+                threads: None,
+                cache_dir: None,
+                throttle_ms: 0
+            }
+        );
+        assert_eq!(
+            parse(argv(
+                "work --connect host:7103 --threads 2 --cache-dir /tmp/w --throttle-ms 250"
+            ))
+            .unwrap(),
+            Command::Work {
+                connect: "host:7103".into(),
+                threads: Some(2),
+                cache_dir: Some("/tmp/w".into()),
+                throttle_ms: 250
+            }
+        );
+        assert!(parse(argv("work")).unwrap_err().0.contains("--connect"));
+        let err = parse(argv("work --connect host:1 --csv")).unwrap_err().0;
+        assert!(err.contains("coordinator"), "{err}");
+        // Work-only flags mean nothing elsewhere.
+        for line in ["run --connect host:1", "sweep s.toml --throttle-ms 9"] {
+            let err = parse(argv(line)).unwrap_err().0;
+            assert!(err.contains("`work`"), "{line}: {err}");
+        }
     }
 
     #[test]

@@ -267,6 +267,13 @@ fn check_spec(path: &str, cache_dir: Option<&str>) -> Result<String, String> {
         "  thermal models: {models} distinct across {total} cell(s) \
          (each analyzed and factored once per run)"
     );
+    // What `therm3d serve` would lease out, so a campaign can be sized
+    // before any worker connects.
+    let lease = therm3d_coord::default_lease_cells(total);
+    let _ = writeln!(
+        out,
+        "  coordinator: {total} cells, lease size {lease} (override with `serve --lease N`)"
+    );
 
     if spec.shard.is_full() {
         let _ = writeln!(out, "  shard: full matrix (split with --shard K/N or `shard-plan`)");
@@ -319,12 +326,14 @@ fn check_spec(path: &str, cache_dir: Option<&str>) -> Result<String, String> {
 /// Renders the `shard-plan` output: one ready-to-run `therm3d sweep`
 /// line per shard plus `#`-commented context and merge hints, so the
 /// whole block can be pasted into a shell (or an sbatch template)
-/// as-is.
+/// as-is. With `serve`, prints the serve/work lines of a leased
+/// campaign instead of the static `--shard K/N` split.
 fn shard_plan(
     path: &str,
     count: usize,
     cache_dir: Option<&str>,
     threads: Option<usize>,
+    serve: bool,
 ) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let spec =
@@ -337,6 +346,33 @@ fn shard_plan(
         ));
     }
     let mut out = String::new();
+    if serve {
+        // One coordinator, N workers, one shared address. Leases do the
+        // splitting, so there is no per-worker shard index and the
+        // merged CSV needs no `therm3d merge` step.
+        const ADDR: &str = "127.0.0.1:7103";
+        let lease = therm3d_coord::default_lease_cells(total);
+        let _ = writeln!(
+            out,
+            "# campaign '{}': {total} cells over {count} worker{} (leased, lease size {lease}; \
+             any assignment is byte-identical)",
+            spec.name,
+            if count == 1 { "" } else { "s" }
+        );
+        let cache_arg = cache_dir.map(|d| format!(" --cache-dir {d}")).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "therm3d serve {path} --listen {ADDR}{cache_arg} --format csv \
+             > {}.csv  # coordinator, {total} cell{}",
+            spec.name,
+            if total == 1 { "" } else { "s" }
+        );
+        let threads_arg = threads.map(|n| format!(" --threads {n}")).unwrap_or_default();
+        for k in 1..=count {
+            let _ = writeln!(out, "therm3d work --connect {ADDR}{threads_arg}  # worker {k}");
+        }
+        return Ok(out);
+    }
     let _ = writeln!(
         out,
         "# sweep '{}': {total} cells over {count} shard{} (round-robin, disjoint)",
@@ -518,8 +554,63 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
         Command::Check { path, cache_dir } => {
             out.push_str(&check_spec(path, cache_dir.as_deref())?);
         }
-        Command::ShardPlan { path, count, cache_dir, threads } => {
-            out.push_str(&shard_plan(path, *count, cache_dir.as_deref(), *threads)?);
+        Command::ShardPlan { path, count, cache_dir, threads, serve } => {
+            out.push_str(&shard_plan(path, *count, cache_dir.as_deref(), *threads, *serve)?);
+        }
+        Command::Serve {
+            path,
+            listen,
+            lease,
+            lease_timeout,
+            cache_dir,
+            format,
+            progress,
+            port_file,
+        } => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let spec = therm3d_sweep::from_toml(&text)
+                .map_err(|e| format!("invalid sweep spec `{path}`: {e}"))?;
+            let opts = therm3d_coord::ServeOptions {
+                lease_cells: *lease,
+                // Sub-millisecond timeouts round up: 0 means "default".
+                lease_timeout_ms: lease_timeout
+                    .map_or(0, |secs| ((secs * 1000.0).round() as u64).max(1)),
+            };
+            let server = therm3d_coord::Server::bind(&spec, listen, &opts)?;
+            if let Some(file) = port_file {
+                // Written only once the socket is bound, so scripts can
+                // poll this file to learn an OS-assigned (port 0) address.
+                std::fs::write(file, format!("{}\n", server.local_addr()))
+                    .map_err(|e| format!("cannot write `--port-file {file}`: {e}"))?;
+            }
+            let mut store = match cache_dir {
+                Some(dir) => Some(
+                    therm3d_sweep::CacheStore::open(std::path::Path::new(dir))
+                        .map_err(String::from)?,
+                ),
+                None => None,
+            };
+            let reporter = progress.then(therm3d_telemetry::Progress::stderr);
+            let report = server.run(store.as_mut(), reporter)?;
+            out.push_str(&match format {
+                SweepFormat::Table => report.render(),
+                SweepFormat::Csv => report.csv(),
+                SweepFormat::Json => report.json(),
+            });
+        }
+        Command::Work { connect, threads, cache_dir, throttle_ms } => {
+            let opts = therm3d_coord::WorkOptions {
+                threads: *threads,
+                cache_dir: cache_dir.as_ref().map(std::path::PathBuf::from),
+                throttle_ms: *throttle_ms,
+            };
+            let summary = therm3d_coord::work(connect, &opts)?;
+            let _ = writeln!(
+                out,
+                "work: {} cell(s) over {} lease(s) from {connect}",
+                summary.cells, summary.leases
+            );
         }
         Command::Merge { out: merged_path, inputs } => {
             out.push_str(&merge_reports(merged_path, inputs)?);
@@ -1198,6 +1289,7 @@ mod tests {
             count: 3,
             cache_dir: Some("/tmp/plan-cache".into()),
             threads: Some(2),
+            serve: false,
         })
         .unwrap();
         assert!(out.starts_with("# sweep 'plan': 4 cells over 3 shards"), "{out}");
@@ -1233,6 +1325,7 @@ mod tests {
             count: 9,
             cache_dir: None,
             threads: None,
+            serve: false,
         })
         .unwrap_err();
         assert!(err.contains("expands to 4 cells"), "{err}");
@@ -1242,9 +1335,62 @@ mod tests {
             count: 2,
             cache_dir: None,
             threads: None,
+            serve: false,
         })
         .unwrap();
         assert!(!out.contains("cache"), "{out}");
+    }
+
+    #[test]
+    fn shard_plan_serve_prints_runnable_serve_and_work_lines() {
+        let spec_path = std::env::temp_dir().join("therm3d_cli_serve_plan.toml");
+        std::fs::write(
+            &spec_path,
+            "name = \"plan\"\n\
+             experiments = [\"exp1\"]\n\
+             policies = [\"Default\", \"Adapt3D\"]\n\
+             dpm = [false, true]\n\
+             benchmarks = [\"gzip\"]\n\
+             sim_seconds = 2.0\n\
+             grid = 4\n",
+        )
+        .unwrap();
+        let spec = spec_path.to_str().unwrap();
+        let out = execute(&Command::ShardPlan {
+            path: spec.into(),
+            count: 3,
+            cache_dir: Some("/tmp/plan-cache".into()),
+            threads: Some(2),
+            serve: true,
+        })
+        .unwrap();
+        assert!(out.starts_with("# campaign 'plan': 4 cells over 3 workers (leased"), "{out}");
+
+        // Every non-comment line is an invocation our own parser
+        // accepts: one coordinator, then `--count` workers.
+        let lines: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(lines.len(), 1 + 3, "{out}");
+        let (serve_cmd, _) = lines[0].split_once(" > ").expect("coordinator redirects to a CSV");
+        let argv: Vec<String> = serve_cmd.split_whitespace().skip(1).map(str::to_owned).collect();
+        let parsed = crate::args::parse(argv).unwrap();
+        assert!(
+            matches!(&parsed, Command::Serve { path, cache_dir: Some(dir), format: SweepFormat::Csv, .. }
+                if path == spec && dir == "/tmp/plan-cache"),
+            "{parsed:?}"
+        );
+        for worker_line in &lines[1..] {
+            let cmd = worker_line.split_once("  #").map_or(*worker_line, |(c, _)| c);
+            let argv: Vec<String> = cmd.split_whitespace().skip(1).map(str::to_owned).collect();
+            let parsed = crate::args::parse(argv).unwrap();
+            assert!(
+                matches!(&parsed, Command::Work { connect, threads: Some(2), .. }
+                    if connect == "127.0.0.1:7103"),
+                "{worker_line}: {parsed:?}"
+            );
+        }
+        // Serve and work lines point at the same address, and leases
+        // replace shards — no `--shard`, no merge hint.
+        assert!(!out.contains("--shard") && !out.contains("# merge"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! The campaign coordinator: owns the canonical expansion, leases cell
+//! ranges to connected workers, and reassembles the byte-identical
+//! report.
+//!
+//! One thread per connection speaks the strict request/response
+//! protocol of [`crate::wire`]; all bookkeeping lives in a single
+//! [`Campaign`] behind a mutex, so the protocol threads are plain
+//! executors with no scheduling logic of their own. Dead workers are
+//! detected two ways: a dropped connection abandons its leases
+//! immediately (the SIGKILL case), and a lease whose deadline passes
+//! without results or heartbeats is swept by the accept loop (the hung
+//! case) — both paths re-queue the range for the next `LeaseRequest`.
+//!
+//! Determinism contract: cells keep their canonical indices, derived
+//! seeds and cache keys no matter which worker computes them, so the
+//! assembled [`SweepReport`] — and its CSV — is byte-identical to a
+//! single-process `therm3d sweep` of the same spec. CI kills a worker
+//! mid-campaign and diffs exactly that.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use therm3d_sweep::shard::ShardSpec;
+use therm3d_sweep::{
+    cell_key, decode_line, expand, to_toml, CacheStore, SweepCell, SweepReport, SweepRow,
+    ENGINE_VERSION,
+};
+use therm3d_telemetry::Progress;
+
+use crate::campaign::{default_lease_cells, Campaign, Grant};
+use crate::wire::{read_msg, write_msg, Msg, WireError, PROTOCOL_VERSION};
+
+/// Coordinator tuning knobs (the spec itself arrives separately).
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Cells per lease; `None` = [`default_lease_cells`] of the
+    /// expansion size.
+    pub lease_cells: Option<usize>,
+    /// Milliseconds a lease may go without results or heartbeats
+    /// before its range is re-issued. `0` = the 30 s default.
+    pub lease_timeout_ms: u64,
+}
+
+const DEFAULT_LEASE_TIMEOUT_MS: u64 = 30_000;
+/// Accept-loop poll interval: bounds how stale deadline expiry can be.
+const POLL_MS: u64 = 25;
+/// Grace after completion so waiting workers can collect their `Drain`.
+const DRAIN_GRACE_MS: u64 = 200;
+
+/// Everything the per-connection handler threads share.
+struct Shared {
+    campaign: Mutex<Campaign>,
+    /// Expected `CellKey::hex()` per canonical index — incoming result
+    /// lines are verified against these before they are accepted.
+    expected_hex: Vec<String>,
+    spec_toml: String,
+    total: u64,
+    lease_cells: u64,
+    progress: Option<Progress>,
+    epoch: Instant,
+}
+
+impl Shared {
+    /// Campaign-relative wall time for lease deadlines.
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A bound coordinator, ready to [`run`](Server::run). Binding is
+/// separate from running so callers (the CLI's `--port-file`, the
+/// loopback tests) can learn the OS-assigned address before any worker
+/// connects.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    spec_name: String,
+    cells: Vec<SweepCell>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Validates `spec`, expands the canonical matrix and binds the
+    /// listening socket (use port 0 for an OS-assigned port).
+    ///
+    /// # Errors
+    ///
+    /// An invalid or sharded spec (the coordinator owns the split —
+    /// leases replace `--shard`), an empty expansion, or a bind
+    /// failure.
+    pub fn bind(
+        spec: &therm3d_sweep::SweepSpec,
+        listen: &str,
+        opts: &ServeOptions,
+    ) -> Result<Self, String> {
+        spec.validate()?;
+        if !spec.shard.is_full() {
+            return Err(format!(
+                "'{}' is sharded ({}); `serve` owns the whole matrix — remove the shard and let \
+                 leases do the splitting",
+                spec.name, spec.shard
+            ));
+        }
+        let cells = expand(spec);
+        if cells.is_empty() {
+            return Err(format!("'{}' expands to zero cells", spec.name));
+        }
+        let total = cells.len();
+        let lease_cells =
+            opts.lease_cells.unwrap_or_else(|| default_lease_cells(total)).clamp(1, total);
+        let timeout_ms = if opts.lease_timeout_ms == 0 {
+            DEFAULT_LEASE_TIMEOUT_MS
+        } else {
+            opts.lease_timeout_ms
+        };
+        let expected_hex = cells.iter().map(|cell| cell_key(spec, cell).hex()).collect();
+        let listener =
+            TcpListener::bind(listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+        let local_addr =
+            listener.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
+        // lint: allow(no-wall-clock): lease-deadline bookkeeping only — results stay a pure function of the spec
+        let epoch = Instant::now();
+        Ok(Self {
+            listener,
+            local_addr,
+            spec_name: spec.name.clone(),
+            shared: Arc::new(Shared {
+                campaign: Mutex::new(Campaign::new(total, lease_cells, timeout_ms)),
+                expected_hex,
+                spec_toml: to_toml(spec),
+                total: total as u64,
+                lease_cells: lease_cells as u64,
+                progress: None,
+                epoch,
+            }),
+            cells,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Cells per lease this coordinator grants.
+    #[must_use]
+    pub fn lease_cells(&self) -> usize {
+        self.shared.lease_cells as usize
+    }
+
+    /// Runs the campaign to completion: accepts workers, leases ranges,
+    /// sweeps expired leases, and — once every cell has a verified
+    /// result — assembles the canonical [`SweepReport`] (inserting each
+    /// result into `cache` when one is attached, so a warm re-run
+    /// simulates nothing).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors on the listener, or a corrupt stored result line
+    /// (which the arrival-time verification makes unreachable short of
+    /// memory corruption).
+    pub fn run(
+        mut self,
+        cache: Option<&mut CacheStore>,
+        progress: Option<Progress>,
+    ) -> Result<SweepReport, String> {
+        if let Some(p) = &progress {
+            p.begin(self.cells.len(), 1);
+        }
+        // Publish the progress reporter to the handler threads. No
+        // handler exists yet, so the Arc has exactly one owner here.
+        Arc::get_mut(&mut self.shared).expect("no handlers yet").progress = progress;
+        self.listener.set_nonblocking(true).map_err(|e| format!("cannot poll listener: {e}"))?;
+        eprintln!(
+            "coord: '{}' listening on {} — {} cells, lease size {}",
+            self.spec_name, self.local_addr, self.shared.total, self.shared.lease_cells
+        );
+        let mut workers = 0_usize;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    workers += 1;
+                    let worker = format!("w{workers}");
+                    eprintln!("coord: {worker} connected from {peer}");
+                    // Accepted sockets can inherit the listener's
+                    // non-blocking mode; the handlers do blocking reads.
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| format!("cannot configure {worker}: {e}"))?;
+                    let shared = Arc::clone(&self.shared);
+                    // lint: allow(no-thread-spawn): protocol I/O threads — cell execution happens in worker processes via the sweep runner
+                    std::thread::spawn(move || handle_worker(stream, &worker, &shared));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+            {
+                let now = self.shared.now_ms();
+                let mut campaign = self.shared.campaign.lock().expect("campaign lock");
+                for lease in campaign.expire(now) {
+                    eprintln!(
+                        "coord: lease {} (cells {}..{}) for {} expired; range re-issued",
+                        lease.id,
+                        lease.start,
+                        lease.start + lease.len,
+                        lease.worker
+                    );
+                }
+                if campaign.is_complete() {
+                    eprintln!(
+                        "coord: campaign complete — {} cells from {} worker(s), {} lease(s) re-issued",
+                        self.shared.total,
+                        workers,
+                        campaign.reissue_count()
+                    );
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(POLL_MS));
+        }
+        if let Some(p) = &self.shared.progress {
+            p.finish();
+        }
+        // Let workers still blocked on a LeaseRequest collect their
+        // Drain before the process exits and resets their connections.
+        std::thread::sleep(Duration::from_millis(DRAIN_GRACE_MS));
+        self.assemble(cache)
+    }
+
+    /// Decodes the stored result lines back into rows in canonical
+    /// order — the byte-identical single-process report.
+    fn assemble(&self, mut cache: Option<&mut CacheStore>) -> Result<SweepReport, String> {
+        let campaign = self.shared.campaign.lock().expect("campaign lock");
+        let done = campaign.done_rows();
+        let mut rows = Vec::with_capacity(self.cells.len());
+        for (i, cell) in self.cells.iter().enumerate() {
+            let line = done.get(&i).ok_or_else(|| format!("internal: cell {i} has no result"))?;
+            let (key, result) =
+                decode_line(line).ok_or_else(|| format!("internal: cell {i} line corrupt"))?;
+            if let Some(store) = cache.as_deref_mut() {
+                store.insert(&key, &result).map_err(|e| e.to_string())?;
+            }
+            rows.push(SweepRow { key: key.hex(), cell: cell.clone(), result, timing: None });
+        }
+        Ok(SweepReport { name: self.spec_name.clone(), shard: ShardSpec::FULL, rows })
+    }
+}
+
+/// Converts and verifies one incoming result batch: indices in range,
+/// lines that decode under the cache codec, keys matching the
+/// canonical expansion. Any failure rejects the whole batch — a worker
+/// sending wrong keys is running different semantics and must not
+/// contribute.
+fn verify_rows(shared: &Shared, rows: &[(u64, String)]) -> Result<Vec<(usize, String)>, String> {
+    let mut out = Vec::with_capacity(rows.len());
+    for (raw_index, line) in rows {
+        let index = usize::try_from(*raw_index).map_err(|_| format!("cell index {raw_index}"))?;
+        let expected = shared
+            .expected_hex
+            .get(index)
+            .ok_or_else(|| format!("cell index {index} out of range"))?;
+        let (key, _) =
+            decode_line(line).ok_or_else(|| format!("cell {index}: corrupt result line"))?;
+        if key.hex() != *expected {
+            return Err(format!(
+                "cell {index}: key {} does not match canonical {expected} — engine mismatch?",
+                key.hex()
+            ));
+        }
+        out.push((index, line.clone()));
+    }
+    Ok(out)
+}
+
+/// Drives one worker connection: handshake, then the lease loop, until
+/// the peer disconnects or the campaign drains. On any connection
+/// error the worker's live leases are abandoned and re-issued.
+fn handle_worker(mut stream: TcpStream, worker: &str, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    match read_msg(&mut stream) {
+        Ok(Msg::Hello { protocol, engine }) => {
+            if protocol != PROTOCOL_VERSION || engine != ENGINE_VERSION {
+                let reason = format!(
+                    "version mismatch: coordinator speaks {PROTOCOL_VERSION} / {ENGINE_VERSION}, \
+                     worker speaks {protocol} / {engine}"
+                );
+                eprintln!("coord: {worker} rejected — {reason}");
+                let _ = write_msg(&mut stream, &Msg::Reject { reason });
+                return;
+            }
+        }
+        Ok(_) | Err(_) => {
+            let _ = write_msg(
+                &mut stream,
+                &Msg::Reject { reason: "expected hello as the first message".into() },
+            );
+            return;
+        }
+    }
+    let welcome = Msg::Welcome {
+        spec_toml: shared.spec_toml.clone(),
+        total_cells: shared.total,
+        lease_cells: shared.lease_cells,
+    };
+    if write_msg(&mut stream, &welcome).is_err() {
+        return;
+    }
+    loop {
+        let reply = match read_msg(&mut stream) {
+            Ok(Msg::LeaseRequest) => {
+                let grant = {
+                    let mut campaign = shared.campaign.lock().expect("campaign lock");
+                    campaign.lease(worker, shared.now_ms())
+                };
+                match grant {
+                    Grant::Range { lease_id, start, len } => {
+                        eprintln!(
+                            "coord: lease {lease_id} -> {worker}: cells {start}..{}",
+                            start + len
+                        );
+                        Msg::LeaseGrant { lease_id, start: start as u64, len: len as u64 }
+                    }
+                    Grant::Wait => Msg::LeaseGrant { lease_id: 0, start: 0, len: 0 },
+                    Grant::Drain => Msg::Drain,
+                }
+            }
+            Ok(Msg::ResultBatch { lease_id, rows }) => match verify_rows(shared, &rows) {
+                Ok(verified) => {
+                    let outcome = {
+                        let mut campaign = shared.campaign.lock().expect("campaign lock");
+                        campaign.complete(lease_id, verified, shared.now_ms())
+                    };
+                    match outcome {
+                        Ok(fresh) => {
+                            if let Some(p) = &shared.progress {
+                                for _ in 0..fresh {
+                                    p.cell_done(false);
+                                }
+                            }
+                            Msg::Ack
+                        }
+                        Err(reason) => Msg::Reject { reason },
+                    }
+                }
+                Err(reason) => {
+                    eprintln!("coord: {worker} batch rejected — {reason}");
+                    Msg::Reject { reason }
+                }
+            },
+            Ok(Msg::Heartbeat { lease_id }) => {
+                let mut campaign = shared.campaign.lock().expect("campaign lock");
+                campaign.heartbeat(lease_id, shared.now_ms());
+                Msg::Ack
+            }
+            Ok(other) => {
+                let _ = write_msg(
+                    &mut stream,
+                    &Msg::Reject { reason: format!("unexpected message: {other:?}") },
+                );
+                break;
+            }
+            Err(WireError::Closed) => break,
+            Err(e) => {
+                eprintln!("coord: {worker} connection error: {e}");
+                break;
+            }
+        };
+        if write_msg(&mut stream, &reply).is_err() {
+            break;
+        }
+    }
+    let lost = {
+        let mut campaign = shared.campaign.lock().expect("campaign lock");
+        campaign.abandon_worker(worker)
+    };
+    for lease in lost {
+        eprintln!(
+            "coord: {worker} died holding lease {} (cells {}..{}); range re-issued",
+            lease.id,
+            lease.start,
+            lease.start + lease.len
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Loopback integration tests for the campaign service: a coordinator
+//! and in-process workers on 127.0.0.1 must reproduce the
+//! byte-identical report of a single-process sweep — including when a
+//! worker takes a lease and dies without ever reporting.
+//! (`tests/` is outside the workspace lint's thread-spawn scope; the
+//! product code keeps cell execution in worker processes.)
+
+use std::net::TcpStream;
+use std::thread;
+
+use therm3d_coord::wire::{read_msg, write_msg, Msg, PROTOCOL_VERSION};
+use therm3d_coord::{work, ServeOptions, Server, WorkOptions};
+use therm3d_floorplan::Experiment;
+use therm3d_policies::PolicyKind;
+use therm3d_sweep::{SweepSpec, ENGINE_VERSION};
+use therm3d_workload::Benchmark;
+
+fn spec(name: &str) -> SweepSpec {
+    SweepSpec::new(name)
+        .with_experiments(&[Experiment::Exp1])
+        .with_policies(&[PolicyKind::Default, PolicyKind::Adapt3d])
+        .with_dpm(&[false, true])
+        .with_benchmarks(&[Benchmark::Gzip])
+        .with_sim_seconds(2.0)
+        .with_grid(4, 4)
+        .with_threads(1)
+}
+
+#[test]
+fn leased_campaign_matches_single_process_run_byte_for_byte() {
+    let spec = spec("coord-loopback");
+    let single = therm3d_sweep::run(&spec).expect("single-process run").csv();
+
+    // Lease size 1 forces every cell through a separate grant, so the
+    // two workers genuinely interleave.
+    let opts = ServeOptions { lease_cells: Some(1), lease_timeout_ms: 60_000 };
+    let server = Server::bind(&spec, "127.0.0.1:0", &opts).expect("bind");
+    let addr = server.local_addr().to_string();
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            thread::spawn(move || work(&addr, &WorkOptions::default()))
+        })
+        .collect();
+    let report = server.run(None, None).expect("campaign");
+    let summaries: Vec<_> =
+        workers.into_iter().map(|h| h.join().expect("worker thread").expect("worker")).collect();
+
+    assert_eq!(report.csv(), single, "any worker assignment must be byte-identical");
+    let cells: usize = summaries.iter().map(|s| s.cells).sum();
+    assert_eq!(cells, 4, "workers computed every cell exactly once: {summaries:?}");
+}
+
+#[test]
+fn dead_worker_lease_is_reissued_and_campaign_completes() {
+    let spec = spec("coord-deserter");
+    let single = therm3d_sweep::run(&spec).expect("single-process run").csv();
+
+    let opts = ServeOptions { lease_cells: Some(2), lease_timeout_ms: 60_000 };
+    let server = Server::bind(&spec, "127.0.0.1:0", &opts).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    // A deserter: handshakes, takes a lease, and drops the connection
+    // without reporting a single row. Its range must be re-issued via
+    // the EOF path (the timeout is far beyond the test's runtime, so
+    // only abandonment can save the campaign). It connects while the
+    // accept loop runs; the honest worker starts on a head-start delay
+    // so the deserter grabs the first lease.
+    let deserter = {
+        let addr = addr.clone();
+        thread::spawn(move || {
+            let mut stream = TcpStream::connect(&addr).expect("connect");
+            write_msg(
+                &mut stream,
+                &Msg::Hello { protocol: PROTOCOL_VERSION.into(), engine: ENGINE_VERSION.into() },
+            )
+            .expect("hello");
+            assert!(matches!(read_msg(&mut stream).expect("welcome"), Msg::Welcome { .. }));
+            write_msg(&mut stream, &Msg::LeaseRequest).expect("lease request");
+            let granted = read_msg(&mut stream).expect("grant");
+            assert!(
+                matches!(granted, Msg::LeaseGrant { len, .. } if len > 0),
+                "deserter should get a real range: {granted:?}"
+            );
+            // Dropping the stream here is the crash.
+        })
+    };
+    let worker = thread::spawn(move || {
+        thread::sleep(std::time::Duration::from_millis(300));
+        work(&addr, &WorkOptions::default())
+    });
+    let report = server.run(None, None).expect("campaign");
+    deserter.join().expect("deserter thread");
+    let summary = worker.join().expect("worker thread").expect("worker");
+
+    assert_eq!(report.csv(), single, "re-issued cells must not change a byte");
+    assert_eq!(summary.cells, 4, "the survivor computed everything: {summary:?}");
+}
+
+#[test]
+fn serve_rejects_sharded_specs_and_version_skew() {
+    let sharded = spec("coord-sharded").with_shard(therm3d_sweep::ShardSpec { index: 0, count: 2 });
+    let err = match Server::bind(&sharded, "127.0.0.1:0", &ServeOptions::default()) {
+        Err(e) => e,
+        Ok(_) => panic!("sharded spec must not bind"),
+    };
+    assert!(err.contains("sharded"), "{err}");
+
+    // A worker speaking a different engine version must be rejected at
+    // handshake — mixing cache salts would poison the merged results.
+    let server =
+        Server::bind(&spec("coord-skew"), "127.0.0.1:0", &ServeOptions::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let probe = thread::spawn(move || {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        write_msg(
+            &mut stream,
+            &Msg::Hello { protocol: PROTOCOL_VERSION.into(), engine: "stale-engine/v0".into() },
+        )
+        .expect("hello");
+        match read_msg(&mut stream).expect("reply") {
+            Msg::Reject { reason } => assert!(reason.contains("version mismatch"), "{reason}"),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    });
+    // The server never needs to run its accept loop to completion for
+    // this: the handshake happens on the handler thread spawned by
+    // `run`, so drive one accept iteration by running a tiny campaign
+    // with a real worker alongside the probe.
+    let addr2 = server.local_addr().to_string();
+    let worker = thread::spawn(move || work(&addr2, &WorkOptions::default()));
+    server.run(None, None).expect("campaign");
+    probe.join().expect("probe thread");
+    worker.join().expect("worker thread").expect("worker");
+}

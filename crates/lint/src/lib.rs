@@ -20,7 +20,7 @@
 //! | `alloc-free-region` | inside `region(alloc-free: …)` markers | `Vec::new`, `vec![`, `format!`, `.to_string()`, `.to_owned()`, `.collect`, `Box::new`, `String::new`, `.clone()` |
 //! | `stdout-hygiene` | library crates (everywhere except `cli`, `bench`, `lint`) | `println!` / `print!` (stdout byte-identity is CI-guarded; diagnostics belong on stderr) |
 //! | `no-thread-spawn` | everywhere except `crates/sweep/src/runner.rs` | `thread::spawn` / `thread::scope` (cell-level parallelism lives in the sweep runner alone, so thread count can never change simulation output or defeat run-scoped factor sharing) |
-//! | `cache-salt-drift` | `crates/sweep/src/cache.rs` | editing the cell-descriptor serialization region without updating `DESCRIPTOR_FINGERPRINT` (which requires an `ENGINE_VERSION` bump, since the salt is part of the hash) |
+//! | `cache-salt-drift` | every [`FINGERPRINT_TARGETS`] row (the cache's cell descriptor in `crates/sweep/src/cache.rs`, the coordinator wire protocol in `crates/coord/src/wire.rs`) | editing a fingerprinted serialization region without updating its recorded fingerprint (which requires a version-salt bump, since the salt is part of the hash) |
 //! | `lint-directive` | everywhere | malformed/unknown `// lint:` markers and reason-less suppressions |
 //!
 //! # Markers and suppressions
@@ -29,8 +29,9 @@
 //!
 //! * `// lint: region(<kind>: <label>) … // lint: end-region` marks a
 //!   named region. Regions of kind `alloc-free` are checked by the
-//!   `alloc-free-region` rule; the `fingerprint: cell-descriptor`
-//!   region in `cache.rs` is hashed by `cache-salt-drift`.
+//!   `alloc-free-region` rule; regions of kind `fingerprint` named in
+//!   [`FINGERPRINT_TARGETS`] (the cache's cell descriptor, the
+//!   coordinator's wire protocol) are hashed by `cache-salt-drift`.
 //! * `// lint: allow(<rule>): <reason>` suppresses `<rule>` on the same
 //!   line, or — when the comment stands alone — on the next line that
 //!   holds code. The reason is **mandatory**: a reason-less `allow` is
@@ -50,7 +51,9 @@ pub const RULE_ALLOC_FREE: &str = "alloc-free-region";
 pub const RULE_STDOUT: &str = "stdout-hygiene";
 /// Forbid `thread::spawn`/`thread::scope` outside the sweep runner.
 pub const RULE_THREAD_SPAWN: &str = "no-thread-spawn";
-/// Fail when the cell-descriptor region drifts from its fingerprint.
+/// Fail when a fingerprinted serialization region (cell descriptor,
+/// wire protocol — see [`FINGERPRINT_TARGETS`]) drifts from its
+/// recorded fingerprint.
 pub const RULE_SALT_DRIFT: &str = "cache-salt-drift";
 /// Malformed or unknown `// lint:` directives, reason-less `allow`s.
 pub const RULE_DIRECTIVE: &str = "lint-directive";
@@ -696,68 +699,124 @@ pub fn lint_source(crate_name: &str, file: &str, source: &str) -> Vec<Diagnostic
 }
 
 // ---------------------------------------------------------------------
-// Rule 5: cache-salt drift
+// Rule 5: fingerprint drift (cache salt, wire protocol, ...)
 // ---------------------------------------------------------------------
 
-/// The file rule 5 fingerprints.
+/// The file the cache-descriptor fingerprint target covers.
 pub const CACHE_FILE: &str = "crates/sweep/src/cache.rs";
-/// The region rule 5 hashes (whitespace-stripped name).
+/// The cache target's region name (whitespace-stripped).
 pub const DESCRIPTOR_REGION: &str = "fingerprint:cell-descriptor";
+/// The file the wire-protocol fingerprint target covers.
+pub const WIRE_FILE: &str = "crates/coord/src/wire.rs";
+/// The wire target's region name (whitespace-stripped).
+pub const WIRE_REGION: &str = "fingerprint:wire-protocol";
 
-/// What [`cache_salt_status`] extracted from `cache.rs`.
+/// One versioned on-disk/on-wire format the drift rule guards: a
+/// `// lint: region(fingerprint: …)` block whose source text, salted
+/// with a version-string constant, must hash to a recorded fingerprint
+/// constant. Editing the region without bumping the version fails the
+/// lint — the generalization of the original cache-salt rule, so every
+/// new serialized format gets the same protection by adding a row to
+/// [`FINGERPRINT_TARGETS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FingerprintTarget {
+    /// Workspace-relative file the target lives in.
+    pub file: &'static str,
+    /// Region name as written in the marker, whitespace-stripped.
+    pub region: &'static str,
+    /// Identifier of the `&str` version constant (the salt).
+    pub salt_ident: &'static str,
+    /// Identifier of the `u64` recorded-fingerprint constant.
+    pub fp_ident: &'static str,
+    /// What the region serializes, for diagnostics.
+    pub what: &'static str,
+    /// Why unsalted drift is dangerous, for diagnostics.
+    pub consequence: &'static str,
+}
+
+/// Every fingerprinted format in the workspace. Each row is checked on
+/// every [`lint_workspace`] run, and a missing file is a diagnostic —
+/// a target can move but never silently vanish.
+pub const FINGERPRINT_TARGETS: &[FingerprintTarget] = &[
+    FingerprintTarget {
+        file: CACHE_FILE,
+        region: DESCRIPTOR_REGION,
+        salt_ident: "ENGINE_VERSION",
+        fp_ident: "DESCRIPTOR_FINGERPRINT",
+        what: "the cell-descriptor serialization",
+        consequence: "Old cache entries would be served for new semantics",
+    },
+    FingerprintTarget {
+        file: WIRE_FILE,
+        region: WIRE_REGION,
+        salt_ident: "PROTOCOL_VERSION",
+        fp_ident: "WIRE_FINGERPRINT",
+        what: "the coordinator wire protocol",
+        consequence: "Mixed-version coordinators and workers would mis-parse each other's frames",
+    },
+];
+
+/// What [`fingerprint_status`] extracted from a target's source.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SaltStatus {
-    /// The `ENGINE_VERSION` string literal.
+    /// The version-constant string literal (the salt).
     pub salt: String,
-    /// FNV-64 of salt + the descriptor region's source text.
+    /// FNV-64 of salt + the fingerprinted region's source text.
     pub actual: u64,
-    /// The checked-in `DESCRIPTOR_FINGERPRINT` value.
+    /// The checked-in fingerprint-constant value.
     pub recorded: u64,
-    /// 1-indexed line the descriptor region starts on.
+    /// 1-indexed line the fingerprinted region starts on.
     pub region_line: usize,
 }
 
-/// Hashes the cell-descriptor region of `cache.rs` source text and
-/// extracts the checked-in expectation.
+/// Hashes `target`'s fingerprinted region in `source` and extracts the
+/// checked-in expectation.
 ///
 /// # Errors
 ///
-/// Returns a message when the region markers, `ENGINE_VERSION` or
-/// `DESCRIPTOR_FINGERPRINT` cannot be found or parsed.
-pub fn cache_salt_status(source: &str) -> Result<SaltStatus, String> {
+/// Returns a message when the region markers, the salt constant or the
+/// fingerprint constant cannot be found or parsed.
+pub fn fingerprint_status(target: &FingerprintTarget, source: &str) -> Result<SaltStatus, String> {
     let lines = strip(source);
     let markers = analyze_markers(&lines);
     let region = markers
         .regions
         .iter()
-        .find(|r| r.name == DESCRIPTOR_REGION)
-        .ok_or_else(|| format!("no `lint: region({DESCRIPTOR_REGION})` marker found"))?;
+        .find(|r| r.name == target.region)
+        .ok_or_else(|| format!("no `lint: region({})` marker found", target.region))?;
     let raw: Vec<&str> = source.lines().collect();
 
+    let salt_ident = target.salt_ident;
     let salt_line = lines
         .iter()
-        .position(|l| has_token(&l.code, "ENGINE_VERSION") && l.code.contains("&str"))
-        .ok_or("no `ENGINE_VERSION: &str` declaration found")?;
+        .position(|l| has_token(&l.code, salt_ident) && l.code.contains("&str"))
+        .ok_or_else(|| format!("no `{salt_ident}: &str` declaration found"))?;
     let salt_raw = raw[salt_line];
-    let first = salt_raw.find('"').ok_or("ENGINE_VERSION value is not on its own line")?;
-    let last = salt_raw.rfind('"').filter(|l| *l > first).ok_or("unterminated ENGINE_VERSION")?;
+    let first =
+        salt_raw.find('"').ok_or_else(|| format!("{salt_ident} value is not on its own line"))?;
+    let last = salt_raw
+        .rfind('"')
+        .filter(|l| *l > first)
+        .ok_or_else(|| format!("unterminated {salt_ident}"))?;
     let salt = salt_raw[first + 1..last].to_owned();
 
+    let fp_ident = target.fp_ident;
     let fp_line = lines
         .iter()
-        .position(|l| has_token(&l.code, "DESCRIPTOR_FINGERPRINT") && l.code.contains("u64"))
-        .ok_or(
-            "no `DESCRIPTOR_FINGERPRINT: u64` declaration found (add it next to ENGINE_VERSION)",
-        )?;
+        .position(|l| has_token(&l.code, fp_ident) && l.code.contains("u64"))
+        .ok_or_else(|| {
+            format!("no `{fp_ident}: u64` declaration found (add it next to {salt_ident})")
+        })?;
     let fp_raw = raw[fp_line];
-    let hex_start = fp_raw.find("0x").ok_or("DESCRIPTOR_FINGERPRINT must be a `0x...` literal")?;
+    let hex_start =
+        fp_raw.find("0x").ok_or_else(|| format!("{fp_ident} must be a `0x...` literal"))?;
     let hex: String = fp_raw[hex_start + 2..]
         .chars()
         .take_while(|c| c.is_ascii_hexdigit() || *c == '_')
         .filter(|c| *c != '_')
         .collect();
     let recorded = u64::from_str_radix(&hex, 16)
-        .map_err(|e| format!("cannot parse DESCRIPTOR_FINGERPRINT hex `{hex}`: {e}"))?;
+        .map_err(|e| format!("cannot parse {fp_ident} hex `{hex}`: {e}"))?;
 
     let mut input = String::new();
     input.push_str(&salt);
@@ -773,10 +832,21 @@ pub fn cache_salt_status(source: &str) -> Result<SaltStatus, String> {
     })
 }
 
-/// Runs the `cache-salt-drift` rule over `cache.rs` source text.
+/// [`fingerprint_status`] for the cache-descriptor target (the original
+/// rule 5; kept as the stable entry point for the fixture corpus and
+/// the live-coupling tests).
+///
+/// # Errors
+///
+/// As [`fingerprint_status`].
+pub fn cache_salt_status(source: &str) -> Result<SaltStatus, String> {
+    fingerprint_status(&FINGERPRINT_TARGETS[0], source)
+}
+
+/// Runs the drift rule for one fingerprint target over its source.
 #[must_use]
-pub fn check_cache_salt(file: &str, source: &str) -> Vec<Diagnostic> {
-    match cache_salt_status(source) {
+pub fn check_fingerprint(target: &FingerprintTarget, file: &str, source: &str) -> Vec<Diagnostic> {
+    match fingerprint_status(target, source) {
         Err(message) => vec![Diagnostic {
             file: file.to_owned(),
             line: 1,
@@ -800,16 +870,28 @@ pub fn check_cache_salt(file: &str, source: &str) -> Vec<Diagnostic> {
                 line: status.region_line,
                 rule: RULE_SALT_DRIFT.to_owned(),
                 message: format!(
-                    "the cell-descriptor serialization changed: fingerprint {:#018x} != \
-                     recorded DESCRIPTOR_FINGERPRINT {:#018x}. Old cache entries would be \
-                     served for new semantics — bump ENGINE_VERSION (currently `{}`) and set \
-                     DESCRIPTOR_FINGERPRINT to the new fingerprint",
-                    status.actual, status.recorded, status.salt
+                    "{} changed: fingerprint {:#018x} != recorded {} {:#018x}. {} — bump {} \
+                     (currently `{}`) and set {} to the new fingerprint",
+                    target.what,
+                    status.actual,
+                    target.fp_ident,
+                    status.recorded,
+                    target.consequence,
+                    target.salt_ident,
+                    status.salt,
+                    target.fp_ident
                 ),
             }]
         }
         Ok(_) => Vec::new(),
     }
+}
+
+/// Runs the drift rule over `cache.rs` source text (the
+/// cache-descriptor target of [`FINGERPRINT_TARGETS`]).
+#[must_use]
+pub fn check_cache_salt(file: &str, source: &str) -> Vec<Diagnostic> {
+    check_fingerprint(&FINGERPRINT_TARGETS[0], file, source)
 }
 
 // ---------------------------------------------------------------------
@@ -843,7 +925,8 @@ fn rust_files_under(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> Result<(),
 }
 
 /// Lints every `crates/*/src/**/*.rs` file under `root` (the workspace
-/// root) and runs the cache-salt check over [`CACHE_FILE`].
+/// root) and runs the fingerprint-drift check over every
+/// [`FINGERPRINT_TARGETS`] row.
 ///
 /// Library sources only: `tests/`, `examples/` and `benches/` trees are
 /// not shipped simulation code and stay out of scope.
@@ -887,22 +970,28 @@ pub fn lint_workspace(root: &Path) -> Result<WorkspaceReport, String> {
             let source = std::fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
             diagnostics.extend(lint_source(&crate_name, &rel, &source));
-            if rel == CACHE_FILE {
-                diagnostics.extend(check_cache_salt(&rel, &source));
+            for target in FINGERPRINT_TARGETS {
+                if rel == target.file {
+                    diagnostics.extend(check_fingerprint(target, &rel, &source));
+                }
             }
             files_scanned += 1;
         }
     }
-    // The salt check must not silently vanish with the file.
-    if !root.join(CACHE_FILE).is_file() {
-        diagnostics.push(Diagnostic {
-            file: CACHE_FILE.to_owned(),
-            line: 1,
-            rule: RULE_SALT_DRIFT.to_owned(),
-            message: "expected cache file is missing; move the fingerprint region and update \
-                      therm3d_lint::CACHE_FILE"
-                .to_owned(),
-        });
+    // A fingerprint check must not silently vanish with its file.
+    for target in FINGERPRINT_TARGETS {
+        if !root.join(target.file).is_file() {
+            diagnostics.push(Diagnostic {
+                file: target.file.to_owned(),
+                line: 1,
+                rule: RULE_SALT_DRIFT.to_owned(),
+                message: format!(
+                    "expected fingerprinted file is missing; move the `{}` region and update \
+                     therm3d_lint::FINGERPRINT_TARGETS",
+                    target.region
+                ),
+            });
+        }
     }
     diagnostics.sort();
     Ok(WorkspaceReport { diagnostics, files_scanned })

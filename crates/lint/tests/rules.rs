@@ -390,6 +390,41 @@ fn tampering_with_live_descriptor_fails_without_salt_bump() {
 }
 
 #[test]
+fn live_wire_source_matches_recorded_fingerprint() {
+    let wire = &therm3d_lint::FINGERPRINT_TARGETS[1];
+    assert_eq!(wire.file, therm3d_lint::WIRE_FILE);
+    let path = workspace_root().join(wire.file);
+    let source = std::fs::read_to_string(&path).unwrap();
+    let status = therm3d_lint::fingerprint_status(wire, &source).unwrap();
+    assert_eq!(status.salt, therm3d_coord::PROTOCOL_VERSION);
+    assert_eq!(
+        status.recorded,
+        therm3d_coord::WIRE_FINGERPRINT,
+        "lint parsed a different constant than the compiled one"
+    );
+    assert_eq!(
+        status.actual, status.recorded,
+        "wire.rs protocol region drifted from WIRE_FINGERPRINT — \
+         bump PROTOCOL_VERSION and re-record (the lint error prints the new value)"
+    );
+}
+
+#[test]
+fn tampering_with_live_wire_descriptor_fails_without_version_bump() {
+    let wire = &therm3d_lint::FINGERPRINT_TARGETS[1];
+    let path = workspace_root().join(wire.file);
+    let source = std::fs::read_to_string(&path).unwrap();
+    // Simulate adding a message without touching the protocol version:
+    // the in-memory edit must flip the lint to failing.
+    let tampered = source.replace("reject:9{reason:string}", "reject:9{reason:string};cancel:10{}");
+    assert_ne!(tampered, source, "wire descriptor pattern not found; update this test");
+    let diags = therm3d_lint::check_fingerprint(wire, wire.file, &tampered);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, RULE_SALT_DRIFT);
+    assert!(diags[0].message.contains("bump PROTOCOL_VERSION"), "{diags:#?}");
+}
+
+#[test]
 fn whole_workspace_is_clean() {
     let report = lint_workspace(workspace_root()).unwrap();
     assert!(

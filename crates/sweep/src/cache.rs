@@ -596,6 +596,28 @@ fn decode_entry(line: &str) -> Option<(u64, String, RunResult)> {
     Some((hash, descriptor, result))
 }
 
+/// Serializes one `(key, result)` pair as a store line (no trailing
+/// newline) — the exact bytes [`CacheStore`] appends to `results.tsv`,
+/// ending in an FNV-64 checksum of the body. This is also the campaign
+/// service's result transport: a `therm3d work` process encodes each
+/// finished cell with this codec and the coordinator verifies and
+/// stores the line, so network results inherit the cache's corruption
+/// detection and byte-exactness for free.
+#[must_use]
+pub fn encode_line(key: &CellKey, result: &RunResult) -> String {
+    encode_entry(key, result)
+}
+
+/// Parses a line produced by [`encode_line`], reconstructing the full
+/// [`CellKey`] (hash and verified descriptor). `None` for anything
+/// malformed, truncated or bit-flipped — same acceptance rules as the
+/// store loader.
+#[must_use]
+pub fn decode_line(line: &str) -> Option<(CellKey, RunResult)> {
+    let (hash, descriptor, result) = decode_entry(line)?;
+    Some((CellKey { hash, descriptor }, result))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

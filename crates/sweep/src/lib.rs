@@ -70,15 +70,15 @@ pub mod telemetry;
 pub mod toml;
 
 pub use cache::{
-    cell_key, CacheStats, CacheStore, CellKey, CompactStats, MergeStats, DESCRIPTOR_FINGERPRINT,
-    ENGINE_VERSION,
+    cell_key, decode_line, encode_line, CacheStats, CacheStore, CellKey, CompactStats, MergeStats,
+    DESCRIPTOR_FINGERPRINT, ENGINE_VERSION,
 };
 pub use error::SweepError;
 pub use matrix::{derive_policy_seed, derive_sensor_seed, expand, expand_shard, SweepCell};
 pub use report::{csv_header, csv_row, sweep_csv_header, SweepReport, SweepRow, CSV_HEADER};
 pub use runner::{
-    effective_threads, model_fingerprint, run, run_cell, run_with_cache, run_with_telemetry,
-    sim_config,
+    effective_threads, model_fingerprint, run, run_cell, run_cells_with_telemetry, run_with_cache,
+    run_with_telemetry, sim_config,
 };
 pub use shard::{merge_csv, ShardSpec};
 pub use spec::{parse_sim_seconds, sim_seconds_from_env, SweepSpec};

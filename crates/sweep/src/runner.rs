@@ -19,7 +19,7 @@
 //! run returns [`SweepError::CellFailed`] naming the first failed cell
 //! in canonical order. Failed cells are never written to the cache.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -273,6 +273,45 @@ pub fn run_with_cache(
 /// Exactly as [`run_with_cache`].
 pub fn run_with_telemetry(
     spec: &SweepSpec,
+    cache: Option<&mut CacheStore>,
+    telemetry: Option<&RunTelemetry>,
+) -> Result<SweepReport, SweepError> {
+    run_selected(spec, None, cache, telemetry)
+}
+
+/// [`run_with_telemetry`] restricted to an explicit set of canonical
+/// cell indices — the campaign coordinator's entry point: a
+/// `therm3d work` process runs exactly the cells of its lease through
+/// the full runner (cache lookup, factor sharing, worker threads,
+/// telemetry) and nothing else. Indices refer to the canonical
+/// expansion, the same numbering as [`SweepCell::index`], shard filters
+/// and report rows; seeds and keys are selection-independent, so any
+/// partition of a matrix across workers reassembles byte-identically.
+///
+/// # Errors
+///
+/// As [`run_with_telemetry`], plus [`SweepError::InvalidSpec`] when an
+/// index is at or past the spec's cell count.
+pub fn run_cells_with_telemetry(
+    spec: &SweepSpec,
+    indices: &[usize],
+    cache: Option<&mut CacheStore>,
+    telemetry: Option<&RunTelemetry>,
+) -> Result<SweepReport, SweepError> {
+    let total = spec.cell_count();
+    if let Some(&bad) = indices.iter().find(|&&i| i >= total) {
+        return Err(SweepError::InvalidSpec(format!(
+            "cell index {bad} out of range: '{}' expands to {total} cell(s)",
+            spec.name
+        )));
+    }
+    let selection: BTreeSet<usize> = indices.iter().copied().collect();
+    run_selected(spec, Some(&selection), cache, telemetry)
+}
+
+fn run_selected(
+    spec: &SweepSpec,
+    selection: Option<&BTreeSet<usize>>,
     mut cache: Option<&mut CacheStore>,
     telemetry: Option<&RunTelemetry>,
 ) -> Result<SweepReport, SweepError> {
@@ -282,13 +321,18 @@ pub fn run_with_telemetry(
     // matrix is the default (shard 0/1). Cells keep their canonical
     // indices and derived seeds, so everything below — keys, traces,
     // write-back, report rows — is identical whether a cell runs in a
-    // sharded process or an unsharded one.
+    // sharded process or an unsharded one. An explicit selection (a
+    // coordinator lease) narrows the work list the same way a shard
+    // does: by canonical index, changing nothing about any cell.
     // lint: allow(no-wall-clock): expansion-phase telemetry only — never feeds results
     let t_expand = Instant::now();
-    let cells = {
+    let mut cells = {
         let _span = Span::enter("sweep.expand_us");
         expand_shard(spec)
     };
+    if let Some(sel) = selection {
+        cells.retain(|cell| sel.contains(&cell.index));
+    }
     let keys: Vec<_> = cells.iter().map(|cell| cell_key(spec, cell)).collect();
     let expand_us = elapsed_us(t_expand);
 
